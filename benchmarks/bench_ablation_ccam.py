@@ -1,0 +1,146 @@
+"""E-A1 — ablation: CCAM page size, packing strategy, and buffer size vs I/O.
+
+The paper fixes the page size at 2048 bytes and clusters with CCAM; this
+ablation justifies those choices by measuring, per singleFP query against
+the disk store, the physical page reads under
+
+* page sizes 512 / 1024 / 2048 / 4096,
+* Hilbert-sequential vs connectivity-BFS packing,
+* a small (8-page) vs a generous (256-page) buffer pool.
+
+Expected shape: larger pages and connectivity packing reduce physical reads;
+the buffer pool amortises repeated node accesses within one query.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.naive import NaiveEstimator
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.storage.ccam import CCAMStore
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+PAGE_SIZES = [512, 1024, 2048, 4096]
+
+
+@pytest.fixture(scope="module")
+def network():
+    # A dedicated mid-size network so database builds stay quick.
+    return make_metro_network(MetroConfig(width=24, height=24, seed=13))
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    interval = morning_rush_interval(1.0)
+    return distance_band_queries(network, [(1.0, 3.0)], 6, interval, seed=17)[
+        (1.0, 3.0)
+    ]
+
+
+def _mean_page_reads(store: CCAMStore, queries) -> float:
+    engine = IntAllFastestPaths(store, NaiveEstimator(store))
+    reads = []
+    for q in queries:
+        store.drop_buffer()
+        store.reset_io_counters()
+        engine.single_fastest_path(q.source, q.target, q.interval)
+        reads.append(store.page_reads)
+    return statistics.fmean(reads)
+
+
+class TestPageSizeAblation:
+    def test_page_size_sweep(
+        self, benchmark, network, queries, tmp_path_factory, record_table
+    ):
+        tmp = tmp_path_factory.mktemp("ccam-pages")
+
+        def sweep():
+            rows = []
+            for page_size in PAGE_SIZES:
+                path = tmp / f"net-{page_size}.ccam"
+                with CCAMStore.build(network, path, page_size=page_size) as store:
+                    rows.append(
+                        [
+                            page_size,
+                            store.build_info["data_pages"],
+                            store.build_info["clustering_quality"] * 100,
+                            _mean_page_reads(store, queries),
+                        ]
+                    )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "ablation_ccam_pagesize",
+            format_table(
+                ["page size", "data pages", "intra-page edges %", "reads/query"],
+                rows,
+                title="E-A1: CCAM page size vs physical page reads "
+                f"(cold cache, {len(queries)} singleFP queries)",
+            ),
+        )
+        reads = {row[0]: row[3] for row in rows}
+        assert reads[4096] < reads[512]
+
+    def test_strategy_sweep(
+        self, benchmark, network, queries, tmp_path_factory, record_table
+    ):
+        tmp = tmp_path_factory.mktemp("ccam-strategy")
+
+        def sweep():
+            rows = []
+            for strategy in ("hilbert", "connectivity"):
+                path = tmp / f"net-{strategy}.ccam"
+                with CCAMStore.build(network, path, strategy=strategy) as store:
+                    rows.append(
+                        [
+                            strategy,
+                            store.build_info["clustering_quality"] * 100,
+                            _mean_page_reads(store, queries),
+                        ]
+                    )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "ablation_ccam_strategy",
+            format_table(
+                ["packing", "intra-page edges %", "reads/query"],
+                rows,
+                title="E-A1: packing strategy vs physical page reads",
+            ),
+        )
+        quality = {row[0]: row[1] for row in rows}
+        assert quality["connectivity"] >= quality["hilbert"] - 5.0
+
+    def test_buffer_pool_sweep(
+        self, benchmark, network, queries, tmp_path_factory, record_table
+    ):
+        path = tmp_path_factory.mktemp("ccam-buffer") / "net.ccam"
+        CCAMStore.build(network, path).close()
+
+        def sweep():
+            rows = []
+            for buffer_pages in (8, 32, 256):
+                with CCAMStore.open(path, buffer_pages=buffer_pages) as store:
+                    rows.append(
+                        [buffer_pages, _mean_page_reads(store, queries)]
+                    )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "ablation_ccam_buffer",
+            format_table(
+                ["buffer pages", "reads/query"],
+                rows,
+                title="E-A1: buffer pool size vs physical page reads",
+            ),
+        )
+        reads = {row[0]: row[1] for row in rows}
+        assert reads[256] <= reads[8]

@@ -1,0 +1,116 @@
+"""E-A2 — ablation: boundary-estimator grid resolution.
+
+The paper does not report the space-partitioning resolution behind its
+boundary-node estimator.  This ablation sweeps the grid from 2×2 to 12×12
+and reports (a) precomputation cost (number of boundary nodes — each cell
+costs two multi-source Dijkstras), (b) mean estimate tightness relative to
+the true travel time, and (c) mean expanded paths for singleFP queries.
+
+Expected shape: finer grids give tighter bounds and fewer expansions, with
+diminishing returns once cells shrink below typical query distances.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.analysis.experiments import bench_queries
+from repro.analysis.report import format_table
+from repro.core.astar import fixed_departure_query
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+GRIDS = [2, 4, 6, 8, 12]
+
+
+@pytest.fixture(scope="module")
+def queries(medium_network):
+    interval = morning_rush_interval(1.0)
+    count = bench_queries(default=5)
+    return distance_band_queries(
+        medium_network, [(2.0, 4.0)], count, interval, seed=23
+    )[(2.0, 4.0)]
+
+
+def _tightness(network, estimator, queries) -> float:
+    """Mean bound/actual ratio at the interval start (1.0 = perfect)."""
+    ratios = []
+    for q in queries:
+        estimator.prepare(q.target)
+        actual = fixed_departure_query(
+            network, q.source, q.target, q.interval.start
+        ).travel_time
+        ratios.append(estimator.bound(q.source) / actual)
+    return statistics.fmean(ratios)
+
+
+class TestGridAblation:
+    def test_grid_sweep(self, benchmark, medium_network, queries, record_table):
+        def sweep():
+            rows = []
+            naive = NaiveEstimator(medium_network)
+            rows.append(
+                [
+                    "naive",
+                    0,
+                    _tightness(medium_network, naive, queries),
+                    _mean_expanded(medium_network, naive, queries),
+                    0.0,
+                ]
+            )
+            for g in GRIDS:
+                start = time.perf_counter()
+                est = BoundaryNodeEstimator(medium_network, g, g)
+                precompute = time.perf_counter() - start
+                boundary_nodes = sum(
+                    len(c.boundary) for c in est.grid.cells()
+                )
+                rows.append(
+                    [
+                        f"{g}x{g}",
+                        boundary_nodes,
+                        _tightness(medium_network, est, queries),
+                        _mean_expanded(medium_network, est, queries),
+                        precompute,
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "ablation_grid",
+            format_table(
+                [
+                    "grid",
+                    "boundary nodes",
+                    "bound/actual",
+                    "expanded/query",
+                    "precompute (s)",
+                ],
+                rows,
+                title=f"E-A2: boundary grid resolution ({len(queries)} "
+                "singleFP queries, d_euc 2-4 mi)",
+            ),
+        )
+        by_grid = {row[0]: row for row in rows}
+        # Any boundary grid must beat or match the naive baseline, and the
+        # tightness ratio can never exceed 1 (admissibility).
+        for row in rows:
+            assert row[2] <= 1.0 + 1e-9
+        finest = by_grid[f"{GRIDS[-1]}x{GRIDS[-1]}"]
+        assert finest[3] <= by_grid["naive"][3] * 1.10
+
+
+def _mean_expanded(network, estimator, queries) -> float:
+    engine = IntAllFastestPaths(network, estimator)
+    return statistics.fmean(
+        engine.single_fastest_path(
+            q.source, q.target, q.interval
+        ).stats.expanded_paths
+        for q in queries
+    )

@@ -1,0 +1,98 @@
+"""E-A3 — ablation: leaving-interval length vs query cost and answer size.
+
+The time-interval dimension is the paper's core novelty, so this ablation
+measures how the allFP query scales with it: interval lengths from 15
+minutes to 6 hours (anchored at 7:00, spanning the whole morning rush at the
+long end), reporting mean expanded paths, answer sub-intervals, and distinct
+fastest paths.
+
+Expected shape: longer intervals cross more speed-pattern breakpoints, so
+both the search cost and the number of answer pieces grow; an interval fully
+inside one constant-speed regime yields a single piece.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.experiments import bench_queries
+from repro.analysis.report import format_table
+from repro.core.engine import IntAllFastestPaths
+from repro.timeutil import TimeInterval, hours, parse_clock
+from repro.workloads.queries import distance_band_queries
+
+LENGTHS_HOURS = [0.25, 1.0, 2.0, 3.0, 6.0]
+
+
+@pytest.fixture(scope="module")
+def endpoints(medium_network):
+    interval = TimeInterval(parse_clock("7:00"), parse_clock("8:00"))
+    count = bench_queries(default=5)
+    return [
+        (q.source, q.target)
+        for q in distance_band_queries(
+            medium_network, [(2.0, 4.0)], count, interval, seed=29
+        )[(2.0, 4.0)]
+    ]
+
+
+class TestIntervalAblation:
+    def test_interval_sweep(
+        self, benchmark, medium_network, endpoints, record_table
+    ):
+        engine = IntAllFastestPaths(medium_network)
+
+        def sweep():
+            rows = []
+            for length in LENGTHS_HOURS:
+                interval = TimeInterval(
+                    parse_clock("7:00"), parse_clock("7:00") + hours(length)
+                )
+                expanded, pieces, paths = [], [], []
+                for source, target in endpoints:
+                    result = engine.all_fastest_paths(source, target, interval)
+                    expanded.append(result.stats.expanded_paths)
+                    pieces.append(len(result.entries))
+                    paths.append(len(result.distinct_paths))
+                rows.append(
+                    [
+                        f"{length:g} h",
+                        statistics.fmean(expanded),
+                        statistics.fmean(pieces),
+                        statistics.fmean(paths),
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "ablation_interval",
+            format_table(
+                [
+                    "interval",
+                    "expanded/query",
+                    "answer pieces",
+                    "distinct paths",
+                ],
+                rows,
+                title=f"E-A3: leaving-interval length ({len(endpoints)} allFP "
+                "queries, anchored at 7:00)",
+            ),
+        )
+        # Longer windows cannot shrink the answer or the work.
+        assert rows[-1][1] >= rows[0][1] - 1e-9
+        assert rows[-1][2] >= rows[0][2] - 1e-9
+
+    def test_instant_interval_fast(self, benchmark, medium_network, endpoints):
+        """Degenerate instant queries are the cheap special case."""
+        engine = IntAllFastestPaths(medium_network)
+        source, target = endpoints[0]
+        instant = TimeInterval(parse_clock("7:30"), parse_clock("7:30"))
+        result = benchmark.pedantic(
+            lambda: engine.all_fastest_paths(source, target, instant),
+            rounds=3,
+            iterations=1,
+        )
+        assert len(result.entries) == 1

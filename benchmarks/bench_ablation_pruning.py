@@ -1,0 +1,100 @@
+"""E-A4 — ablation: dominance pruning on/off.
+
+DESIGN.md documents one deliberate deviation from the paper's literal
+algorithm: per-node dominance pruning of queue labels.  This ablation
+quantifies why — without pruning the number of expanded *paths* (and the
+queue) grows combinatorially with distance, while the answers stay
+identical.
+
+Run on a small dedicated network so the unpruned runs finish.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.engine import IntAllFastestPaths
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.timeutil import TimeInterval, parse_clock
+from repro.workloads.queries import distance_band_queries
+
+INTERVAL = TimeInterval(parse_clock("6:45"), parse_clock("8:00"))
+
+
+@pytest.fixture(scope="module")
+def network():
+    return make_metro_network(MetroConfig(width=10, height=10, seed=31))
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    return distance_band_queries(network, [(1.0, 2.0)], 5, INTERVAL, seed=37)[
+        (1.0, 2.0)
+    ]
+
+
+class TestPruningAblation:
+    def test_pruning_sweep(self, benchmark, network, queries, record_table):
+        def sweep():
+            rows = []
+            for prune in (True, False):
+                engine = IntAllFastestPaths(
+                    network, prune=prune, max_pops=500_000
+                )
+                expanded, queue_peak = [], []
+                borders = []
+                for q in queries:
+                    result = engine.all_fastest_paths(
+                        q.source, q.target, q.interval
+                    )
+                    expanded.append(result.stats.expanded_paths)
+                    queue_peak.append(result.stats.max_queue_size)
+                    borders.append(result.border)
+                rows.append(
+                    [
+                        "on" if prune else "off",
+                        statistics.fmean(expanded),
+                        max(queue_peak),
+                        borders,
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "ablation_pruning",
+            format_table(
+                ["dominance pruning", "expanded/query", "peak queue"],
+                [row[:3] for row in rows],
+                title=f"E-A4: dominance pruning ({len(queries)} allFP queries, "
+                "10x10 metro, 75-minute interval)",
+            ),
+        )
+        pruned, literal = rows[0], rows[1]
+        # Identical answers...
+        for border_a, border_b in zip(pruned[3], literal[3]):
+            assert border_a.equals_approx(border_b, tol=1e-6)
+        # ...at a fraction of the work.
+        assert pruned[1] <= literal[1]
+        assert pruned[2] <= literal[2]
+
+    def test_pruned_query(self, benchmark, network, queries):
+        engine = IntAllFastestPaths(network, prune=True)
+        q = queries[0]
+        benchmark.pedantic(
+            lambda: engine.all_fastest_paths(q.source, q.target, q.interval),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_unpruned_query(self, benchmark, network, queries):
+        engine = IntAllFastestPaths(network, prune=False, max_pops=500_000)
+        q = queries[0]
+        benchmark.pedantic(
+            lambda: engine.all_fastest_paths(q.source, q.target, q.interval),
+            rounds=3,
+            iterations=1,
+        )

@@ -1,0 +1,122 @@
+"""E-F10a / E-F10b — Figure 10: CapeCod vs the discrete-time model.
+
+The paper poses 100 singleFP queries with a 2-hour rush-hour leaving
+interval and source/target Euclidean distance around 7–8 miles, answers each
+with the continuous (CapeCod) engine once and with the discrete-time model
+at discretizations of 1 hour, 10 minutes, 1 minute, and 10 seconds, and
+reports two ratios (discrete / CapeCod):
+
+* Figure 10(a) — travel time (accuracy): ≈1.27 at 1 h, ≈1.21 at 10 min,
+  approaching 1 as the grid refines.
+* Figure 10(b) — query time (cost): below 1 at 1 h, ≈5 at 10 min, growing
+  to ≈200 at 10 s.
+
+Expected shape: the travel-time ratio is monotonically nonincreasing in the
+refinement while the query-time ratio grows by orders of magnitude, crossing
+1 between the 1-hour and 10-minute grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import bench_queries, bench_scale, fig10_experiment
+from repro.analysis.report import format_table
+from repro.core.discrete import DiscreteTimeModel
+from repro.core.engine import IntAllFastestPaths
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+#: The paper's four discretization steps, in minutes.
+PAPER_STEPS = [60.0, 10.0, 1.0, 1.0 / 6.0]
+
+
+def _distance_band() -> tuple[float, float]:
+    # The paper uses 7-8 miles; the small scale's map cannot hold that.
+    return (2.0, 3.0) if bench_scale() == "small" else (7.0, 8.0)
+
+
+class TestFig10Sweep:
+    def test_fig10_sweep(self, benchmark, medium_network, record_table):
+        lo, hi = _distance_band()
+        rows = benchmark.pedantic(
+            lambda: fig10_experiment(
+                medium_network,
+                steps_minutes=PAPER_STEPS,
+                count=bench_queries(default=4),
+                min_distance=lo,
+                max_distance=hi,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        record_table(
+            "fig10",
+            format_table(
+                [
+                    "step",
+                    "travel ratio (10a)",
+                    "query-time ratio (10b)",
+                ],
+                [
+                    [
+                        "1 hour" if r.step_minutes == 60
+                        else "10 min" if r.step_minutes == 10
+                        else "1 min" if r.step_minutes == 1
+                        else "10 sec",
+                        r.travel_time_ratio,
+                        r.query_time_ratio,
+                    ]
+                    for r in rows
+                ],
+                title=(
+                    "Figure 10: Discrete-time / CapeCod ratios "
+                    f"({rows[0].queries} queries, [8:00, 9:55] rush window, "
+                    f"d_euc {lo:g}-{hi:g} mi)"
+                ),
+            ),
+        )
+        # 10(a): discrete can never beat the exact optimum, and refining the
+        # grid never hurts accuracy.
+        for row in rows:
+            assert row.travel_time_ratio >= 1.0 - 1e-9
+        ratios = [r.travel_time_ratio for r in rows]
+        assert all(a >= b - 1e-6 for a, b in zip(ratios, ratios[1:]))
+        # 10(b): cost grows by orders of magnitude with refinement, and the
+        # finest grid is dramatically slower than the continuous engine.
+        costs = [r.query_time_ratio for r in rows]
+        assert costs[-1] > costs[0]
+        assert costs[-1] > 10.0
+
+
+class TestFig10Timing:
+    """Raw per-query timings underlying the 10(b) ratio."""
+
+    @pytest.fixture(scope="class")
+    def query(self, medium_network):
+        band = _distance_band()
+        interval = morning_rush_interval(2.0)
+        return distance_band_queries(
+            medium_network, [band], 1, interval, seed=44
+        )[band][0]
+
+    def test_capecod_singlefp(self, benchmark, medium_network, query):
+        engine = IntAllFastestPaths(medium_network)
+        benchmark.pedantic(
+            lambda: engine.single_fastest_path(
+                query.source, query.target, query.interval
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+    @pytest.mark.parametrize("step", [60.0, 10.0, 1.0])
+    def test_discrete_singlefp(self, benchmark, medium_network, query, step):
+        model = DiscreteTimeModel(medium_network)
+        result = benchmark.pedantic(
+            lambda: model.single_fastest_path(
+                query.source, query.target, query.interval, step
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.travel_time > 0

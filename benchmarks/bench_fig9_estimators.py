@@ -1,0 +1,146 @@
+"""E-F9a / E-F9b — Figure 9: effect of the lower-bound estimator.
+
+The paper poses 100 queries per configuration over a 3-hour morning-rush
+leaving interval, varying the source/target Euclidean distance from 1 to 8
+miles, and reports the number of expanded nodes for the naive estimator
+(naiveLB) and the boundary-node estimator (bdLB), for both the singleFP (9a)
+and the allFP (9b) query.
+
+Expected shape (paper): bdLB expands fewer nodes than naiveLB at every
+distance, and the gap widens as the distance grows.
+
+Every test here uses the ``benchmark`` fixture so the whole module runs
+under ``pytest benchmarks/ --benchmark-only``; the sweep tests time the full
+experiment once and then assert the paper's qualitative shape and emit the
+paper-style table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    bench_queries,
+    default_bands,
+    fig9_experiment,
+)
+from repro.analysis.report import format_table
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+
+@pytest.fixture(scope="module")
+def estimators(medium_network):
+    return {
+        "naiveLB": NaiveEstimator(medium_network),
+        "bdLB": BoundaryNodeEstimator(medium_network, 6, 6),
+    }
+
+
+def _report(rows, which, record_table):
+    bands = sorted({r.band for r in rows})
+    table_rows = []
+    for band in bands:
+        naive = next(r for r in rows if r.band == band and r.estimator == "naiveLB")
+        bd = next(r for r in rows if r.band == band and r.estimator == "bdLB")
+        table_rows.append(
+            [
+                f"{band[0]:g}-{band[1]:g}",
+                naive.mean_expanded,
+                bd.mean_expanded,
+                naive.mean_expanded / bd.mean_expanded if bd.mean_expanded else 1.0,
+            ]
+        )
+    record_table(
+        f"fig9_{which}",
+        format_table(
+            ["d_euc (mi)", "naiveLB expanded", "bdLB expanded", "naive/bd"],
+            table_rows,
+            title=f"Figure 9 ({which}): mean expanded paths vs Euclidean distance "
+            f"({rows[0].queries} queries/band, 3h rush interval)",
+        ),
+    )
+
+
+def _assert_bd_never_worse(rows):
+    for band in {r.band for r in rows}:
+        naive = next(
+            r for r in rows if r.band == band and r.estimator == "naiveLB"
+        )
+        bd = next(r for r in rows if r.band == band and r.estimator == "bdLB")
+        # A tighter bound prunes the search; tiny reorder effects from the
+        # changed pop order get 10% slack.
+        assert bd.mean_expanded <= naive.mean_expanded * 1.10 + 1e-9
+
+
+class TestFig9Sweeps:
+    def test_fig9a_singlefp_sweep(
+        self, benchmark, medium_network, estimators, record_table
+    ):
+        rows = benchmark.pedantic(
+            lambda: fig9_experiment(
+                medium_network,
+                estimators,
+                "singleFP",
+                per_band=bench_queries(default=5),
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        _report(rows, "singleFP", record_table)
+        _assert_bd_never_worse(rows)
+        naive = sorted(
+            (r for r in rows if r.estimator == "naiveLB"), key=lambda r: r.band
+        )
+        if naive[0].queries >= 5:
+            # The growth-with-distance trend needs a non-trivial sample.
+            assert naive[-1].mean_expanded > naive[0].mean_expanded
+
+    def test_fig9b_allfp_sweep(
+        self, benchmark, medium_network, estimators, record_table
+    ):
+        rows = benchmark.pedantic(
+            lambda: fig9_experiment(
+                medium_network,
+                estimators,
+                "allFP",
+                per_band=bench_queries(default=5),
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        _report(rows, "allFP", record_table)
+        _assert_bd_never_worse(rows)
+
+
+class TestFig9Timing:
+    """Per-query timing at a representative mid-distance band."""
+
+    @pytest.fixture(scope="class")
+    def query(self, medium_network):
+        bands = default_bands()
+        mid = bands[len(bands) // 2]
+        interval = morning_rush_interval(3.0)
+        return distance_band_queries(
+            medium_network, [mid], 1, interval, seed=33
+        )[mid][0]
+
+    @pytest.mark.parametrize("estimator_name", ["naiveLB", "bdLB"])
+    @pytest.mark.parametrize("mode", ["singleFP", "allFP"])
+    def test_query_timing(
+        self, benchmark, medium_network, estimators, query, estimator_name, mode
+    ):
+        engine = IntAllFastestPaths(medium_network, estimators[estimator_name])
+        run = (
+            engine.single_fastest_path
+            if mode == "singleFP"
+            else engine.all_fastest_paths
+        )
+        result = benchmark.pedantic(
+            lambda: run(query.source, query.target, query.interval),
+            rounds=3,
+            iterations=1,
+        )
+        assert result.stats.expanded_paths > 0

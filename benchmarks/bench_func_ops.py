@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the function-algebra primitives.
+
+Every IntAllFastestPaths expansion performs one monotone composition, one
+dominance check and possibly one envelope fold, so these primitives bound
+the engine's per-expansion cost.  Tracked here so regressions in the
+algebra show up independently of workload effects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dominance import DominanceStore
+from repro.func.envelope import AnnotatedEnvelope
+from repro.func.monotone import MonotonePiecewiseLinear
+from repro.func.piecewise import PiecewiseLinearFunction, pointwise_minimum
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.patterns.travel_time import edge_arrival_function
+
+
+def _sawtooth(lo: float, hi: float, pieces: int, base: float) -> list[tuple[float, float]]:
+    step = (hi - lo) / pieces
+    return [
+        (lo + i * step, base + (i % 3) * 0.7 + i * 0.01)
+        for i in range(pieces + 1)
+    ]
+
+
+@pytest.fixture(scope="module")
+def monotone_pair():
+    inner = MonotonePiecewiseLinear(
+        [(x, x + 5.0 + (i % 4) * 0.2) for i, x in enumerate(range(0, 200, 10))]
+    )
+    lo, hi = inner.value_range
+    outer = MonotonePiecewiseLinear(
+        [
+            (lo - 1 + i * (hi - lo + 2) / 20, lo - 1 + i * (hi - lo + 2) / 18)
+            for i in range(21)
+        ]
+    )
+    return outer, inner
+
+
+class TestComposition:
+    def test_compose(self, benchmark, monotone_pair):
+        outer, inner = monotone_pair
+        result = benchmark(lambda: outer.compose(inner))
+        assert result.x_min == inner.x_min
+
+    def test_inverse(self, benchmark, monotone_pair):
+        outer, _ = monotone_pair
+        result = benchmark(outer.inverse)
+        assert result is not None
+
+
+class TestEnvelope:
+    def test_envelope_fold_20_functions(self, benchmark):
+        fns = [
+            PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 12, 5.0 + k * 0.1))
+            for k in range(20)
+        ]
+
+        def fold():
+            env = AnnotatedEnvelope(0.0, 100.0)
+            for k, fn in enumerate(fns):
+                env.add(fn, tag=k)
+            return env
+
+        env = benchmark(fold)
+        assert not env.is_empty
+
+    def test_pointwise_minimum(self, benchmark):
+        a = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 15, 5.0))
+        b = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 11, 5.3))
+        result = benchmark(lambda: pointwise_minimum(a, b))
+        assert result.min_value() <= a.min_value()
+
+
+class TestDominance:
+    def test_dominance_check(self, benchmark):
+        store = DominanceStore(0.0, 100.0)
+        for k in range(8):
+            store.add(
+                1,
+                MonotonePiecewiseLinear(
+                    [(x, x + 6.0 + k * 0.05 + (x % 17) * 0.01) for x in range(0, 101, 5)]
+                ),
+            )
+        probe = MonotonePiecewiseLinear(
+            [(x, x + 6.2) for x in range(0, 101, 10)]
+        )
+        result = benchmark(lambda: store.is_dominated(1, probe))
+        assert isinstance(result, bool)
+
+
+class TestEdgeFunctions:
+    def test_edge_arrival_function_build(self, benchmark):
+        cal = Calendar.single_category("d")
+        pattern = CapeCodPattern(
+            {
+                "d": DailySpeedPattern(
+                    [(0.0, 1.0), (420.0, 0.33), (540.0, 1.0), (960.0, 0.5), (1140.0, 1.0)]
+                )
+            }
+        )
+        result = benchmark(
+            lambda: edge_arrival_function(3.0, pattern, cal, 360.0, 720.0)
+        )
+        assert result.x_min <= 360.0

@@ -1,0 +1,170 @@
+"""E-T1 — the §6 comparison against constant speed-limit routing.
+
+Table 1 defines the CapeCod schema; §6's introduction reports that, under
+that schema, CapeCod-aware routing improves travel time by ~50% during rush
+hours over "the approach used by most commercial navigation systems", i.e.
+planning with speed = speed limit.  The paper also notes the improvement
+vanishes when there is no rush-hour speed differential.
+
+This bench drives both planners over the same topology (the constant-speed
+network shares every coordinate and length with the CapeCod one — same
+generator seed) at three leaving instants: morning rush, midday, and night.
+
+Expected shape: a substantial improvement at 8:00, little at 12:00 (only
+local-city evening patterns differ then — none at noon), none at 3:00.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import bench_queries, bench_scale, constant_speed_experiment
+from repro.analysis.report import format_table
+from repro.core.astar import fixed_departure_query
+from repro.timeutil import parse_clock
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+LEAVE_TIMES = [parse_clock("8:00"), parse_clock("12:00"), parse_clock("3:00")]
+LEAVE_LABELS = ["8:00 (rush)", "12:00 (midday)", "3:00 (night)"]
+
+
+def _distance_band() -> tuple[float, float]:
+    return (1.0, 3.0) if bench_scale() == "small" else (4.0, 8.0)
+
+
+class TestConstantSpeedComparison:
+    def test_sweep(
+        self, benchmark, medium_network, constant_network, record_table
+    ):
+        lo, hi = _distance_band()
+        rows = benchmark.pedantic(
+            lambda: constant_speed_experiment(
+                medium_network,
+                constant_network,
+                leave_times=LEAVE_TIMES,
+                leave_labels=LEAVE_LABELS,
+                count=bench_queries(default=8),
+                min_distance=lo,
+                max_distance=hi,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        record_table(
+            "table1_constant_speed",
+            format_table(
+                [
+                    "leave at",
+                    "constant-speed plan (min)",
+                    "CapeCod plan (min)",
+                    "improvement %",
+                ],
+                [
+                    [
+                        r.leave_clock,
+                        r.mean_constant_minutes,
+                        r.mean_capecod_minutes,
+                        r.improvement_percent,
+                    ]
+                    for r in rows
+                ],
+                title=(
+                    "§6 comparison vs constant speed-limit routing "
+                    f"({rows[0].queries} queries, d_euc {lo:g}-{hi:g} mi)"
+                ),
+            ),
+        )
+        by_label = {r.leave_clock: r for r in rows}
+        rush = by_label["8:00 (rush)"]
+        night = by_label["3:00 (night)"]
+        # CapeCod-aware routing can never lose (it optimizes true times).
+        for r in rows:
+            assert r.improvement_percent >= -1e-6
+        # The rush-hour improvement must dominate the night one, which is 0
+        # ("if there is no speed difference ... our method saves nothing").
+        assert night.improvement_percent == pytest.approx(0.0, abs=1e-6)
+        assert rush.improvement_percent > night.improvement_percent
+
+
+class TestCorridorCommutes:
+    """The paper's headline scenario: suburb-to-downtown commutes that the
+    constant-speed planner routes down the (jammed) inbound highway."""
+
+    def test_corridor_commutes(
+        self, benchmark, medium_network, constant_network, record_table
+    ):
+        from repro.core.astar import path_travel_time
+        import statistics
+
+        net = medium_network
+        min_x, min_y, max_x, max_y = net.bounding_box()
+        cx, cy = (min_x + max_x) / 2, (min_y + max_y) / 2
+        homes = [
+            n.id
+            for n in net.nodes()
+            if n.x < min_x + (max_x - min_x) * 0.15 and abs(n.y - cy) < 0.6
+        ][: bench_queries(default=10)]
+        office = min(
+            net.nodes(), key=lambda n: (n.x - cx) ** 2 + (n.y - cy) ** 2
+        ).id
+
+        def sweep():
+            rows = []
+            for leave, label in zip(LEAVE_TIMES, LEAVE_LABELS):
+                const_minutes, cape_minutes = [], []
+                for home in homes:
+                    planned = fixed_departure_query(
+                        constant_network, home, office, leave
+                    )
+                    const_minutes.append(
+                        path_travel_time(net, planned.path, leave)
+                    )
+                    cape_minutes.append(
+                        fixed_departure_query(net, home, office, leave).travel_time
+                    )
+                mean_const = statistics.fmean(const_minutes)
+                mean_cape = statistics.fmean(cape_minutes)
+                rows.append(
+                    [
+                        label,
+                        mean_const,
+                        mean_cape,
+                        100.0 * (mean_const - mean_cape) / mean_const,
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        record_table(
+            "table1_corridor_commutes",
+            format_table(
+                [
+                    "leave at",
+                    "constant-speed plan (min)",
+                    "CapeCod plan (min)",
+                    "improvement %",
+                ],
+                rows,
+                title=(
+                    "§6 comparison, corridor commutes "
+                    f"(suburb -> downtown, {len(homes)} homes)"
+                ),
+            ),
+        )
+        by_label = {row[0]: row[3] for row in rows}
+        assert by_label["8:00 (rush)"] > by_label["3:00 (night)"]
+
+
+class TestPlannerTiming:
+    def test_fixed_departure_rush(self, benchmark, medium_network):
+        band = _distance_band()
+        query = distance_band_queries(
+            medium_network, [band], 1, morning_rush_interval(), seed=55
+        )[band][0]
+        benchmark.pedantic(
+            lambda: fixed_departure_query(
+                medium_network, query.source, query.target, parse_clock("8:00")
+            ),
+            rounds=5,
+            iterations=1,
+        )

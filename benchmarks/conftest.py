@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every module regenerates one artifact of the paper's evaluation (see the
+experiment index in DESIGN.md).  Paper-style tables are printed to stdout
+(run with ``pytest benchmarks/ --benchmark-only -s`` to watch them live) and
+written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``  — ``small`` / ``medium`` (default) / ``paper``.
+* ``REPRO_BENCH_QUERIES`` — queries per configuration (paper: 100).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a report table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n", file=sys.stderr)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def medium_network():
+    """The shared benchmark network at the active scale."""
+    from repro.analysis.experiments import bench_network
+
+    return bench_network()
+
+
+@pytest.fixture(scope="session")
+def constant_network():
+    """Same topology, constant speed-limit patterns (Table 1 baseline)."""
+    from repro.analysis.experiments import bench_network
+
+    return bench_network(constant_speed=True)

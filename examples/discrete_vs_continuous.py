@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Why the continuous-time method wins: the Figure 10 experiment, in small.
+
+Compares IntAllFastestPaths against the discrete-time baseline (one A* per
+discretized leaving instant) on a rush-hour singleFP query, reporting the
+accuracy/cost trade-off the paper shows in Figure 10: coarse grids answer
+quickly but miss the true optimum; fine grids approach it at an exploding
+query cost; the continuous method is exact at a fixed cost.
+"""
+
+import time
+
+from repro import (
+    DiscreteTimeModel,
+    IntAllFastestPaths,
+    MetroConfig,
+    format_duration,
+    make_metro_network,
+)
+from repro.timeutil import TimeInterval, format_clock, parse_clock
+
+STEPS = [(60.0, "1 hour"), (10.0, "10 min"), (1.0, "1 min"), (1 / 6, "10 sec")]
+
+
+def main() -> None:
+    network = make_metro_network(MetroConfig(width=32, height=32, seed=7))
+    # Leaving window [9:00, 9:55] ends just before the inbound slowdown
+    # lifts at 10:00: the true optimum is to leave as late as possible, at
+    # an instant no coarse grid contains.
+    interval = TimeInterval(parse_clock("9:00"), parse_clock("9:55"))
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    cy = (min_y + max_y) / 2
+    source = min(
+        network.nodes(), key=lambda n: (n.x - min_x) ** 2 + (n.y - min_y) ** 2
+    ).id
+    target = min(
+        network.nodes(),
+        key=lambda n: (n.x - (min_x + max_x) / 2) ** 2 + (n.y - cy) ** 2,
+    ).id
+    print(f"Query: {source} -> {target} leaving within {interval}\n")
+
+    engine = IntAllFastestPaths(network)
+    start = time.perf_counter()
+    exact = engine.single_fastest_path(source, target, interval)
+    exact_seconds = time.perf_counter() - start
+    lo, hi = exact.optimal_intervals[0]
+    print(
+        f"continuous (CapeCod): {format_duration(exact.optimal_travel_time)}"
+        f" leaving within [{format_clock(lo)}, {format_clock(hi)}]"
+        f"  |  {exact_seconds * 1000:.0f} ms, one expansion"
+    )
+
+    model = DiscreteTimeModel(network)
+    print("\ndiscrete-time baseline:")
+    print(f"{'step':>8}  {'found':>10}  {'error':>8}  {'cost':>10}  {'vs exact':>9}")
+    for step, label in STEPS:
+        start = time.perf_counter()
+        approx = model.single_fastest_path(source, target, interval, step)
+        seconds = time.perf_counter() - start
+        error = approx.travel_time - exact.optimal_travel_time
+        print(
+            f"{label:>8}  {format_duration(approx.travel_time):>10}  "
+            f"{'+' + format_duration(error) if error > 1e-9 else 'exact':>8}  "
+            f"{seconds * 1000:>8.0f}ms  {seconds / exact_seconds:>8.1f}x"
+        )
+    print(
+        "\nThe discrete model needs one full A* per instant "
+        f"({approx.instants} instants at the finest grid) and still only "
+        "guarantees grid accuracy; the continuous method is exact once."
+    )
+
+
+if __name__ == "__main__":
+    main()

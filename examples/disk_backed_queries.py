@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Running queries straight off disk with the CCAM store.
+
+The paper assumes the road network is too large for memory and stores it
+with the Connectivity-Clustered Access Method (§2.2).  This example builds
+a CCAM database for a metro network (2048-byte pages, B+-tree over node
+ids), then runs the same allFP query against the in-memory network and the
+disk store, showing identical answers plus the I/O profile of the
+disk run: physical page reads, logical reads, and buffer hit rate.
+
+It also demonstrates the effect of the connectivity clustering: the same
+database packed purely by Hilbert order needs more physical reads per query.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CCAMStore,
+    IntAllFastestPaths,
+    MetroConfig,
+    NaiveEstimator,
+    TimeInterval,
+    make_metro_network,
+)
+from repro.timeutil import parse_clock
+
+
+def run_query(store_or_network, source, target, interval):
+    engine = IntAllFastestPaths(
+        store_or_network, NaiveEstimator(store_or_network)
+    )
+    return engine.all_fastest_paths(source, target, interval)
+
+
+def main() -> None:
+    network = make_metro_network(MetroConfig(width=28, height=28, seed=12))
+    source, target = 0, network.node_count - 1
+    interval = TimeInterval(parse_clock("7:00"), parse_clock("9:00"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for strategy in ("connectivity", "hilbert"):
+            path = Path(tmp) / f"metro-{strategy}.ccam"
+            store = CCAMStore.build(network, path, strategy=strategy)
+            info = store.build_info
+            print(
+                f"[{strategy:>12}] built {path.name}: "
+                f"{info['data_pages']} data pages + {info['tree_pages']} "
+                f"index pages, {info['clustering_quality']:.1%} of edges "
+                "intra-page"
+            )
+
+            store.drop_buffer()
+            store.reset_io_counters()
+            disk_result = run_query(store, source, target, interval)
+            print(
+                f"               allFP off disk: "
+                f"{len(disk_result.entries)} sub-interval(s), "
+                f"{disk_result.stats.page_reads} physical page reads, "
+                f"{store.logical_reads} logical, "
+                f"{store.buffer_hit_rate:.1%} buffer hit rate"
+            )
+            store.close()
+
+    memory_result = run_query(network, source, target, interval)
+    agreement = all(
+        abs(
+            memory_result.travel_time_at(t) - disk_result.travel_time_at(t)
+        ) < 1e-6
+        for t in interval.sample(13)
+    )
+    print(
+        f"\nmemory vs disk answers agree at 13 sampled instants: {agreement}"
+    )
+    print("The engine is identical code — only the network accessor differs.")
+
+
+if __name__ == "__main__":
+    main()

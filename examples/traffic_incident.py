@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Live traffic updates against a CCAM database.
+
+The paper's storage section requires "the appropriate operations to update
+the network" (§2.2) — the scenario behind systems like FATES [3], which
+refresh road-segment speed knowledge as traffic reports arrive.  This
+example:
+
+1. builds a CCAM database for a metro network,
+2. plans an allFP morning commute,
+3. receives an "incident report" — a crash crawls a stretch of the inbound
+   highway all day — and applies it to the *on-disk* network with
+   ``update_edge_pattern``,
+4. replans: the partition changes and the route detours around the crash,
+5. reopens the database read-only to show the update persisted.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CCAMStore,
+    CapeCodPattern,
+    DailySpeedPattern,
+    IntAllFastestPaths,
+    MetroConfig,
+    NaiveEstimator,
+    RoadClass,
+    TimeInterval,
+    format_duration,
+    make_metro_network,
+)
+from repro.patterns.categories import NON_WORKDAY, WORKDAY
+from repro.timeutil import parse_clock
+
+
+def crawl() -> CapeCodPattern:
+    """5 MPH, all day, every day — the incident pattern."""
+    daily = DailySpeedPattern.from_mph([(0.0, 5.0)])
+    return CapeCodPattern({WORKDAY: daily, NON_WORKDAY: daily})
+
+
+def plan(store, source, target, window) -> None:
+    engine = IntAllFastestPaths(store, NaiveEstimator(store))
+    result = engine.all_fastest_paths(source, target, window)
+    for entry in result:
+        mid = 0.5 * (entry.interval.start + entry.interval.end)
+        print(
+            f"    {entry.interval}: {len(entry.path) - 1} segments, "
+            f"~{format_duration(result.travel_time_at(mid))}"
+        )
+
+
+def main() -> None:
+    network = make_metro_network(MetroConfig(width=20, height=20, seed=99))
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    cx, cy = (min_x + max_x) / 2, (min_y + max_y) / 2
+    home = min(
+        network.nodes(), key=lambda n: (n.x - min_x) ** 2 + (n.y - cy) ** 2
+    ).id
+    office = min(
+        network.nodes(), key=lambda n: (n.x - cx) ** 2 + (n.y - cy) ** 2
+    ).id
+    window = TimeInterval(parse_clock("6:00"), parse_clock("8:00"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db = Path(tmp) / "metro.ccam"
+        CCAMStore.build(network, db).close()
+
+        with CCAMStore.open(db, writable=True) as store:
+            print(f"Commute {home} -> {office}, leaving {window}, before:\n")
+            plan(store, home, office, window)
+
+            # Incident: crawl on the first few inbound-highway segments
+            # along the corridor the commute uses.
+            incidents = 0
+            for nid in store.node_ids():
+                for edge in store.outgoing(nid):
+                    if (
+                        edge.road_class is RoadClass.INBOUND_HIGHWAY
+                        and store.location(nid)[0] < cx - 1.0
+                    ):
+                        store.update_edge_pattern(nid, edge.target, crawl())
+                        incidents += 1
+            print(
+                f"\n  !! incident: {incidents} western inbound-highway "
+                "segments now crawl at 5 MPH\n"
+            )
+            print("  after the update (fresh engine, same disk file):\n")
+            plan(store, home, office, window)
+
+        with CCAMStore.open(db) as reopened:
+            print("\nreopened read-only — update persisted:\n")
+            plan(reopened, home, office, window)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Experiment harness shared by the benchmark suite and the examples."""
+
+from .experiments import (
+    bench_network,
+    bench_scale,
+    fig9_experiment,
+    fig10_experiment,
+    constant_speed_experiment,
+    Fig9Row,
+    Fig10Row,
+    ConstantSpeedRow,
+)
+from .report import format_table
+from .validation import validate_allfp, validate_arrival_allfp, ValidationReport
+from .ascii_plot import render_function, render_partition
+
+__all__ = [
+    "bench_network",
+    "bench_scale",
+    "fig9_experiment",
+    "fig10_experiment",
+    "constant_speed_experiment",
+    "Fig9Row",
+    "Fig10Row",
+    "ConstantSpeedRow",
+    "format_table",
+    "validate_allfp",
+    "validate_arrival_allfp",
+    "ValidationReport",
+    "render_function",
+    "render_partition",
+]

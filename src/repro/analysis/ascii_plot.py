@@ -1,0 +1,106 @@
+"""Terminal rendering of piecewise-linear functions.
+
+No plotting library ships with this repository, so examples and debugging
+sessions render travel-time / lower-border functions as ASCII line charts.
+The x axis is labelled with clock times, the y axis with minutes.
+"""
+
+from __future__ import annotations
+
+from ..func.piecewise import PiecewiseLinearFunction
+from ..timeutil import format_clock
+
+
+def render_function(
+    fn: PiecewiseLinearFunction,
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+    marker: str = "*",
+) -> str:
+    """Render a function as an ASCII chart.
+
+    Samples the function on a ``width``-column grid (plus its breakpoints'
+    columns, so kinks are never missed) and draws one marker per column.
+    """
+    if width < 8 or height < 3:
+        raise ValueError("chart needs width >= 8 and height >= 3")
+    lo, hi = fn.domain
+    if hi - lo <= 0:
+        return f"{title or ''}\n(single instant {format_clock(lo)}: {fn(lo):.2f} min)"
+
+    columns: list[float] = []
+    for c in range(width):
+        x = lo + (hi - lo) * c / (width - 1)
+        columns.append(fn(x))
+    y_min = min(columns + [fn.min_value()])
+    y_max = max(columns + [fn.max_value()])
+    span = max(y_max - y_min, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for c, value in enumerate(columns):
+        row = int(round((value - y_min) / span * (height - 1)))
+        grid[height - 1 - row][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.1f}"), len(f"{y_min:.1f}"))
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:.1f}"
+        elif r == height - 1:
+            label = f"{y_min:.1f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row_cells)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    left = format_clock(lo, with_seconds=False)
+    right = format_clock(hi, with_seconds=False)
+    pad = max(width - len(left) - len(right), 1)
+    lines.append(f"{'':>{label_width}}  {left}{' ' * pad}{right}")
+    return "\n".join(lines)
+
+
+def render_partition(
+    entries,
+    width: int = 64,
+    labels: dict | None = None,
+) -> str:
+    """Render an allFP partition as a labelled segment bar.
+
+    ``entries`` is an iterable of objects with ``interval`` and ``path``
+    (e.g. :class:`~repro.core.results.AllFPEntry`); identical paths share a
+    letter.  ``labels`` optionally maps paths to single characters.
+    """
+    entries = list(entries)
+    if not entries:
+        return "(empty partition)"
+    lo = entries[0].interval.start
+    hi = entries[-1].interval.end
+    span = max(hi - lo, 1e-9)
+    letters = {}
+    if labels:
+        letters.update(labels)
+    next_letter = iter("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+    bar = []
+    for entry in entries:
+        if entry.path not in letters:
+            letters[entry.path] = next(next_letter)
+        # Cumulative positions keep the bar aligned; every piece gets at
+        # least one cell so hairline sub-intervals stay visible.
+        start_col = int(round((entry.interval.start - lo) / span * width))
+        end_col = int(round((entry.interval.end - lo) / span * width))
+        cells = max(end_col - start_col, 1)
+        bar.append(letters[entry.path] * cells)
+    legend = [
+        f"  {letter} = {' -> '.join(str(n) for n in path)}"
+        for path, letter in letters.items()
+    ]
+    left = format_clock(lo, with_seconds=False)
+    right = format_clock(hi, with_seconds=False)
+    bar_text = "".join(bar)
+    pad = max(width - len(left) - len(right), 1)
+    return "\n".join(
+        [f"|{bar_text}|", f" {left}{' ' * pad}{right}", *legend]
+    )

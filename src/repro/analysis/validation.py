@@ -1,0 +1,86 @@
+"""Independent validation of query answers.
+
+These helpers re-derive query answers from first principles — one
+fixed-departure time-dependent A* per sampled instant — and compare them
+against an engine's functional answer.  The test suite uses them as its
+oracle; they are exported so downstream users can spot-check answers on
+their own networks (e.g. after writing a custom generator or loader).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.astar import fixed_departure_query, path_arrival_time, path_travel_time
+from ..core.results import AllFPResult
+from ..timeutil import EPS
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one allFP answer against brute force."""
+
+    samples: int
+    max_travel_time_error: float
+    max_path_suboptimality: float
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.max_travel_time_error <= 1e-6
+            and self.max_path_suboptimality <= 1e-6
+        )
+
+
+def validate_allfp(
+    network, result: AllFPResult, samples: int = 25
+) -> ValidationReport:
+    """Check a (leaving-interval) allFP answer at sampled instants.
+
+    For each sampled leaving instant the lower border must equal the travel
+    time found by an independent fixed-departure search, and the path the
+    partition reports must actually achieve that travel time.
+    """
+    max_err = 0.0
+    max_subopt = 0.0
+    for instant in result.interval.sample(samples):
+        oracle = fixed_departure_query(
+            network, result.source, result.target, instant
+        )
+        border_value = result.travel_time_at(instant)
+        max_err = max(max_err, abs(border_value - oracle.travel_time))
+        chosen = result.path_at(instant)
+        achieved = path_travel_time(network, chosen, instant)
+        max_subopt = max(max_subopt, achieved - oracle.travel_time)
+    return ValidationReport(samples, max_err, max_subopt)
+
+
+def validate_arrival_allfp(
+    network, result, samples: int = 25
+) -> ValidationReport:
+    """Check an arrival-interval allFP answer at sampled instants.
+
+    For each sampled arrival instant ``a``: driving the reported path at
+    the reported departure must arrive exactly at ``a``, and no departure
+    later than the reported one may still make ``a`` (checked by probing a
+    slightly later fixed-departure search).
+    """
+    max_err = 0.0
+    max_subopt = 0.0
+    probe = max(result.interval.length / 1000.0, 0.01)
+    for a in result.interval.sample(samples):
+        path = result.path_at(a)
+        leave = result.departure_at(a)
+        arrival = path_arrival_time(network, path, leave)
+        max_err = max(max_err, abs(arrival - a))
+        max_err = max(
+            max_err, abs((a - leave) - result.travel_time_at(a))
+        )
+        later = fixed_departure_query(
+            network, result.source, result.target, leave + probe
+        )
+        # If a strictly later departure still arrives by `a`, the reported
+        # departure was not the latest — count the slack as suboptimality.
+        if later.arrival < a - EPS:
+            max_subopt = max(max_subopt, a - later.arrival)
+    return ValidationReport(samples, max_err, max_subopt)

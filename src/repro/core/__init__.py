@@ -1,0 +1,52 @@
+"""Fastest-path query engines (systems S7, S9, S10 in DESIGN.md).
+
+* :class:`~repro.core.engine.IntAllFastestPaths` — the paper's algorithm:
+  answers both the allFP query (a partition of the leaving-time interval
+  into sub-intervals, each with its fastest path) and the singleFP query
+  (the globally best leaving instant and its path).
+* :func:`~repro.core.astar.fixed_departure_query` — classical time-dependent
+  A* for a single leaving instant (the degenerate case; also the test
+  oracle).
+* :class:`~repro.core.discrete.DiscreteTimeModel` — the §3/§6.3 baseline:
+  one fixed-departure query per discretized instant.
+"""
+
+from .results import (
+    SearchStats,
+    FixedPathResult,
+    SingleFPResult,
+    AllFPEntry,
+    AllFPResult,
+)
+from .astar import fixed_departure_query
+from .engine import IntAllFastestPaths
+from .discrete import DiscreteTimeModel, DiscreteQueryResult
+from .arrival import (
+    ArrivalIntAllFastestPaths,
+    ArrivalAllFPResult,
+    reverse_boundary_estimator,
+)
+from .profile import arrival_profile, travel_time_profile
+from .knn import interval_knn, nearest_partition, KnnResult, KnnNeighbor, NearestEntry
+
+__all__ = [
+    "SearchStats",
+    "FixedPathResult",
+    "SingleFPResult",
+    "AllFPEntry",
+    "AllFPResult",
+    "fixed_departure_query",
+    "IntAllFastestPaths",
+    "DiscreteTimeModel",
+    "DiscreteQueryResult",
+    "ArrivalIntAllFastestPaths",
+    "ArrivalAllFPResult",
+    "reverse_boundary_estimator",
+    "arrival_profile",
+    "travel_time_profile",
+    "interval_knn",
+    "nearest_partition",
+    "KnnResult",
+    "KnnNeighbor",
+    "NearestEntry",
+]

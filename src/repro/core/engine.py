@@ -1,0 +1,286 @@
+"""IntAllFastestPaths — the paper's algorithm (§4.2–§4.6).
+
+The engine keeps a priority queue of expanded paths, each carrying a
+piecewise-linear arrival function over the query's leaving-time interval.
+Per iteration it pops the path whose ranking function ``T(l) + T_est`` has
+the smallest minimum, and either
+
+* folds it into the *lower border function* when it already ends at the
+  destination (the running pointwise minimum that becomes the allFP answer),
+  or
+* expands it along every outgoing edge, composing the path's arrival
+  function with the edge's (§4.4's combine step).
+
+It stops when the queue is exhausted or the cheapest queued entry can no
+longer improve the border anywhere — the paper's termination test: popped
+minima only grow while the border's maximum only shrinks.
+
+The first destination-ending path popped answers the singleFP query; the
+completed border answers the allFP query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..estimators.base import LowerBoundEstimator
+from ..estimators.naive import NaiveEstimator
+from ..exceptions import NoPathError, QueryError
+from ..func.envelope import AnnotatedEnvelope
+from ..func.monotone import MonotonePiecewiseLinear, identity
+from ..patterns.travel_time import edge_arrival_function
+from ..timeutil import EPS, TimeInterval
+from .dominance import DominanceStore
+from .labels import LabelQueue, PathLabel
+from .results import (
+    AllFPEntry,
+    AllFPResult,
+    SearchStats,
+    SingleFPResult,
+    merge_adjacent_entries,
+)
+
+#: Extra minutes of slack when materialising an edge's arrival function, so
+#: small window growth across labels reuses the cached function.
+_CACHE_SLACK = 180.0
+
+
+class SearchBudgetExceeded(QueryError):
+    """Raised when a query exceeds ``max_pops`` (see the pruning ablation)."""
+
+    def __init__(self, max_pops: int, stats: SearchStats) -> None:
+        super().__init__(f"search exceeded max_pops={max_pops}")
+        self.stats = stats
+
+
+class _EdgeFunctionCache:
+    """Per-edge memo of arrival functions over a growing time window.
+
+    Edge arrival functions depend only on the edge and the departure window,
+    not on the query, so repeated expansions (and repeated queries against
+    the same engine) reuse them.  Keyed by ``(source, target)`` because the
+    disk-backed accessor materialises fresh ``Edge`` objects per call.
+    """
+
+    __slots__ = ("_calendar", "_cache")
+
+    def __init__(self, calendar) -> None:
+        self._calendar = calendar
+        self._cache: dict[tuple[int, int], MonotonePiecewiseLinear] = {}
+
+    def arrival(self, edge, lo: float, hi: float) -> MonotonePiecewiseLinear:
+        provider = getattr(edge, "arrival_function", None)
+        if provider is not None:
+            # Overlay/shortcut edges supply their function directly (already
+            # materialised over the index horizon) — nothing to cache.
+            return provider(lo, hi)
+        key = (edge.source, edge.target)
+        cached = self._cache.get(key)
+        if cached is not None and cached.x_min <= lo and cached.x_max >= hi:
+            return cached
+        new_lo = min(lo, cached.x_min) if cached is not None else lo
+        new_hi = max(hi, cached.x_max) if cached is not None else hi
+        # Grow geometrically (capped at a day) so a sequence of slightly
+        # wider requests costs few rebuilds instead of one per request.
+        slack = min(max(_CACHE_SLACK, new_hi - new_lo), 1440.0)
+        fn = edge_arrival_function(
+            edge.distance,
+            edge.pattern,
+            self._calendar,
+            new_lo,
+            new_hi + slack,
+        )
+        self._cache[key] = fn
+        return fn
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class IntAllFastestPaths:
+    """The paper's query engine for allFP and singleFP queries.
+
+    Parameters
+    ----------
+    network:
+        Anything with the accessor surface (``calendar``, ``location``,
+        ``outgoing``) — an in-memory network or a CCAM store.
+    estimator:
+        A prepared-per-query :class:`~repro.estimators.base.LowerBoundEstimator`;
+        defaults to the naive Euclidean/v_max bound.
+    prune:
+        Enable per-node dominance pruning (see DESIGN.md; ``False`` runs the
+        paper's literal algorithm, which can blow up combinatorially).
+    max_pops:
+        Safety budget on queue pops; exceeded raises
+        :class:`SearchBudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        network,
+        estimator: LowerBoundEstimator | None = None,
+        prune: bool = True,
+        max_pops: int | None = None,
+    ) -> None:
+        self._network = network
+        self._estimator = estimator or NaiveEstimator(network)
+        self._prune = prune
+        self._max_pops = max_pops
+        self._edge_cache = _EdgeFunctionCache(network.calendar)
+
+    @property
+    def estimator(self) -> LowerBoundEstimator:
+        return self._estimator
+
+    # ------------------------------------------------------------------
+    def all_fastest_paths(
+        self, source: int, target: int, interval: TimeInterval
+    ) -> AllFPResult:
+        """Answer the allFP query: every fastest path, one per sub-interval."""
+        _single, all_fp = self._run(source, target, interval, single_only=False)
+        assert all_fp is not None
+        return all_fp
+
+    def single_fastest_path(
+        self, source: int, target: int, interval: TimeInterval
+    ) -> SingleFPResult:
+        """Answer the singleFP query: the best leaving instant and its path."""
+        single, _all = self._run(source, target, interval, single_only=True)
+        return single
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        single_only: bool,
+    ) -> tuple[SingleFPResult, AllFPResult | None]:
+        self._network.location(source)
+        self._network.location(target)
+        if source == target:
+            raise QueryError("source and target must differ")
+
+        estimator = self._estimator
+        estimator.prepare(target)
+        bounds: dict[int, float] = {}
+
+        def est(node: int) -> float:
+            cached = bounds.get(node)
+            if cached is None:
+                cached = estimator.bound(node)
+                bounds[node] = cached
+            return cached
+
+        lo, hi = interval.start, interval.end
+        stats = SearchStats()
+        io_before = getattr(self._network, "page_reads", 0)
+        queue = LabelQueue()
+        dominance = DominanceStore(lo, hi)
+        border = AnnotatedEnvelope(lo, hi)
+        expanded_nodes: set[int] = set()
+        first_target_label: PathLabel | None = None
+
+        queue.push(PathLabel.make((source,), identity(lo, hi), est(source)))
+        stats.labels_generated += 1
+
+        while queue:
+            label = queue.pop()
+            if label.f_min >= border.max_value() - EPS:
+                break  # §4.6 termination: nothing queued can improve the border
+            if label.end == target:
+                if first_target_label is None:
+                    first_target_label = label
+                    if single_only:
+                        break
+                border.add(label.travel_time_function(), tag=label.path)
+                continue
+            if self._prune and dominance.is_dominated(label.end, label.arrival):
+                stats.pruned_dominated += 1
+                continue
+            if self._prune:
+                dominance.add(label.end, label.arrival)
+
+            stats.expanded_paths += 1
+            expanded_nodes.add(label.end)
+            if self._max_pops is not None and stats.expanded_paths > self._max_pops:
+                stats.distinct_nodes = len(expanded_nodes)
+                stats.max_queue_size = queue.max_size
+                raise SearchBudgetExceeded(self._max_pops, stats)
+
+            arr_lo, arr_hi = label.arrival.value_range
+            for edge in self._network.outgoing(label.end):
+                if edge.target in label.path:
+                    continue  # FIFO makes non-simple paths never faster
+                stats.labels_generated += 1
+                edge_fn = self._edge_cache.arrival(edge, arr_lo, arr_hi)
+                new_arrival = edge_fn.compose(label.arrival).simplify()
+                if self._prune and dominance.is_dominated(
+                    edge.target, new_arrival
+                ):
+                    stats.pruned_dominated += 1
+                    continue
+                new_label = PathLabel.make(
+                    label.path + (edge.target,), new_arrival, est(edge.target)
+                )
+                if new_label.f_min >= border.max_value() - EPS:
+                    stats.pruned_bound += 1
+                    continue
+                queue.push(new_label)
+
+        stats.distinct_nodes = len(expanded_nodes)
+        stats.max_queue_size = queue.max_size
+        stats.page_reads = getattr(self._network, "page_reads", 0) - io_before
+
+        if first_target_label is None:
+            raise NoPathError(source, target)
+
+        single = self._build_single(
+            source, target, interval, first_target_label, stats
+        )
+        if single_only:
+            return (single, None)
+        return (single, self._build_all(source, target, interval, border, stats))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_single(
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        label: PathLabel,
+        stats: SearchStats,
+    ) -> SingleFPResult:
+        travel = label.travel_time_function()
+        return SingleFPResult(
+            source=source,
+            target=target,
+            interval=interval,
+            path=label.path,
+            travel_time_function=travel,
+            optimal_travel_time=travel.min_value(),
+            optimal_intervals=tuple(travel.argmin_intervals()),
+            stats=stats,
+        )
+
+    @staticmethod
+    def _build_all(
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        border: AnnotatedEnvelope,
+        stats: SearchStats,
+    ) -> AllFPResult:
+        entries = [
+            AllFPEntry(TimeInterval(start, end), path)
+            for start, end, path in border.partition()
+        ]
+        return AllFPResult(
+            source=source,
+            target=target,
+            interval=interval,
+            entries=merge_adjacent_entries(entries),
+            border=border.as_function(),
+            stats=stats,
+        )

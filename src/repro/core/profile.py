@@ -1,0 +1,125 @@
+"""One-to-all earliest-arrival profile search.
+
+``arrival_profile`` computes, for every node reachable from a source, the
+*earliest-arrival function* over a departure window — the pointwise minimum
+of the arrival functions of all paths from the source.  This is the
+label-correcting "profile search" of the time-dependent routing literature,
+built from the same two primitives as IntAllFastestPaths: monotone function
+composition (extend a profile along an edge) and pointwise minimum (merge
+alternative paths into one profile per node).
+
+Used by the hierarchical subsystem (S15 in DESIGN.md) to materialise
+boundary-to-boundary shortcut functions inside a network fragment, and by
+the time-interval kNN feature.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from ..exceptions import QueryError
+from ..func.monotone import MonotonePiecewiseLinear, identity
+from ..func.piecewise import pointwise_minimum
+from ..patterns.travel_time import edge_arrival_function
+from ..timeutil import TimeInterval
+
+#: Safety valve against non-terminating relaxation (cannot trigger on FIFO
+#: networks, where every relaxation strictly lowers a finite envelope).
+_MAX_RELAXATIONS_FACTOR = 2000
+
+
+def arrival_profile(
+    network,
+    source: int,
+    interval: TimeInterval,
+    node_filter: Callable[[int], bool] | None = None,
+    targets: Iterable[int] | None = None,
+) -> dict[int, MonotonePiecewiseLinear]:
+    """Earliest-arrival functions from ``source`` over a departure window.
+
+    Parameters
+    ----------
+    network:
+        Accessor-surface network (in-memory or CCAM store).
+    interval:
+        Departure window at the source.
+    node_filter:
+        Optional predicate restricting the search to a subgraph (e.g. one
+        fragment): only nodes satisfying it are entered.  The source is
+        always allowed.
+    targets:
+        Optional convenience: when given, the returned mapping is restricted
+        to these nodes (the computation itself is unaffected).
+
+    Returns
+    -------
+    dict node id -> monotone arrival function on ``interval``.  Unreachable
+    nodes are absent.
+    """
+    network.location(source)
+    calendar = network.calendar
+    lo, hi = interval.start, interval.end
+    profiles: dict[int, MonotonePiecewiseLinear] = {
+        source: identity(lo, hi)
+    }
+    queue: deque[int] = deque([source])
+    queued = {source}
+    relaxations = 0
+    budget = _MAX_RELAXATIONS_FACTOR * max(
+        1, getattr(network, "node_count", 1000)
+    )
+    edge_fn_cache: dict[tuple[int, int], MonotonePiecewiseLinear] = {}
+
+    while queue:
+        u = queue.popleft()
+        queued.discard(u)
+        profile_u = profiles[u]
+        arr_lo, arr_hi = profile_u.value_range
+        for edge in network.outgoing(u):
+            v = edge.target
+            if node_filter is not None and v != source and not node_filter(v):
+                continue
+            relaxations += 1
+            if relaxations > budget:
+                raise QueryError(
+                    "profile search exceeded its relaxation budget; "
+                    "is the network FIFO?"
+                )
+            key = (u, v)
+            edge_fn = edge_fn_cache.get(key)
+            if edge_fn is None or edge_fn.x_min > arr_lo or edge_fn.x_max < arr_hi:
+                edge_fn = edge_arrival_function(
+                    edge.distance, edge.pattern, calendar, arr_lo, arr_hi
+                )
+                edge_fn_cache[key] = edge_fn
+            candidate = edge_fn.compose(profile_u).simplify()
+            incumbent = profiles.get(v)
+            if incumbent is None:
+                profiles[v] = candidate
+            else:
+                improved = False
+                # Quick reject: candidate nowhere better at its breakpoints.
+                merged = pointwise_minimum(incumbent, candidate)
+                if not incumbent.equals_approx(merged, tol=1e-9):
+                    profiles[v] = MonotonePiecewiseLinear(
+                        merged.breakpoints
+                    ).simplify()
+                    improved = True
+                if not improved:
+                    continue
+            if v not in queued:
+                queue.append(v)
+                queued.add(v)
+
+    if targets is not None:
+        wanted = set(targets)
+        return {n: fn for n, fn in profiles.items() if n in wanted}
+    return profiles
+
+
+def travel_time_profile(
+    network, source: int, interval: TimeInterval, node: int
+) -> MonotonePiecewiseLinear | None:
+    """Convenience: the earliest-arrival function to one node, or None."""
+    return arrival_profile(network, source, interval, targets=[node]).get(node)

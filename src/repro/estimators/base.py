@@ -1,0 +1,48 @@
+"""Estimator interface shared by the query engines.
+
+An estimator provides, for every node ``n``, a number ``bound(n)`` that is
+guaranteed not to exceed the true fastest travel time from ``n`` to the
+current query target at *any* departure instant.  Admissibility (never
+overestimating) is what makes the A*-style search exact — the paper cites
+[15] for this requirement.
+
+Estimators are built once per network (possibly with heavy precomputation)
+and re-targeted cheaply per query via :meth:`prepare`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..exceptions import EstimatorError
+
+
+class LowerBoundEstimator(abc.ABC):
+    """Admissible lower bound on travel time (minutes) to a query target."""
+
+    def __init__(self) -> None:
+        self._target: int | None = None
+
+    @property
+    def target(self) -> int:
+        """The node all bounds currently refer to."""
+        if self._target is None:
+            raise EstimatorError("estimator not prepared; call prepare(target)")
+        return self._target
+
+    def prepare(self, target: int) -> None:
+        """Point the estimator at a query target.
+
+        Subclasses may override to do per-target work; they must call
+        ``super().prepare(target)``.
+        """
+        self._target = target
+
+    @abc.abstractmethod
+    def bound(self, node: int) -> float:
+        """Lower bound (minutes) on the fastest travel time node -> target."""
+
+    @property
+    def name(self) -> str:
+        """Short name used in experiment reports."""
+        return type(self).__name__

@@ -1,0 +1,196 @@
+"""The boundary-node lower-bound estimator (§5 of the paper).
+
+Precomputation (once per network):
+
+1. Partition space into grid cells (:class:`~repro.estimators.grid.GridPartition`).
+2. For every pair of cells ``(C1, C2)`` store the smallest shortest-path
+   weight from any boundary node of ``C1`` to any boundary node of ``C2``.
+   Computed with one multi-source Dijkstra per cell ("collapsing the set of
+   boundary nodes into a single start node", as the paper puts it).
+3. For every node, store the weight of the shortest path *to* the nearest
+   boundary node of its own cell and *from* the nearest boundary node of its
+   own cell (one extra reverse multi-source Dijkstra per cell).
+
+Query-time bound (paper's Figure 8):
+
+    ``est(n, e) = d(n, ∂C1) + D(C1, C2) + d(∂C2, e)``
+
+Theorem 1's argument: any n→e walk must leave C1 through some boundary node
+and enter C2 through some boundary node, and each of the three legs is at
+least our precomputed minimum.
+
+Two weight metrics are supported:
+
+* ``"distance"`` — the paper's presentation: edge weight = road length, and
+  the final sum is divided by ``v_max`` to yield a time bound.
+* ``"time"`` (default) — the paper's omitted "extension to travel time":
+  edge weight = length / (that edge's own fastest-ever speed), an optimistic
+  per-edge travel time.  Still admissible, and tighter wherever slow local
+  roads would otherwise be assumed drivable at highway speed.
+
+The returned bound is ``max(boundary_bound, naive_bound)`` — both are lower
+bounds, so their maximum is a (tighter) lower bound; this also covers the
+same-cell case the paper leaves unspecified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Literal
+
+from ..exceptions import EstimatorError
+from ..network.model import CapeCodNetwork
+from .base import LowerBoundEstimator
+from .grid import GridPartition
+from .naive import NaiveEstimator
+
+INF = float("inf")
+
+Metric = Literal["time", "distance"]
+
+
+def _multi_source_dijkstra(
+    adjacency: dict[int, list[tuple[int, float]]],
+    sources: Iterable[int],
+) -> dict[int, float]:
+    """Shortest weight from the *set* of sources to every reachable node."""
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heap.append((0.0, s))
+    heapq.heapify(heap)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        for v, w in adjacency.get(u, ()):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+class BoundaryNodeEstimator(LowerBoundEstimator):
+    """The paper's §5 precomputation-based estimator (``bdLB``).
+
+    Parameters
+    ----------
+    network:
+        The CapeCod network to precompute over.
+    nx, ny:
+        Grid resolution.  The paper does not report its resolution; 4 × 4 to
+        8 × 8 works well at Suffolk-County scale (see the E-A2 ablation).
+    metric:
+        ``"time"`` (default, optimistic per-edge travel time) or
+        ``"distance"`` (road length, divided by ``v_max`` at query time).
+    """
+
+    def __init__(
+        self,
+        network: CapeCodNetwork,
+        nx: int = 4,
+        ny: int = 4,
+        metric: Metric = "time",
+    ) -> None:
+        super().__init__()
+        if metric not in ("time", "distance"):
+            raise EstimatorError(f"unknown metric {metric!r}")
+        self._network = network
+        self._metric: Metric = metric
+        self._naive = NaiveEstimator(network)
+        self._grid = GridPartition(network, nx, ny)
+        self._v_max = network.max_speed()
+
+        forward: dict[int, list[tuple[int, float]]] = {}
+        backward: dict[int, list[tuple[int, float]]] = {}
+        for edge in network.edges():
+            w = self._edge_weight(edge.distance, edge.pattern.max_speed())
+            forward.setdefault(edge.source, []).append((edge.target, w))
+            backward.setdefault(edge.target, []).append((edge.source, w))
+
+        n_cells = self._grid.cell_count
+        #: weight of cheapest boundary(C1) -> boundary(C2) path, per cell pair
+        self._cell_pair: list[list[float]] = [
+            [INF] * n_cells for _ in range(n_cells)
+        ]
+        #: per node: weight to the nearest boundary node of its own cell
+        self._to_boundary: dict[int, float] = {}
+        #: per node: weight from the nearest boundary node of its own cell
+        self._from_boundary: dict[int, float] = {}
+
+        for cell in self._grid.cells():
+            if not cell.members:
+                continue
+            if not cell.boundary:
+                # A cell with members but no boundary can only occur in a
+                # disconnected network; leave its rows at infinity.
+                continue
+            dist_from = _multi_source_dijkstra(forward, cell.boundary)
+            dist_to = _multi_source_dijkstra(backward, cell.boundary)
+            for member in cell.members:
+                self._from_boundary[member] = dist_from.get(member, INF)
+                self._to_boundary[member] = dist_to.get(member, INF)
+            row = self._cell_pair[cell.index]
+            for other in self._grid.cells():
+                if other.index == cell.index or not other.boundary:
+                    continue
+                best = min(
+                    (dist_from.get(b, INF) for b in other.boundary),
+                    default=INF,
+                )
+                row[other.index] = best
+
+    # ------------------------------------------------------------------
+    def _edge_weight(self, distance: float, max_speed: float) -> float:
+        if self._metric == "time":
+            return distance / max_speed
+        return distance
+
+    def _as_minutes(self, weight: float) -> float:
+        if weight == INF:
+            return INF
+        if self._metric == "time":
+            return weight
+        return weight / self._v_max
+
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> GridPartition:
+        return self._grid
+
+    @property
+    def metric(self) -> Metric:
+        return self._metric
+
+    def prepare(self, target: int) -> None:
+        super().prepare(target)
+        self._naive.prepare(target)
+        self._target_cell = self._grid.cell_of_node(target)
+        self._target_from_boundary = self._from_boundary.get(target, INF)
+
+    def boundary_bound(self, node: int) -> float:
+        """The raw §5 bound in minutes (``inf`` when inapplicable)."""
+        target_cell = self._target_cell
+        node_cell = self._grid.cell_of_node(node)
+        if node_cell == target_cell:
+            return INF  # same-cell case: the paper's formula does not apply
+        leg1 = self._to_boundary.get(node, INF)
+        leg2 = self._cell_pair[node_cell][target_cell]
+        leg3 = self._target_from_boundary
+        total = leg1 + leg2 + leg3
+        return self._as_minutes(total)
+
+    def bound(self, node: int) -> float:
+        if node == self.target:
+            return 0.0
+        naive = self._naive.bound(node)
+        boundary = self.boundary_bound(node)
+        if boundary == INF:
+            return naive
+        return max(naive, boundary)
+
+    @property
+    def name(self) -> str:
+        return "bdLB"

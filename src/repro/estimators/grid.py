@@ -1,0 +1,105 @@
+"""Non-overlapping grid partitioning of space (step 1 of the §5 estimator).
+
+The paper partitions space into non-overlapping cells (citing SETI [2] for
+the idea) and defines a *boundary node* of a cell as a node directly linked
+to a node of a different cell.  :class:`GridPartition` implements a regular
+``nx × ny`` grid over the network's bounding box and computes each cell's
+member and boundary node sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import EstimatorError
+from ..network.model import CapeCodNetwork
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell with its member and boundary node ids."""
+
+    index: int
+    members: frozenset[int]
+    boundary: frozenset[int]
+
+
+class GridPartition:
+    """A regular grid over the network's bounding box.
+
+    Every node belongs to exactly one cell (ties on cell borders go to the
+    cell with the larger index, via half-open binning).  A node is a
+    *boundary node* of its cell when it has an incoming or outgoing edge
+    whose other endpoint lies in a different cell.
+    """
+
+    def __init__(self, network: CapeCodNetwork, nx: int, ny: int) -> None:
+        if nx < 1 or ny < 1:
+            raise EstimatorError("grid needs nx >= 1 and ny >= 1")
+        self._nx = nx
+        self._ny = ny
+        min_x, min_y, max_x, max_y = network.bounding_box()
+        # Grow the box a hair so max-coordinate nodes bin into the last cell.
+        pad_x = max((max_x - min_x) * 1e-9, 1e-12)
+        pad_y = max((max_y - min_y) * 1e-9, 1e-12)
+        self._min_x, self._min_y = min_x, min_y
+        self._step_x = (max_x - min_x + pad_x) / nx
+        self._step_y = (max_y - min_y + pad_y) / ny
+
+        self._cell_of: dict[int, int] = {}
+        members: dict[int, set[int]] = {i: set() for i in range(nx * ny)}
+        for node in network.nodes():
+            idx = self.cell_index(node.x, node.y)
+            self._cell_of[node.id] = idx
+            members[idx].add(node.id)
+
+        boundary: dict[int, set[int]] = {i: set() for i in range(nx * ny)}
+        for edge in network.edges():
+            cu = self._cell_of[edge.source]
+            cv = self._cell_of[edge.target]
+            if cu != cv:
+                boundary[cu].add(edge.source)
+                boundary[cv].add(edge.target)
+
+        self._cells = tuple(
+            Cell(i, frozenset(members[i]), frozenset(boundary[i]))
+            for i in range(nx * ny)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cell_count(self) -> int:
+        return self._nx * self._ny
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._nx, self._ny)
+
+    def cell_index(self, x: float, y: float) -> int:
+        """The cell index containing point ``(x, y)`` (clamped to the grid)."""
+        cx = int((x - self._min_x) / self._step_x) if self._step_x > 0 else 0
+        cy = int((y - self._min_y) / self._step_y) if self._step_y > 0 else 0
+        cx = min(max(cx, 0), self._nx - 1)
+        cy = min(max(cy, 0), self._ny - 1)
+        return cy * self._nx + cx
+
+    def cell_of_node(self, node_id: int) -> int:
+        """The cell index of a node."""
+        try:
+            return self._cell_of[node_id]
+        except KeyError:
+            raise EstimatorError(f"node {node_id} not in partition") from None
+
+    def cell(self, index: int) -> Cell:
+        return self._cells[index]
+
+    def cells(self) -> tuple[Cell, ...]:
+        return self._cells
+
+    def boundary_nodes(self, index: int) -> frozenset[int]:
+        """Boundary node ids of a cell."""
+        return self._cells[index].boundary
+
+    def non_empty_cells(self) -> list[Cell]:
+        """Cells that actually contain nodes."""
+        return [c for c in self._cells if c.members]

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class.  The concrete
+subclasses mirror the subsystems described in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FunctionDomainError(ReproError):
+    """An operation referenced a point or interval outside a function's domain."""
+
+
+class FunctionShapeError(ReproError):
+    """A piecewise function was constructed from malformed breakpoints."""
+
+
+class NotMonotoneError(FunctionShapeError):
+    """A function required to be (strictly) nondecreasing is not."""
+
+
+class PatternError(ReproError):
+    """A CapeCod speed pattern or day-category set is malformed."""
+
+
+class NetworkError(ReproError):
+    """A road network is malformed or an operation referenced a missing element."""
+
+
+class NodeNotFoundError(NetworkError, KeyError):
+    """A node id was not present in the network or storage layer."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id} not found")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(NetworkError, KeyError):
+    """An edge (u, v) was not present in the network."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"edge {source}->{target} not found")
+        self.source = source
+        self.target = target
+
+
+class NoPathError(ReproError):
+    """No path exists from the source to the destination node."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"no path from node {source} to node {target}")
+        self.source = source
+        self.target = target
+
+
+class QueryError(ReproError):
+    """A fastest-path query was malformed (bad interval, equal endpoints, ...)."""
+
+
+class StorageError(ReproError):
+    """The CCAM storage layer detected corruption or misuse."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit into a single CCAM page."""
+
+
+class EstimatorError(ReproError):
+    """A lower-bound estimator was queried before being built, or misconfigured."""

@@ -1,0 +1,26 @@
+"""Piecewise-linear function algebra (system S1 in DESIGN.md).
+
+The paper's continuous-time machinery rests on three operations over
+piecewise-linear (PL) functions of the leaving time:
+
+* evaluating / adding / restricting PL functions
+  (:class:`~repro.func.piecewise.PiecewiseLinearFunction`),
+* composing monotone PL *arrival* functions — the paper's §4.4 path-expansion
+  combine step (:class:`~repro.func.monotone.MonotonePiecewiseLinear`),
+* maintaining the annotated lower envelope of travel-time functions — the
+  paper's §4.6 *lower border function*
+  (:class:`~repro.func.envelope.AnnotatedEnvelope`).
+"""
+
+from .piecewise import PiecewiseLinearFunction, LinearPiece
+from .monotone import MonotonePiecewiseLinear, identity
+from .envelope import AnnotatedEnvelope, EnvelopePiece
+
+__all__ = [
+    "PiecewiseLinearFunction",
+    "LinearPiece",
+    "MonotonePiecewiseLinear",
+    "identity",
+    "AnnotatedEnvelope",
+    "EnvelopePiece",
+]

@@ -1,0 +1,303 @@
+"""Annotated lower envelope — the paper's *lower border function* (§4.6).
+
+As paths reaching the destination are popped from the priority queue, their
+travel-time functions are folded into a running pointwise minimum.  Each
+linear piece of the envelope remembers *which* path produced it, so the final
+envelope directly yields the allFP answer: a partition of the query interval
+into sub-intervals, each labelled with its fastest path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..exceptions import FunctionDomainError
+from .piecewise import XTOL, YTOL, LinearPiece, PiecewiseLinearFunction
+
+
+@dataclass(frozen=True)
+class EnvelopePiece:
+    """One linear piece of the envelope, annotated with its producing tag."""
+
+    x_start: float
+    x_end: float
+    slope: float
+    intercept: float
+    tag: Hashable
+
+    def value_at(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    @property
+    def y_start(self) -> float:
+        return self.value_at(self.x_start)
+
+    @property
+    def y_end(self) -> float:
+        return self.value_at(self.x_end)
+
+
+class AnnotatedEnvelope:
+    """Pointwise minimum of piecewise-linear functions with piece provenance.
+
+    The envelope lives on a fixed closed domain ``[lo, hi]`` (the query's
+    leaving-time interval ``I``).  Before any function is added it is
+    *empty* — its value is +infinity everywhere, so
+    :meth:`max_value` returns ``inf`` and the engine keeps searching.
+    Every function added must span the whole domain.
+    """
+
+    __slots__ = ("_lo", "_hi", "_pieces", "_ends", "_max_cache", "_min_cache")
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if hi < lo - XTOL:
+            raise FunctionDomainError(f"empty envelope domain [{lo}, {hi}]")
+        self._lo = float(lo)
+        self._hi = float(hi)
+        self._pieces: list[EnvelopePiece] = []
+        self._ends: list[float] | None = None  # bisect index over piece ends
+        self._max_cache: float | None = None
+        self._min_cache: float | None = None
+
+    def _invalidate(self) -> None:
+        self._ends = None
+        self._max_cache = None
+        self._min_cache = None
+
+    def _piece_index(self, x: float) -> int:
+        """Index of the piece covering ``x`` (pieces tile the domain)."""
+        if self._ends is None:
+            self._ends = [p.x_end for p in self._pieces]
+        i = bisect.bisect_left(self._ends, x - XTOL)
+        return min(i, len(self._pieces) - 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> tuple[float, float]:
+        return (self._lo, self._hi)
+
+    @property
+    def is_empty(self) -> bool:
+        """True before the first function has been added."""
+        return not self._pieces
+
+    def pieces(self) -> tuple[EnvelopePiece, ...]:
+        """The envelope's linear pieces, left to right."""
+        return tuple(self._pieces)
+
+    def tags(self) -> list[Hashable]:
+        """Distinct tags appearing on the envelope, in left-to-right order."""
+        seen: list[Hashable] = []
+        for piece in self._pieces:
+            if not seen or seen[-1] != piece.tag:
+                if piece.tag not in seen:
+                    seen.append(piece.tag)
+        return seen
+
+    # ------------------------------------------------------------------
+    def value_at(self, x: float) -> float:
+        """Envelope value at ``x`` (``inf`` when empty)."""
+        if x < self._lo - XTOL or x > self._hi + XTOL:
+            raise FunctionDomainError(
+                f"x={x} outside envelope domain [{self._lo}, {self._hi}]"
+            )
+        if not self._pieces:
+            return math.inf
+        return self._pieces[self._piece_index(x)].value_at(x)
+
+    def tag_at(self, x: float) -> Hashable:
+        """Tag of the piece covering ``x`` (ties go to the earlier piece)."""
+        if not self._pieces:
+            raise FunctionDomainError("envelope is empty")
+        return self._pieces[self._piece_index(x)].tag
+
+    def max_value(self) -> float:
+        """Maximum of the envelope over the domain (``inf`` when empty).
+
+        This is the termination threshold of IntAllFastestPaths: once the
+        cheapest queue entry exceeds it, no future path can improve any
+        sub-interval of the answer.  Cached between mutations — the engine
+        consults it on every pop.
+        """
+        if not self._pieces:
+            return math.inf
+        if self._max_cache is None:
+            self._max_cache = max(
+                max(p.y_start, p.y_end) for p in self._pieces
+            )
+        return self._max_cache
+
+    def min_value(self) -> float:
+        """Minimum of the envelope over the domain (``inf`` when empty)."""
+        if not self._pieces:
+            return math.inf
+        if self._min_cache is None:
+            self._min_cache = min(
+                min(p.y_start, p.y_end) for p in self._pieces
+            )
+        return self._min_cache
+
+    # ------------------------------------------------------------------
+    def _boundaries(self, fn: PiecewiseLinearFunction) -> list[float]:
+        xs = {self._lo, self._hi}
+        for piece in self._pieces:
+            xs.add(piece.x_start)
+            xs.add(piece.x_end)
+        for x, _y in fn.breakpoints:
+            if self._lo - XTOL <= x <= self._hi + XTOL:
+                xs.add(min(max(x, self._lo), self._hi))
+        ordered = sorted(xs)
+        merged: list[float] = []
+        for x in ordered:
+            if not merged or x > merged[-1] + XTOL:
+                merged.append(x)
+        if len(merged) == 1:
+            merged.append(merged[0])
+        return merged
+
+    def _line_of_env(self, x0: float, x1: float) -> LinearPiece | None:
+        """Current envelope line covering the elementary interval [x0, x1]."""
+        if not self._pieces:
+            return None
+        mid = 0.5 * (x0 + x1)
+        for piece in self._pieces:
+            if mid <= piece.x_end + XTOL:
+                return LinearPiece(x0, x1, piece.slope, piece.intercept)
+        last = self._pieces[-1]
+        return LinearPiece(x0, x1, last.slope, last.intercept)
+
+    def add(self, fn: PiecewiseLinearFunction, tag: Hashable) -> bool:
+        """Fold ``fn`` into the envelope; return True when it improved anywhere.
+
+        ``fn`` must span the envelope's full domain.  Ties (equal value) keep
+        the incumbent piece, matching the paper's convention that the first
+        identified fastest path owns its sub-interval.
+        """
+        if fn.x_min > self._lo + 1e-6 or fn.x_max < self._hi - 1e-6:
+            raise FunctionDomainError(
+                f"function domain {fn.domain} does not cover "
+                f"envelope domain [{self._lo}, {self._hi}]"
+            )
+        boundaries = self._boundaries(fn)
+        new_pieces: list[EnvelopePiece] = []
+        improved = False
+
+        def emit(x0: float, x1: float, line: LinearPiece, the_tag: Hashable) -> None:
+            if x1 - x0 <= XTOL and new_pieces:
+                return
+            if (
+                new_pieces
+                and new_pieces[-1].tag == the_tag
+                and abs(new_pieces[-1].slope - line.slope) <= 1e-9
+                and abs(new_pieces[-1].intercept - line.intercept) <= 1e-6
+            ):
+                prev = new_pieces[-1]
+                new_pieces[-1] = EnvelopePiece(
+                    prev.x_start, x1, prev.slope, prev.intercept, the_tag
+                )
+                return
+            new_pieces.append(
+                EnvelopePiece(x0, x1, line.slope, line.intercept, the_tag)
+            )
+
+        for i in range(len(boundaries) - 1):
+            x0, x1 = boundaries[i], boundaries[i + 1]
+            mid = 0.5 * (x0 + x1)
+            fn_piece = fn.piece_at(min(max(mid, fn.x_min), fn.x_max))
+            env_piece = self._line_of_env(x0, x1)
+            if env_piece is None:
+                emit(x0, x1, fn_piece, tag)
+                improved = True
+                continue
+            d0 = fn_piece.value_at(x0) - env_piece.value_at(x0)
+            d1 = fn_piece.value_at(x1) - env_piece.value_at(x1)
+            if d0 >= -YTOL and d1 >= -YTOL:
+                emit(x0, x1, env_piece, self._tag_for_interval(x0, x1))
+            elif d0 <= YTOL and d1 <= YTOL:
+                # New function at or below incumbent: only claim the piece
+                # when strictly better somewhere on it.
+                if d0 < -YTOL or d1 < -YTOL:
+                    emit(x0, x1, fn_piece, tag)
+                    improved = True
+                else:
+                    emit(x0, x1, env_piece, self._tag_for_interval(x0, x1))
+            else:
+                denom = fn_piece.slope - env_piece.slope
+                x_cross = (
+                    (env_piece.intercept - fn_piece.intercept) / denom
+                    if abs(denom) > 1e-15
+                    else mid
+                )
+                x_cross = min(max(x_cross, x0), x1)
+                env_tag = self._tag_for_interval(x0, x1)
+                if d0 < 0:
+                    emit(x0, x_cross, fn_piece, tag)
+                    emit(x_cross, x1, env_piece, env_tag)
+                else:
+                    emit(x0, x_cross, env_piece, env_tag)
+                    emit(x_cross, x1, fn_piece, tag)
+                improved = True
+        if len(boundaries) == 2 and boundaries[1] - boundaries[0] <= XTOL:
+            # Degenerate single-instant domain.
+            x = boundaries[0]
+            new_val = fn(min(max(x, fn.x_min), fn.x_max))
+            old_val = self.value_at(x)
+            if new_val < old_val - YTOL:
+                new_pieces = [EnvelopePiece(x, x, 0.0, new_val, tag)]
+                improved = True
+            elif not self._pieces:
+                new_pieces = [EnvelopePiece(x, x, 0.0, new_val, tag)]
+                improved = True
+            else:
+                new_pieces = list(self._pieces)
+        self._pieces = new_pieces
+        self._invalidate()
+        return improved
+
+    def _tag_for_interval(self, x0: float, x1: float) -> Hashable:
+        mid = 0.5 * (x0 + x1)
+        return self.tag_at(min(max(mid, self._lo), self._hi))
+
+    # ------------------------------------------------------------------
+    def as_function(self) -> PiecewiseLinearFunction:
+        """The envelope as a plain piecewise-linear function."""
+        if not self._pieces:
+            raise FunctionDomainError("envelope is empty")
+        pts: list[tuple[float, float]] = []
+        for piece in self._pieces:
+            if not pts or piece.x_start > pts[-1][0] + XTOL:
+                pts.append((piece.x_start, piece.y_start))
+            pts.append((piece.x_end, piece.y_end))
+        return PiecewiseLinearFunction(pts)
+
+    def partition(self) -> list[tuple[float, float, Hashable]]:
+        """The allFP partition: maximal runs ``(start, end, tag)``.
+
+        Adjacent pieces owned by the same tag are merged; zero-width runs are
+        dropped (except for a degenerate single-instant domain).
+        """
+        if not self._pieces:
+            return []
+        runs: list[tuple[float, float, Hashable]] = []
+        for piece in self._pieces:
+            if runs and runs[-1][2] == piece.tag:
+                runs[-1] = (runs[-1][0], piece.x_end, piece.tag)
+            else:
+                runs.append((piece.x_start, piece.x_end, piece.tag))
+        if len(runs) > 1:
+            runs = [r for r in runs if r[1] - r[0] > XTOL]
+        return runs
+
+    def merge_tags(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Rewrite tags (old -> new); used to canonicalise path labels."""
+        mapping = dict(pairs)
+        self._pieces = [
+            EnvelopePiece(
+                p.x_start, p.x_end, p.slope, p.intercept, mapping.get(p.tag, p.tag)
+            )
+            for p in self._pieces
+        ]
+        self._invalidate()

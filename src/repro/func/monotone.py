@@ -1,0 +1,181 @@
+"""Monotone piecewise-linear functions — arrival-time functions.
+
+The paper expands a path ``s ⇒ n`` by an edge ``n → n_j`` by combining the
+path's travel-time function with the edge's (§4.4).  Internally we phrase the
+same operation as *composition of arrival functions*:
+
+    ``A_path(l)`` = time one reaches ``n`` when leaving ``s`` at ``l``
+    ``A_edge(t)`` = time one reaches ``n_j`` when leaving ``n`` at ``t``
+    ``A_new = A_edge ∘ A_path``
+
+The breakpoints the paper derives case-by-case (their Figure 5: the instants
+where either input function changes line) are exactly the breakpoints of this
+composition: the breakpoints of ``A_path`` plus the preimages under ``A_path``
+of the breakpoints of ``A_edge``.  FIFO (proved for the flow-speed model in
+[19]) means every arrival function is nondecreasing, which this class
+enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..exceptions import FunctionDomainError, NotMonotoneError
+from .piecewise import XTOL, PiecewiseLinearFunction
+
+#: How much local decrease we forgive as floating-point noise.
+_MONOTONE_TOL = 1e-7
+
+
+class MonotonePiecewiseLinear(PiecewiseLinearFunction):
+    """A continuous, nondecreasing piecewise-linear function.
+
+    Raises :class:`~repro.exceptions.NotMonotoneError` when constructed from
+    decreasing breakpoints.  In a FIFO network every arrival function is
+    strictly increasing; tiny numerical decreases up to ``1e-7`` are snapped
+    flat rather than rejected.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, points: Iterable[tuple[float, float]]) -> None:
+        pts = list(points)
+        fixed: list[tuple[float, float]] = []
+        for x, y in pts:
+            if fixed and y < fixed[-1][1]:
+                if y < fixed[-1][1] - _MONOTONE_TOL:
+                    raise NotMonotoneError(
+                        f"arrival function decreases at x={x}: "
+                        f"{fixed[-1][1]} -> {y}"
+                    )
+                y = fixed[-1][1]
+            fixed.append((x, y))
+        super().__init__(fixed)
+
+    # ------------------------------------------------------------------
+    @property
+    def y_min(self) -> float:
+        """Smallest value (attained at the left endpoint)."""
+        return self._ys[0]
+
+    @property
+    def y_max(self) -> float:
+        """Largest value (attained at the right endpoint)."""
+        return self._ys[-1]
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        """The closed range ``[f(x_min), f(x_max)]``."""
+        return (self._ys[0], self._ys[-1])
+
+    # ------------------------------------------------------------------
+    def preimage_points(self, y: float) -> list[float]:
+        """Abscissae where the function attains ``y``.
+
+        For a nondecreasing function the preimage of a value is a (possibly
+        empty, possibly degenerate) closed interval; both endpoints are
+        returned.  Used to find the "trickier case" breakpoints of §4.4 —
+        departure times at which a *downstream* function changes line.
+        """
+        if y < self._ys[0] - XTOL or y > self._ys[-1] + XTOL:
+            return []
+        ys = self._ys
+        xs = self._xs
+        result: list[float] = []
+        # Leftmost crossing.
+        for i in range(len(xs) - 1):
+            if ys[i] <= y + XTOL and ys[i + 1] >= y - XTOL:
+                if ys[i + 1] - ys[i] <= XTOL:
+                    result.append(xs[i])
+                else:
+                    t = (y - ys[i]) / (ys[i + 1] - ys[i])
+                    result.append(xs[i] + t * (xs[i + 1] - xs[i]))
+                break
+        else:
+            if len(xs) == 1 and abs(ys[0] - y) <= XTOL:
+                return [xs[0]]
+            return []
+        # Rightmost crossing.
+        for i in range(len(xs) - 2, -1, -1):
+            if ys[i] <= y + XTOL and ys[i + 1] >= y - XTOL:
+                if ys[i + 1] - ys[i] <= XTOL:
+                    right = xs[i + 1]
+                else:
+                    t = (y - ys[i]) / (ys[i + 1] - ys[i])
+                    right = xs[i] + t * (xs[i + 1] - xs[i])
+                if right > result[0] + XTOL:
+                    result.append(right)
+                break
+        return result
+
+    def inverse(self) -> "MonotonePiecewiseLinear":
+        """The inverse function (requires strict increase).
+
+        Arrival functions on networks with positive speeds are strictly
+        increasing, so the inverse is well defined; a flat segment would make
+        the inverse discontinuous and raises.
+        """
+        for i in range(len(self._xs) - 1):
+            if self._ys[i + 1] - self._ys[i] <= XTOL and (
+                self._xs[i + 1] - self._xs[i] > XTOL
+            ):
+                raise NotMonotoneError(
+                    "cannot invert: function is flat on "
+                    f"[{self._xs[i]}, {self._xs[i + 1]}]"
+                )
+        return MonotonePiecewiseLinear(list(zip(self._ys, self._xs)))
+
+    def compose(self, inner: "MonotonePiecewiseLinear") -> "MonotonePiecewiseLinear":
+        """Return ``self ∘ inner`` — the §4.4 path-expansion combine step.
+
+        ``inner`` is the arrival function of the prefix path and ``self`` is
+        the arrival function of the next edge; the result maps a leaving time
+        at the path's source to the arrival time after traversing the edge.
+        ``inner``'s range must be contained in ``self``'s domain.
+        """
+        lo, hi = inner.value_range
+        if lo < self.x_min - 1e-6 or hi > self.x_max + 1e-6:
+            raise FunctionDomainError(
+                f"inner range [{lo}, {hi}] not within outer domain {self.domain}"
+            )
+        xs: list[float] = list(inner._xs)
+        for by, _bx in zip(self._xs, self._ys):
+            # by is a breakpoint abscissa of the outer function; find the
+            # departure times at which the prefix path delivers us there.
+            if by <= lo + XTOL or by >= hi - XTOL:
+                continue
+            xs.extend(inner.preimage_points(by))
+        xs.sort()
+        merged: list[float] = []
+        for x in xs:
+            if not merged or x > merged[-1] + XTOL:
+                merged.append(x)
+        pts = []
+        for x in merged:
+            mid = inner(x)
+            mid = min(max(mid, self.x_min), self.x_max)
+            pts.append((x, self(mid)))
+        return MonotonePiecewiseLinear(pts)
+
+    # ------------------------------------------------------------------
+    # Overrides returning the monotone type where closure holds.
+    # ------------------------------------------------------------------
+    def restrict(self, lo: float, hi: float) -> "MonotonePiecewiseLinear":
+        base = super().restrict(lo, hi)
+        return MonotonePiecewiseLinear(base.breakpoints)
+
+    def simplify(self, tol: float = 1e-9) -> "MonotonePiecewiseLinear":
+        base = super().simplify(tol)
+        return MonotonePiecewiseLinear(base.breakpoints)
+
+    def shift_x(self, dx: float) -> "MonotonePiecewiseLinear":
+        return MonotonePiecewiseLinear(
+            [(x + dx, y) for x, y in self.breakpoints]
+        )
+
+
+def identity(lo: float, hi: float) -> MonotonePiecewiseLinear:
+    """The identity arrival function on ``[lo, hi]`` (zero-length path)."""
+    if hi - lo <= XTOL:
+        return MonotonePiecewiseLinear([(lo, lo)])
+    return MonotonePiecewiseLinear([(lo, lo), (hi, hi)])

@@ -1,0 +1,26 @@
+"""Hierarchical fastest-path computation (system S15 in DESIGN.md).
+
+§6.1 of the paper argues its algorithm "can easily scale in larger networks
+by employing hierarchical network partitioning [9, 7, 8, 16] … applying our
+algorithm few more times (twice at each level of the hierarchy and once at
+the top level)".  This package implements that two-level scheme:
+
+* the network is partitioned into spatial *fragments* (the same grid
+  machinery as the boundary-node estimator),
+* for every fragment, exact earliest-arrival **shortcut functions** between
+  its boundary nodes are precomputed with profile search
+  (:func:`~repro.core.profile.arrival_profile`) restricted to the fragment,
+* a query runs the ordinary IntAllFastestPaths engine over a *hybrid query
+  graph*: the source and target fragments at full detail, everything else
+  collapsed to boundary nodes connected by crossing edges and shortcuts.
+
+Travel times are exact (each shortcut is the pointwise minimum over all
+intra-fragment paths); reported paths contain shortcut hops, which
+:meth:`HierarchicalEngine.expand_path` re-expands to concrete road segments
+for any departure instant.
+"""
+
+from .index import HierarchicalIndex, ShortcutEdge
+from .engine import HierarchicalEngine
+
+__all__ = ["HierarchicalIndex", "ShortcutEdge", "HierarchicalEngine"]

@@ -1,0 +1,214 @@
+"""Fragment partitioning and shortcut materialisation.
+
+A :class:`HierarchicalIndex` is the query-independent precomputation: grid
+fragments plus, per fragment, exact boundary-to-boundary earliest-arrival
+functions over a configurable time horizon.  Building it costs one profile
+search per boundary node (each restricted to its small fragment); the paper
+sizes fragments "equal to the size of the network explored in our
+experiments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.profile import arrival_profile
+from ..estimators.grid import GridPartition
+from ..exceptions import QueryError
+from ..func.monotone import MonotonePiecewiseLinear
+from ..network.model import CapeCodNetwork
+from ..timeutil import TimeInterval, days
+
+
+@dataclass(frozen=True)
+class ShortcutEdge:
+    """A boundary-to-boundary overlay edge carrying an arrival function.
+
+    Duck-types the parts of :class:`~repro.network.model.Edge` the query
+    engine touches (``source``, ``target``) and supplies its arrival
+    function directly instead of via a speed pattern.
+    """
+
+    source: int
+    target: int
+    profile: MonotonePiecewiseLinear
+    #: Distinguishes shortcut functions from pattern-derived ones in the
+    #: engine's edge-function cache.
+    cache_tag: int = 1
+
+    def arrival_function(
+        self, lo: float, hi: float
+    ) -> MonotonePiecewiseLinear:
+        """The stored profile, validated to cover the requested window."""
+        if lo < self.profile.x_min - 1e-6 or hi > self.profile.x_max + 1e-6:
+            raise QueryError(
+                f"shortcut {self.source}->{self.target} only covers "
+                f"departures in [{self.profile.x_min}, {self.profile.x_max}]; "
+                f"requested [{lo}, {hi}] — rebuild the HierarchicalIndex "
+                "with a wider horizon"
+            )
+        return self.profile
+
+    @property
+    def min_travel_time(self) -> float:
+        """Fastest-ever traversal of the shortcut (used for diagnostics)."""
+        return self.profile.minus_identity().min_value()
+
+
+@dataclass
+class IndexStats:
+    """Size/effort summary of one build."""
+
+    fragments: int = 0
+    boundary_nodes: int = 0
+    shortcuts: int = 0
+    profile_searches: int = 0
+    total_breakpoints: int = 0
+
+
+class HierarchicalIndex:
+    """Fragments + shortcut functions for a network.
+
+    Parameters
+    ----------
+    network:
+        The full in-memory network (building needs whole-graph access).
+    nx, ny:
+        Fragment grid resolution.
+    horizon:
+        Departure-time horizon the shortcuts must cover.  Defaults to two
+        days from time 0, which accommodates any same-week query; queries
+        whose expansions leave the horizon raise a descriptive error.
+    """
+
+    def __init__(
+        self,
+        network: CapeCodNetwork,
+        nx: int = 4,
+        ny: int = 4,
+        horizon: TimeInterval | None = None,
+    ) -> None:
+        self._network = network
+        self._grid = GridPartition(network, nx, ny)
+        self._horizon = horizon or TimeInterval(0.0, days(2))
+        self._shortcuts_by_source: dict[int, list[ShortcutEdge]] = {}
+        self.stats = IndexStats(fragments=len(self._grid.non_empty_cells()))
+        self._build()
+
+    def _build(self) -> None:
+        for cell in self._grid.non_empty_cells():
+            members = cell.members
+            in_fragment = members.__contains__
+            self.stats.boundary_nodes += len(cell.boundary)
+            for b in cell.boundary:
+                profiles = arrival_profile(
+                    self._network,
+                    b,
+                    self._horizon,
+                    node_filter=in_fragment,
+                    targets=cell.boundary,
+                )
+                self.stats.profile_searches += 1
+                for other, fn in profiles.items():
+                    if other == b:
+                        continue
+                    shortcut = ShortcutEdge(b, other, fn)
+                    self._shortcuts_by_source.setdefault(b, []).append(
+                        shortcut
+                    )
+                    self.stats.shortcuts += 1
+                    self.stats.total_breakpoints += len(fn)
+
+    # ------------------------------------------------------------------
+    # Persistence: the build is the expensive part, so indexes can be
+    # saved and re-attached to the same network later.
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the index (grid shape, horizon, shortcut functions) as JSON."""
+        import json
+
+        doc = {
+            "format": "repro-hierarchical-index",
+            "version": 1,
+            "grid": list(self._grid.shape),
+            "horizon": [self._horizon.start, self._horizon.end],
+            "network_fingerprint": self._fingerprint(),
+            "shortcuts": [
+                [s.source, s.target, [list(p) for p in s.profile.breakpoints]]
+                for edges in self._shortcuts_by_source.values()
+                for s in edges
+            ],
+        }
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(doc))
+
+    @classmethod
+    def load(cls, network: CapeCodNetwork, path) -> "HierarchicalIndex":
+        """Re-attach a saved index to the (identical) network it was built on."""
+        import json
+        from pathlib import Path
+
+        doc = json.loads(Path(path).read_text())
+        if doc.get("format") != "repro-hierarchical-index":
+            raise QueryError(f"{path}: not a hierarchical index file")
+        if doc.get("version") != 1:
+            raise QueryError(f"{path}: unsupported index version")
+        index = object.__new__(cls)
+        index._network = network
+        nx, ny = doc["grid"]
+        index._grid = GridPartition(network, nx, ny)
+        index._horizon = TimeInterval(*doc["horizon"])
+        index._shortcuts_by_source = {}
+        index.stats = IndexStats(
+            fragments=len(index._grid.non_empty_cells())
+        )
+        if doc["network_fingerprint"] != index._fingerprint():
+            raise QueryError(
+                f"{path}: index was built for a different network"
+            )
+        for source, target, points in doc["shortcuts"]:
+            shortcut = ShortcutEdge(
+                source,
+                target,
+                MonotonePiecewiseLinear([tuple(p) for p in points]),
+            )
+            index._shortcuts_by_source.setdefault(source, []).append(shortcut)
+            index.stats.shortcuts += 1
+            index.stats.total_breakpoints += len(shortcut.profile)
+        index.stats.boundary_nodes = sum(
+            len(c.boundary) for c in index._grid.non_empty_cells()
+        )
+        return index
+
+    def _fingerprint(self) -> list:
+        """Cheap identity check binding an index to its network."""
+        bbox = self._network.bounding_box()
+        return [
+            self._network.node_count,
+            self._network.edge_count,
+            [round(v, 9) for v in bbox],
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> CapeCodNetwork:
+        return self._network
+
+    @property
+    def grid(self) -> GridPartition:
+        return self._grid
+
+    @property
+    def horizon(self) -> TimeInterval:
+        return self._horizon
+
+    def shortcuts_from(self, node: int) -> list[ShortcutEdge]:
+        """Shortcut edges leaving a boundary node (empty for interior nodes)."""
+        return self._shortcuts_by_source.get(node, [])
+
+    def cell_of(self, node: int) -> int:
+        return self._grid.cell_of_node(node)
+
+    def fragment_members(self, cell_index: int) -> frozenset[int]:
+        return self._grid.cell(cell_index).members

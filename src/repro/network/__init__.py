@@ -1,0 +1,32 @@
+"""CapeCod road networks (systems S4–S5 in DESIGN.md).
+
+The network model of Definition 3 — a directed spatial graph whose edges
+carry a length and a CapeCod speed pattern — plus a deterministic synthetic
+metro-area generator standing in for the paper's Suffolk County TIGER/Line
+extract (see the substitution table in DESIGN.md §3), and JSON serialization.
+"""
+
+from .model import Node, Edge, CapeCodNetwork
+from .generator import (
+    MetroConfig,
+    make_metro_network,
+    make_grid_network,
+    paper_example_network,
+)
+from .io import save_network, load_network
+from .stats import network_stats, NetworkStats, ClassStats
+
+__all__ = [
+    "Node",
+    "Edge",
+    "CapeCodNetwork",
+    "MetroConfig",
+    "make_metro_network",
+    "make_grid_network",
+    "paper_example_network",
+    "save_network",
+    "load_network",
+    "network_stats",
+    "NetworkStats",
+    "ClassStats",
+]

@@ -1,0 +1,105 @@
+"""JSON serialization of CapeCod networks.
+
+The format deduplicates speed patterns (a metro network has thousands of
+edges but only a handful of distinct patterns) and records the calendar as a
+periodic category sequence, which covers every calendar this library
+constructs.  Round-tripping is exact for all float values (JSON carries full
+double precision).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import NetworkError
+from ..patterns.categories import Calendar, DayCategorySet
+from ..patterns.schema import RoadClass
+from ..patterns.speed import CapeCodPattern, DailySpeedPattern
+from .model import CapeCodNetwork
+
+FORMAT_NAME = "repro-capecod-network"
+FORMAT_VERSION = 1
+
+#: How many days of the calendar to sample when serialising (one year covers
+#: every periodic calendar used in practice).
+_CALENDAR_SAMPLE_DAYS = 366
+
+
+def _pattern_to_json(pattern: CapeCodPattern) -> dict[str, Any]:
+    return {
+        category: list(pattern.daily(category).pieces)
+        for category in pattern.categories
+    }
+
+
+def _pattern_from_json(data: dict[str, Any]) -> CapeCodPattern:
+    return CapeCodPattern(
+        {
+            category: DailySpeedPattern([tuple(p) for p in pieces])
+            for category, pieces in data.items()
+        }
+    )
+
+
+def save_network(net: CapeCodNetwork, path: str | Path) -> None:
+    """Write the network to ``path`` as JSON."""
+    patterns: list[CapeCodPattern] = []
+    pattern_index: dict[CapeCodPattern, int] = {}
+    edges = []
+    for edge in net.edges():
+        idx = pattern_index.get(edge.pattern)
+        if idx is None:
+            idx = len(patterns)
+            pattern_index[edge.pattern] = idx
+            patterns.append(edge.pattern)
+        edges.append(
+            [
+                edge.source,
+                edge.target,
+                edge.distance,
+                idx,
+                edge.road_class.value if edge.road_class else None,
+            ]
+        )
+    calendar = net.calendar
+    day_categories = [
+        calendar.category_for_day(d) for d in range(_CALENDAR_SAMPLE_DAYS)
+    ]
+    doc = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "categories": list(calendar.categories.names),
+        "calendar_days": day_categories,
+        "nodes": [[n.id, n.x, n.y] for n in net.nodes()],
+        "patterns": [_pattern_to_json(p) for p in patterns],
+        "edges": edges,
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_network(path: str | Path) -> CapeCodNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != FORMAT_NAME:
+        raise NetworkError(f"{path}: not a {FORMAT_NAME} file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise NetworkError(
+            f"{path}: unsupported format version {doc.get('version')}"
+        )
+    categories = DayCategorySet(doc["categories"])
+    calendar = Calendar.periodic(categories, doc["calendar_days"])
+    net = CapeCodNetwork(calendar)
+    for node_id, x, y in doc["nodes"]:
+        net.add_node(int(node_id), x, y)
+    patterns = [_pattern_from_json(p) for p in doc["patterns"]]
+    for source, target, distance, pattern_idx, road_class in doc["edges"]:
+        net.add_edge(
+            int(source),
+            int(target),
+            distance,
+            patterns[pattern_idx],
+            RoadClass(road_class) if road_class else None,
+        )
+    return net

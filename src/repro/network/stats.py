@@ -1,0 +1,111 @@
+"""Descriptive statistics of a CapeCod network.
+
+Used by ``repro-allfp info``, the examples, and tests to sanity-check
+generated or loaded networks: size, degree distribution, road-class
+mileage, pattern census, and rush-hour speed summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..patterns.schema import RoadClass
+from ..patterns.speed import CapeCodPattern
+from .model import CapeCodNetwork
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Aggregate statistics for one road class."""
+
+    edge_count: int
+    total_miles: float
+    min_speed: float
+    max_speed: float
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """A full statistical snapshot of a network."""
+
+    node_count: int
+    edge_count: int
+    total_miles: float
+    mean_out_degree: float
+    degree_histogram: dict[int, int]
+    by_class: dict[RoadClass | None, ClassStats]
+    distinct_patterns: int
+    time_dependent_edges: int
+    bounding_box: tuple[float, float, float, float]
+    strongly_connected: bool
+
+    @property
+    def time_dependent_fraction(self) -> float:
+        """Share of edges whose speed actually varies over time."""
+        if self.edge_count == 0:
+            return 0.0
+        return self.time_dependent_edges / self.edge_count
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report lines (used by the CLI)."""
+        min_x, min_y, max_x, max_y = self.bounding_box
+        lines = [
+            f"nodes: {self.node_count}",
+            f"directed edges: {self.edge_count} "
+            f"({self.total_miles:.1f} road-miles, "
+            f"mean out-degree {self.mean_out_degree:.2f})",
+            f"extent: {max_x - min_x:.1f} x {max_y - min_y:.1f} miles",
+            f"strongly connected: {self.strongly_connected}",
+            f"distinct speed patterns: {self.distinct_patterns} "
+            f"({self.time_dependent_fraction:.0%} of edges time-dependent)",
+        ]
+        for road_class, stats in sorted(
+            self.by_class.items(),
+            key=lambda item: item[0].value if item[0] else "~",
+        ):
+            name = road_class.value if road_class else "(unclassified)"
+            lines.append(
+                f"  {name}: {stats.edge_count} edges, "
+                f"{stats.total_miles:.1f} mi, speeds "
+                f"{stats.min_speed * 60:.0f}-{stats.max_speed * 60:.0f} MPH"
+            )
+        return lines
+
+
+def network_stats(network: CapeCodNetwork) -> NetworkStats:
+    """Compute a :class:`NetworkStats` snapshot (one pass over the edges)."""
+    total_miles = 0.0
+    patterns: set[CapeCodPattern] = set()
+    time_dependent = 0
+    per_class: dict[RoadClass | None, list] = {}
+    for edge in network.edges():
+        total_miles += edge.distance
+        patterns.add(edge.pattern)
+        if not edge.pattern.is_constant():
+            time_dependent += 1
+        bucket = per_class.setdefault(
+            edge.road_class, [0, 0.0, float("inf"), 0.0]
+        )
+        bucket[0] += 1
+        bucket[1] += edge.distance
+        bucket[2] = min(bucket[2], edge.pattern.min_speed())
+        bucket[3] = max(bucket[3], edge.pattern.max_speed())
+
+    by_class = {
+        cls: ClassStats(count, miles, lo, hi)
+        for cls, (count, miles, lo, hi) in per_class.items()
+    }
+    node_count = network.node_count
+    edge_count = network.edge_count
+    return NetworkStats(
+        node_count=node_count,
+        edge_count=edge_count,
+        total_miles=total_miles,
+        mean_out_degree=edge_count / node_count if node_count else 0.0,
+        degree_histogram=network.degree_histogram(),
+        by_class=by_class,
+        distinct_patterns=len(patterns),
+        time_dependent_edges=time_dependent,
+        bounding_box=network.bounding_box(),
+        strongly_connected=network.is_strongly_connected(),
+    )

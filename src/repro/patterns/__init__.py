@@ -1,0 +1,40 @@
+"""CapeCod speed patterns (systems S2–S3 in DESIGN.md).
+
+Implements Definitions 1–3 of the paper: day-category sets, per-category
+daily piecewise-constant speed patterns, the CapeCod pattern container, the
+Table 1 schema used in the evaluation, and the exact conversion from speed
+patterns to (arrival-time / travel-time) functions of the leaving time
+(§4.1, Equation 1).
+"""
+
+from .categories import DayCategorySet, Calendar, WORKWEEK, workweek_calendar
+from .speed import DailySpeedPattern, CapeCodPattern
+from .schema import (
+    RoadClass,
+    table1_schema,
+    constant_speed_schema,
+    uniform_schema,
+)
+from .travel_time import (
+    traverse,
+    edge_arrival_function,
+    edge_travel_time_function,
+    cumulative_distance_function,
+)
+
+__all__ = [
+    "DayCategorySet",
+    "Calendar",
+    "WORKWEEK",
+    "workweek_calendar",
+    "DailySpeedPattern",
+    "CapeCodPattern",
+    "RoadClass",
+    "table1_schema",
+    "constant_speed_schema",
+    "uniform_schema",
+    "traverse",
+    "edge_arrival_function",
+    "edge_travel_time_function",
+    "cumulative_distance_function",
+]

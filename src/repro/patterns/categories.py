@@ -1,0 +1,127 @@
+"""Day categories and calendars (Definition 1 of the paper).
+
+A *day-category set* lists categories such that every day belongs to exactly
+one, and two days of the same category exhibit identical speed patterns on
+every road segment.  A :class:`Calendar` is the assignment of concrete days
+to categories; the paper's evaluation uses the two-category set
+{workday, non-workday} with the obvious weekly calendar, provided here as
+:data:`WORKWEEK` / :func:`workweek_calendar`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..exceptions import PatternError
+
+
+class DayCategorySet:
+    """An ordered set of day-category names.
+
+    >>> DayCategorySet(["workday", "non-workday"]).names
+    ('workday', 'non-workday')
+    """
+
+    __slots__ = ("_names",)
+
+    def __init__(self, names: Sequence[str]) -> None:
+        cleaned = tuple(str(n) for n in names)
+        if not cleaned:
+            raise PatternError("a category set needs at least one category")
+        if len(set(cleaned)) != len(cleaned):
+            raise PatternError(f"duplicate categories in {cleaned}")
+        self._names = cleaned
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DayCategorySet) and self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DayCategorySet({list(self._names)!r})"
+
+    def validate(self, name: str) -> str:
+        """Return ``name`` if it is a member; raise otherwise."""
+        if name not in self._names:
+            raise PatternError(
+                f"category {name!r} not in category set {self._names}"
+            )
+        return name
+
+
+class Calendar:
+    """Maps a day index (0-based, day 0 = Monday by convention) to a category.
+
+    Parameters
+    ----------
+    categories:
+        The category set every returned name must belong to.
+    assign:
+        ``day_index -> category name``.  The result is validated lazily and
+        cached per day, since query horizons touch only a few days.
+    """
+
+    __slots__ = ("_categories", "_assign", "_cache")
+
+    def __init__(
+        self, categories: DayCategorySet, assign: Callable[[int], str]
+    ) -> None:
+        self._categories = categories
+        self._assign = assign
+        self._cache: dict[int, str] = {}
+
+    @property
+    def categories(self) -> DayCategorySet:
+        return self._categories
+
+    def category_for_day(self, day: int) -> str:
+        """The category of day ``day`` (0-based)."""
+        cached = self._cache.get(day)
+        if cached is not None:
+            return cached
+        name = self._categories.validate(self._assign(day))
+        self._cache[day] = name
+        return name
+
+    @classmethod
+    def single_category(cls, name: str = "default") -> "Calendar":
+        """A calendar in which every day has the same category."""
+        cats = DayCategorySet([name])
+        return cls(cats, lambda _day: name)
+
+    @classmethod
+    def periodic(
+        cls, categories: DayCategorySet, sequence: Sequence[str]
+    ) -> "Calendar":
+        """Repeat ``sequence`` (e.g. a 7-day week) forever."""
+        if not sequence:
+            raise PatternError("periodic calendar needs a nonempty sequence")
+        seq = tuple(categories.validate(s) for s in sequence)
+        return cls(categories, lambda day: seq[day % len(seq)])
+
+
+#: The paper's two-category set.
+WORKWEEK = DayCategorySet(["workday", "non-workday"])
+
+WORKDAY = "workday"
+NON_WORKDAY = "non-workday"
+
+
+def workweek_calendar() -> Calendar:
+    """Mon–Fri = workday, Sat–Sun = non-workday (day 0 is a Monday)."""
+    week = [WORKDAY] * 5 + [NON_WORKDAY] * 2
+    return Calendar.periodic(WORKWEEK, week)

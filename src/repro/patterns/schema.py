@@ -1,0 +1,122 @@
+"""Road classes and the paper's Table 1 CapeCod pattern schema.
+
+The evaluation (§6.1) distinguishes four road classes and assigns each a
+CapeCod pattern over the {workday, non-workday} category set:
+
+=============  ==================  ==================  =====================  ==========================
+               Inbound highways    Outbound highways   Local roads in Boston  Local roads outside Boston
+=============  ==================  ==================  =====================  ==========================
+Non-workday    65 MPH              65 MPH              40 MPH                 40 MPH
+Workday        20 MPH 7am–10am,    30 MPH 4pm–7pm,     20 MPH 7–10am & 4–7pm, 40 MPH
+               65 MPH otherwise    65 MPH otherwise    40 MPH otherwise
+=============  ==================  ==================  =====================  ==========================
+
+:func:`table1_schema` reproduces this verbatim; :func:`constant_speed_schema`
+is the commercial-navigation baseline the paper's §6 intro compares against
+(speed = speed limit, constant all day).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..timeutil import hours
+from .categories import NON_WORKDAY, WORKDAY
+from .speed import CapeCodPattern, DailySpeedPattern
+
+
+class RoadClass(enum.Enum):
+    """The four road classes of the paper's experimental setup (§6.1)."""
+
+    INBOUND_HIGHWAY = "inbound_highway"
+    OUTBOUND_HIGHWAY = "outbound_highway"
+    LOCAL_CITY = "local_city"
+    LOCAL_OUTSIDE = "local_outside"
+
+    @property
+    def is_highway(self) -> bool:
+        return self in (RoadClass.INBOUND_HIGHWAY, RoadClass.OUTBOUND_HIGHWAY)
+
+
+#: Speed limits (MPH) by road class — the constant-speed baseline's speeds and
+#: the off-peak speeds of Table 1.
+SPEED_LIMITS_MPH: dict[RoadClass, float] = {
+    RoadClass.INBOUND_HIGHWAY: 65.0,
+    RoadClass.OUTBOUND_HIGHWAY: 65.0,
+    RoadClass.LOCAL_CITY: 40.0,
+    RoadClass.LOCAL_OUTSIDE: 40.0,
+}
+
+_AM_RUSH = (hours(7), hours(10))  # 7am-10am
+_PM_RUSH = (hours(16), hours(19))  # 4pm-7pm
+
+
+def _workday_with_slowdowns(
+    base_mph: float, slow_mph: float, windows: list[tuple[float, float]]
+) -> DailySpeedPattern:
+    """Base speed all day except ``slow_mph`` during the given windows."""
+    pieces: list[tuple[float, float]] = [(0.0, base_mph)]
+    for start, end in sorted(windows):
+        pieces.append((start, slow_mph))
+        pieces.append((end, base_mph))
+    return DailySpeedPattern.from_mph(pieces)
+
+
+def table1_schema() -> dict[RoadClass, CapeCodPattern]:
+    """The paper's Table 1: one CapeCod pattern per road class."""
+    non_workday = {
+        cls: DailySpeedPattern.from_mph([(0.0, SPEED_LIMITS_MPH[cls])])
+        for cls in RoadClass
+    }
+    workday = {
+        RoadClass.INBOUND_HIGHWAY: _workday_with_slowdowns(
+            65.0, 20.0, [_AM_RUSH]
+        ),
+        RoadClass.OUTBOUND_HIGHWAY: _workday_with_slowdowns(
+            65.0, 30.0, [_PM_RUSH]
+        ),
+        RoadClass.LOCAL_CITY: _workday_with_slowdowns(
+            40.0, 20.0, [_AM_RUSH, _PM_RUSH]
+        ),
+        RoadClass.LOCAL_OUTSIDE: DailySpeedPattern.from_mph([(0.0, 40.0)]),
+    }
+    return {
+        cls: CapeCodPattern(
+            {WORKDAY: workday[cls], NON_WORKDAY: non_workday[cls]}
+        )
+        for cls in RoadClass
+    }
+
+
+def constant_speed_schema() -> dict[RoadClass, CapeCodPattern]:
+    """The commercial-navigation assumption: speed == speed limit, always.
+
+    Used for the §6 comparison showing CapeCod-aware routing saves ~50%
+    travel time during rush hours.
+    """
+    return {
+        cls: CapeCodPattern(
+            {
+                WORKDAY: DailySpeedPattern.from_mph(
+                    [(0.0, SPEED_LIMITS_MPH[cls])]
+                ),
+                NON_WORKDAY: DailySpeedPattern.from_mph(
+                    [(0.0, SPEED_LIMITS_MPH[cls])]
+                ),
+            }
+        )
+        for cls in RoadClass
+    }
+
+
+def uniform_schema(speed_mpm: float = 1.0) -> dict[RoadClass, CapeCodPattern]:
+    """Every class at one constant speed — handy for tests and examples."""
+    return {
+        cls: CapeCodPattern(
+            {
+                WORKDAY: DailySpeedPattern.constant(speed_mpm),
+                NON_WORKDAY: DailySpeedPattern.constant(speed_mpm),
+            }
+        )
+        for cls in RoadClass
+    }

@@ -1,0 +1,188 @@
+"""Daily speed patterns and CapeCod patterns (Definitions 2–3 of the paper).
+
+A :class:`DailySpeedPattern` is a piecewise-constant speed profile for one
+24-hour day, e.g. "[0:00–7:00): 1 mpm, [7:00–9:00): 0.5 mpm, [9:00–24:00):
+1 mpm".  A :class:`CapeCodPattern` holds one daily pattern per day category.
+Speeds are in miles per minute (mpm), the paper's unit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Mapping, Sequence
+
+from ..exceptions import PatternError
+from ..timeutil import MINUTES_PER_DAY, mph_to_mpm
+from .categories import Calendar, DayCategorySet
+
+
+class DailySpeedPattern:
+    """Piecewise-constant speed over one day, ``[0, 1440)`` minutes.
+
+    Parameters
+    ----------
+    pieces:
+        ``(start_minute, speed_mpm)`` pairs.  The first start must be 0,
+        starts must be strictly increasing and below 1440, and every speed
+        must be strictly positive (a zero speed would make travel time
+        unbounded and break the FIFO/flow-speed model).
+    """
+
+    __slots__ = ("_starts", "_speeds")
+
+    def __init__(self, pieces: Sequence[tuple[float, float]]) -> None:
+        if not pieces:
+            raise PatternError("a daily pattern needs at least one piece")
+        starts = [float(s) for s, _v in pieces]
+        speeds = [float(v) for _s, v in pieces]
+        if abs(starts[0]) > 1e-9:
+            raise PatternError(f"first piece must start at 0:00, got {starts[0]}")
+        for i in range(1, len(starts)):
+            if starts[i] <= starts[i - 1]:
+                raise PatternError("piece starts must be strictly increasing")
+        if starts[-1] >= MINUTES_PER_DAY:
+            raise PatternError("piece starts must lie within the day")
+        for v in speeds:
+            if v <= 0:
+                raise PatternError(f"speeds must be positive, got {v}")
+        self._starts = tuple(starts)
+        self._speeds = tuple(speeds)
+
+    @classmethod
+    def constant(cls, speed_mpm: float) -> "DailySpeedPattern":
+        """A day with one constant speed."""
+        return cls([(0.0, speed_mpm)])
+
+    @classmethod
+    def from_mph(cls, pieces: Sequence[tuple[float, float]]) -> "DailySpeedPattern":
+        """Like the constructor but with speeds quoted in miles per hour."""
+        return cls([(start, mph_to_mpm(v)) for start, v in pieces])
+
+    # ------------------------------------------------------------------
+    @property
+    def piece_count(self) -> int:
+        return len(self._starts)
+
+    @property
+    def pieces(self) -> tuple[tuple[float, float], ...]:
+        """``(start_minute, speed_mpm)`` pairs."""
+        return tuple(zip(self._starts, self._speeds))
+
+    @property
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times-of-day at which the speed changes (excluding 0:00)."""
+        return self._starts[1:]
+
+    def speed_at(self, minute_of_day: float) -> float:
+        """Speed (mpm) in effect at the given time of day."""
+        if not 0 <= minute_of_day < MINUTES_PER_DAY + 1e-9:
+            raise PatternError(f"minute_of_day {minute_of_day} outside [0, 1440)")
+        i = bisect.bisect_right(self._starts, minute_of_day) - 1
+        return self._speeds[max(i, 0)]
+
+    def min_speed(self) -> float:
+        return min(self._speeds)
+
+    def max_speed(self) -> float:
+        return max(self._speeds)
+
+    def segments(self) -> Iterator[tuple[float, float, float]]:
+        """Yield ``(start, end, speed)`` covering ``[0, 1440)``."""
+        for i, (start, speed) in enumerate(self.pieces):
+            end = (
+                self._starts[i + 1]
+                if i + 1 < len(self._starts)
+                else MINUTES_PER_DAY
+            )
+            yield (start, end, speed)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DailySpeedPattern)
+            and self._starts == other._starts
+            and self._speeds == other._speeds
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._starts, self._speeds))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DailySpeedPattern({list(self.pieces)!r})"
+
+
+class CapeCodPattern:
+    """One daily speed pattern per day category (Definition 2).
+
+    Instances are hashable and interned-friendly: networks typically share a
+    handful of patterns across thousands of edges, and the storage layer
+    serialises patterns by id.
+    """
+
+    __slots__ = ("_by_category",)
+
+    def __init__(self, by_category: Mapping[str, DailySpeedPattern]) -> None:
+        if not by_category:
+            raise PatternError("a CapeCod pattern needs at least one category")
+        self._by_category = dict(by_category)
+
+    @classmethod
+    def constant(
+        cls, speed_mpm: float, categories: Sequence[str] = ("default",)
+    ) -> "CapeCodPattern":
+        """The same constant speed in every category."""
+        daily = DailySpeedPattern.constant(speed_mpm)
+        return cls({c: daily for c in categories})
+
+    # ------------------------------------------------------------------
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return tuple(self._by_category)
+
+    def daily(self, category: str) -> DailySpeedPattern:
+        """The daily pattern for a category."""
+        try:
+            return self._by_category[category]
+        except KeyError:
+            raise PatternError(
+                f"pattern has no category {category!r}; has {self.categories}"
+            ) from None
+
+    def covers(self, categories: DayCategorySet) -> bool:
+        """True when every category in the set has a daily pattern."""
+        return all(name in self._by_category for name in categories)
+
+    def speed_at(self, abs_minutes: float, calendar: Calendar) -> float:
+        """Speed in effect at an absolute time instant under a calendar."""
+        day = int(abs_minutes // MINUTES_PER_DAY)
+        minute = abs_minutes - day * MINUTES_PER_DAY
+        return self.daily(calendar.category_for_day(day)).speed_at(minute)
+
+    def min_speed(self) -> float:
+        """Slowest speed across all categories."""
+        return min(p.min_speed() for p in self._by_category.values())
+
+    def max_speed(self) -> float:
+        """Fastest speed across all categories."""
+        return max(p.max_speed() for p in self._by_category.values())
+
+    def is_constant(self) -> bool:
+        """True when all categories share one single-piece speed."""
+        speeds = {
+            pattern.pieces for pattern in self._by_category.values()
+        }
+        if len(speeds) != 1:
+            return False
+        (pieces,) = speeds
+        return len(pieces) == 1
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CapeCodPattern)
+            and self._by_category == other._by_category
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._by_category.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CapeCodPattern({self._by_category!r})"

@@ -1,0 +1,171 @@
+"""From speed patterns to travel-time functions (§4.1, Equation 1).
+
+For an edge of length ``d`` whose speed is the piecewise-constant function
+``v(t)``, let ``S(t) = ∫ v`` be the cumulative distance driven since some
+reference instant.  ``S`` is a strictly increasing piecewise-linear function,
+so the *arrival function* of the edge is
+
+    ``A(t) = S⁻¹(S(t) + d)``
+
+which is itself piecewise linear, continuous and strictly increasing (FIFO).
+Equation 1 of the paper is the two-piece special case of this construction;
+the code below handles any number of speed changes crossed in one traversal
+("unlikely to happen in practice", the paper notes, but it costs nothing to
+be exact).
+
+Two interfaces are provided:
+
+* :func:`traverse` — scalar: arrival time for one departure instant.  Used by
+  the fixed-departure baselines (A*, discrete-time), which must be fast.
+* :func:`edge_arrival_function` — functional: the arrival function over a
+  departure interval, used by IntAllFastestPaths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..exceptions import PatternError
+from ..func.monotone import MonotonePiecewiseLinear
+from ..func.piecewise import XTOL, PiecewiseLinearFunction
+from ..timeutil import MINUTES_PER_DAY
+from .categories import Calendar
+from .speed import CapeCodPattern
+
+#: Safety valve: give up if one edge traversal spans more than a year.
+MAX_HORIZON_DAYS = 366
+
+
+def _speed_segments(
+    pattern: CapeCodPattern, calendar: Calendar, t_start: float
+) -> Iterator[tuple[float, float, float]]:
+    """Yield consecutive ``(start, end, speed)`` segments from ``t_start`` on.
+
+    Segments are expressed in absolute minutes and chain across day
+    boundaries according to the calendar; the stream is infinite (bounded by
+    the caller), the first segment starts exactly at ``t_start``.
+    """
+    day = int(t_start // MINUTES_PER_DAY)
+    while True:
+        if day - int(t_start // MINUTES_PER_DAY) > MAX_HORIZON_DAYS:
+            raise PatternError(
+                "edge traversal spans more than a year; "
+                "check speeds and distances"
+            )
+        daily = pattern.daily(calendar.category_for_day(day))
+        day_base = day * MINUTES_PER_DAY
+        for seg_start, seg_end, speed in daily.segments():
+            abs_start = day_base + seg_start
+            abs_end = day_base + seg_end
+            if abs_end <= t_start + XTOL:
+                continue
+            yield (max(abs_start, t_start), abs_end, speed)
+        day += 1
+
+
+def traverse(
+    distance: float,
+    pattern: CapeCodPattern,
+    calendar: Calendar,
+    depart: float,
+) -> float:
+    """Arrival time when entering an edge of length ``distance`` at ``depart``.
+
+    Exact under the CapeCod model: drives through each constant-speed segment
+    in turn until the edge length is consumed.
+    """
+    if distance < 0:
+        raise PatternError(f"negative distance {distance}")
+    if distance == 0:
+        return depart
+    remaining = distance
+    for seg_start, seg_end, speed in _speed_segments(pattern, calendar, depart):
+        seg_len = (seg_end - seg_start) * speed
+        if seg_len >= remaining - 1e-15:
+            return seg_start + remaining / speed
+        remaining -= seg_len
+    raise PatternError("unreachable")  # pragma: no cover
+
+
+def cumulative_distance_function(
+    pattern: CapeCodPattern,
+    calendar: Calendar,
+    t_lo: float,
+    t_hi: float,
+    extra_distance: float,
+) -> MonotonePiecewiseLinear:
+    """The cumulative-distance function ``S`` with ``S(t_lo) = 0``.
+
+    The domain extends past ``t_hi`` far enough that
+    ``S(end) >= S(t_hi) + extra_distance`` — i.e. a traversal of
+    ``extra_distance`` miles starting anywhere in ``[t_lo, t_hi]`` completes
+    within the domain, which is what :func:`edge_arrival_function` needs to
+    invert ``S``.
+    """
+    if t_hi < t_lo - XTOL:
+        raise PatternError(f"bad window [{t_lo}, {t_hi}]")
+    points: list[tuple[float, float]] = [(t_lo, 0.0)]
+    s_at_hi: float | None = None
+    for seg_start, seg_end, speed in _speed_segments(pattern, calendar, t_lo):
+        prev_t, prev_s = points[-1]
+        # Record S at t_hi the moment we pass it (it need not be a breakpoint).
+        if s_at_hi is None and seg_end >= t_hi - XTOL:
+            s_at_hi = prev_s + (t_hi - prev_t) * speed
+        s_end = prev_s + (seg_end - prev_t) * speed
+        points.append((seg_end, s_end))
+        if s_at_hi is not None and s_end >= s_at_hi + extra_distance - 1e-12:
+            break
+    return MonotonePiecewiseLinear(points)
+
+
+def edge_arrival_function(
+    distance: float,
+    pattern: CapeCodPattern,
+    calendar: Calendar,
+    depart_lo: float,
+    depart_hi: float,
+) -> MonotonePiecewiseLinear:
+    """Arrival function ``A(t) = S⁻¹(S(t) + d)`` on ``[depart_lo, depart_hi]``.
+
+    This is the §4.4 edge ingredient: departing the edge's tail anywhere in
+    the given window, when do we reach its head?  The result is strictly
+    increasing (FIFO) and exact — its breakpoints are precisely the departure
+    times at which the traversal starts or finishes crossing a speed change.
+    """
+    if distance < 0:
+        raise PatternError(f"negative distance {distance}")
+    if distance == 0:
+        from ..func.monotone import identity
+
+        return identity(depart_lo, depart_hi)
+    s = cumulative_distance_function(
+        pattern, calendar, depart_lo, depart_hi, distance
+    )
+    s_inv = s.inverse()
+    window = s.restrict(depart_lo, min(depart_hi, s.x_max))
+    shifted = MonotonePiecewiseLinear(
+        [(x, y + distance) for x, y in window.breakpoints]
+    )
+    return s_inv.compose(shifted).simplify()
+
+
+def edge_travel_time_function(
+    distance: float,
+    pattern: CapeCodPattern,
+    calendar: Calendar,
+    depart_lo: float,
+    depart_hi: float,
+) -> PiecewiseLinearFunction:
+    """Travel-time function ``T(l) = A(l) - l`` — the paper's Equation 1 form."""
+    arrival = edge_arrival_function(
+        distance, pattern, calendar, depart_lo, depart_hi
+    )
+    return arrival.minus_identity()
+
+
+def min_travel_time(distance: float, pattern: CapeCodPattern) -> float:
+    """Lower bound on the edge's travel time: length / fastest-ever speed.
+
+    Used by the optimistic-time metric of the boundary-node estimator.
+    """
+    return distance / pattern.max_speed()

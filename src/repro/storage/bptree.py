@@ -1,0 +1,374 @@
+"""A page-based B+-tree mapping uint64 keys to uint64 values.
+
+CCAM keeps a B+-tree over node ids so any node's page can be located in
+O(log n) page reads (§2.2 of the paper).  This implementation stores its
+nodes in fixed-size pages of any :class:`~repro.storage.buffer.PageStore`
+(or anything exposing ``read``/``write``/``allocate``), so the same code
+runs over RAM while building and over a buffered file while querying.
+
+Supported operations: point search, ordered range scan (leaves are chained),
+insert with split propagation, **lazy** delete (the key is removed from its
+leaf; structural rebalancing is deferred — empty leaves are simply skipped
+by scans — which is a common trade-off in practice and documented here),
+and bottom-up bulk loading of a sorted sequence.
+
+Page layout (little-endian):
+
+* Leaf:     ``B'1' | count:u16 | next_leaf:u32 | count × (key:u64, value:u64)``
+* Internal: ``B'0' | count:u16 | child0:u32    | count × (key:u64, child:u32)``
+
+Internal-node semantics: ``key_i`` is the smallest key reachable through
+``child_{i+1}``; a search for ``k`` descends into the rightmost child whose
+separator key is ``<= k`` (``child0`` when ``k`` precedes every separator).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from ..exceptions import StorageError
+
+_HEADER = struct.Struct("<BHI")  # type, count, next/child0
+_LEAF_ENTRY = struct.Struct("<QQ")  # key, value
+_INNER_ENTRY = struct.Struct("<QI")  # key, child
+
+_LEAF = 1
+_INNER = 0
+_NO_PAGE = 0xFFFFFFFF
+
+
+class _Node:
+    """Decoded form of one tree page."""
+
+    __slots__ = ("kind", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.keys: list[int] = []
+        self.values: list[int] = []  # leaf payloads
+        self.children: list[int] = []  # internal child page numbers
+        self.next_leaf: int = _NO_PAGE
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == _LEAF
+
+
+def _decode(data: bytes) -> _Node:
+    kind, count, extra = _HEADER.unpack_from(data, 0)
+    node = _Node(kind)
+    offset = _HEADER.size
+    if kind == _LEAF:
+        node.next_leaf = extra
+        for _ in range(count):
+            key, value = _LEAF_ENTRY.unpack_from(data, offset)
+            node.keys.append(key)
+            node.values.append(value)
+            offset += _LEAF_ENTRY.size
+    elif kind == _INNER:
+        node.children.append(extra)
+        for _ in range(count):
+            key, child = _INNER_ENTRY.unpack_from(data, offset)
+            node.keys.append(key)
+            node.children.append(child)
+            offset += _INNER_ENTRY.size
+    else:
+        raise StorageError(f"corrupt B+-tree page: type byte {kind}")
+    return node
+
+
+def _encode(node: _Node, page_size: int) -> bytes:
+    parts = [
+        _HEADER.pack(
+            node.kind,
+            len(node.keys),
+            node.next_leaf if node.is_leaf else node.children[0],
+        )
+    ]
+    if node.is_leaf:
+        parts.extend(
+            _LEAF_ENTRY.pack(k, v) for k, v in zip(node.keys, node.values)
+        )
+    else:
+        parts.extend(
+            _INNER_ENTRY.pack(k, c)
+            for k, c in zip(node.keys, node.children[1:])
+        )
+    data = b"".join(parts)
+    if len(data) > page_size:
+        raise StorageError("B+-tree node overflow (capacity accounting bug)")
+    return data.ljust(page_size, b"\x00")
+
+
+class BPlusTree:
+    """A B+-tree over a page store.
+
+    Parameters
+    ----------
+    store:
+        Object with ``read(page_no) -> bytes`` plus, for mutation,
+        ``write(page_no, bytes)`` and ``allocate() -> int``.
+    page_size:
+        Must match the store's page size.
+    root:
+        Page number of an existing root (re-opening a persisted tree), or
+        ``None`` to create a fresh empty tree (requires a writable store).
+    """
+
+    def __init__(self, store, page_size: int, root: int | None = None) -> None:
+        self._store = store
+        self._page_size = page_size
+        self._leaf_capacity = (page_size - _HEADER.size) // _LEAF_ENTRY.size
+        self._inner_capacity = (page_size - _HEADER.size) // _INNER_ENTRY.size
+        if self._leaf_capacity < 2 or self._inner_capacity < 2:
+            raise StorageError(f"page size {page_size} too small for a B+-tree")
+        if root is None:
+            root = store.allocate()
+            store.write(root, _encode(_Node(_LEAF), page_size))
+        self._root = root
+
+    # ------------------------------------------------------------------
+    @property
+    def root_page(self) -> int:
+        """Current root page number (persist this alongside the pages)."""
+        return self._root
+
+    @property
+    def leaf_capacity(self) -> int:
+        return self._leaf_capacity
+
+    def _read(self, page_no: int) -> _Node:
+        return _decode(self._store.read(page_no))
+
+    def _write(self, page_no: int, node: _Node) -> None:
+        self._store.write(page_no, _encode(node, self._page_size))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _descend(self, key: int) -> tuple[list[int], _Node]:
+        """Path of page numbers from root to the leaf owning ``key``."""
+        path = [self._root]
+        node = self._read(self._root)
+        while not node.is_leaf:
+            idx = self._child_index(node, key)
+            path.append(node.children[idx])
+            node = self._read(path[-1])
+        return path, node
+
+    @staticmethod
+    def _child_index(node: _Node, key: int) -> int:
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if node.keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def get(self, key: int) -> int | None:
+        """The value stored under ``key``, or None."""
+        _path, leaf = self._descend(key)
+        idx = self._leaf_index(leaf, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    @staticmethod
+    def _leaf_index(leaf: _Node, key: int) -> int:
+        lo, hi = 0, len(leaf.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if leaf.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def items(
+        self, lo: int | None = None, hi: int | None = None
+    ) -> Iterator[tuple[int, int]]:
+        """Ordered ``(key, value)`` pairs with ``lo <= key <= hi``."""
+        start = lo if lo is not None else 0
+        _path, leaf = self._descend(start)
+        idx = self._leaf_index(leaf, start)
+        while True:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if hi is not None and key > hi:
+                    return
+                yield (key, leaf.values[idx])
+                idx += 1
+            if leaf.next_leaf == _NO_PAGE:
+                return
+            leaf = self._read(leaf.next_leaf)
+            idx = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> None:
+        """Insert or overwrite ``key``."""
+        path, leaf = self._descend(key)
+        idx = self._leaf_index(leaf, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            self._write(path[-1], leaf)
+            return
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        if len(leaf.keys) <= self._leaf_capacity:
+            self._write(path[-1], leaf)
+            return
+        self._split_leaf(path, leaf)
+
+    def _split_leaf(self, path: list[int], leaf: _Node) -> None:
+        mid = len(leaf.keys) // 2
+        right = _Node(_LEAF)
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right_page = self._store.allocate()
+        leaf.next_leaf = right_page
+        self._write(path[-1], leaf)
+        self._write(right_page, right)
+        self._insert_separator(path[:-1], right.keys[0], path[-1], right_page)
+
+    def _insert_separator(
+        self, path: list[int], key: int, left_page: int, right_page: int
+    ) -> None:
+        if not path:
+            root = _Node(_INNER)
+            root.children = [left_page, right_page]
+            root.keys = [key]
+            new_root = self._store.allocate()
+            self._write(new_root, root)
+            self._root = new_root
+            return
+        page_no = path[-1]
+        node = self._read(page_no)
+        idx = self._child_index(node, key)
+        node.keys.insert(idx, key)
+        node.children.insert(idx + 1, right_page)
+        if len(node.keys) <= self._inner_capacity:
+            self._write(page_no, node)
+            return
+        mid = len(node.keys) // 2
+        promote = node.keys[mid]
+        right = _Node(_INNER)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        right_no = self._store.allocate()
+        self._write(page_no, node)
+        self._write(right_no, right)
+        self._insert_separator(path[:-1], promote, page_no, right_no)
+
+    # ------------------------------------------------------------------
+    # Delete (lazy)
+    # ------------------------------------------------------------------
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns True when it existed.
+
+        Lazy: the entry leaves its leaf but pages are never merged or
+        rebalanced — scans skip empty leaves via the sibling chain.
+        """
+        path, leaf = self._descend(key)
+        idx = self._leaf_index(leaf, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._write(path[-1], leaf)
+        return True
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        store,
+        page_size: int,
+        items: list[tuple[int, int]],
+        fill: float = 0.9,
+    ) -> "BPlusTree":
+        """Build a tree bottom-up from *sorted unique* ``(key, value)`` pairs.
+
+        ``fill`` sets the leaf fill factor, leaving headroom for later
+        inserts.  Used by the CCAM builder after the Hilbert ordering pass.
+        """
+        for i in range(1, len(items)):
+            if items[i][0] <= items[i - 1][0]:
+                raise StorageError("bulk_load needs strictly increasing keys")
+        tree = cls(store, page_size)
+        if not items:
+            return tree
+        per_leaf = max(2, int(tree._leaf_capacity * fill))
+        leaves: list[tuple[int, int]] = []  # (first_key, page_no)
+        chunks = [items[i : i + per_leaf] for i in range(0, len(items), per_leaf)]
+        pages = [store.allocate() for _ in chunks]
+        # Reuse the initial empty-root page as the first leaf.
+        pages[0] = tree._root
+        for chunk, page_no, next_no in zip(
+            chunks, pages, pages[1:] + [_NO_PAGE]
+        ):
+            node = _Node(_LEAF)
+            node.keys = [k for k, _v in chunk]
+            node.values = [v for _k, v in chunk]
+            node.next_leaf = next_no
+            tree._write(page_no, node)
+            leaves.append((chunk[0][0], page_no))
+        # Build internal levels.
+        level = leaves
+        per_inner = max(2, int(tree._inner_capacity * fill))
+        while len(level) > 1:
+            next_level: list[tuple[int, int]] = []
+            for i in range(0, len(level), per_inner + 1):
+                group = level[i : i + per_inner + 1]
+                node = _Node(_INNER)
+                node.children = [page for _k, page in group]
+                node.keys = [k for k, _page in group[1:]]
+                page_no = store.allocate()
+                tree._write(page_no, node)
+                next_level.append((group[0][0], page_no))
+            level = next_level
+        tree._root = level[0][1]
+        return tree
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate ordering and structural invariants (testing aid)."""
+        self._check_node(self._root, None, None)
+        keys = [k for k, _v in self.items()]
+        if keys != sorted(set(keys)):
+            raise StorageError("leaf chain out of order")
+
+    def _check_node(
+        self, page_no: int, lo: int | None, hi: int | None
+    ) -> None:
+        node = self._read(page_no)
+        for key in node.keys:
+            if lo is not None and key < lo:
+                raise StorageError(f"key {key} below separator {lo}")
+            if hi is not None and key >= hi:
+                raise StorageError(f"key {key} at/above separator {hi}")
+        if node.keys != sorted(node.keys):
+            raise StorageError("node keys out of order")
+        if not node.is_leaf:
+            bounds = [lo] + list(node.keys) + [hi]
+            for child, c_lo, c_hi in zip(
+                node.children, bounds[:-1], bounds[1:]
+            ):
+                self._check_node(child, c_lo, c_hi)

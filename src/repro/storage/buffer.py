@@ -1,0 +1,234 @@
+"""Page stores and the LRU buffer manager.
+
+Everything below the B+-tree and the CCAM store speaks *pages*: fixed-size
+byte blocks addressed by page number.  Two backing stores are provided —
+in-memory (used while building a database) and file-backed (used to serve
+queries) — plus :class:`BufferManager`, the LRU cache that fronts a store
+and counts logical vs. physical reads.  The paper reports its experiments at
+a 2048-byte page size; that is the default throughout.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import OrderedDict
+from pathlib import Path
+from typing import BinaryIO, Protocol
+
+from ..exceptions import StorageError
+
+DEFAULT_PAGE_SIZE = 2048
+DEFAULT_BUFFER_PAGES = 64
+
+
+class PageStore(Protocol):
+    """Minimal page-addressed storage interface."""
+
+    @property
+    def page_size(self) -> int: ...
+
+    @property
+    def page_count(self) -> int: ...
+
+    def read(self, page_no: int) -> bytes: ...
+
+    def write(self, page_no: int, data: bytes) -> None: ...
+
+    def allocate(self) -> int: ...
+
+
+class MemoryPageStore:
+    """Pages in RAM — the build-time store, flushable to a file."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 64:
+            raise StorageError(f"page size {page_size} too small")
+        self._page_size = page_size
+        self._pages: list[bytes] = []
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        self._pages.append(bytes(self._page_size))
+        return len(self._pages) - 1
+
+    def read(self, page_no: int) -> bytes:
+        self._check(page_no)
+        return self._pages[page_no]
+
+    def write(self, page_no: int, data: bytes) -> None:
+        self._check(page_no)
+        if len(data) > self._page_size:
+            raise StorageError(
+                f"page payload {len(data)} exceeds page size {self._page_size}"
+            )
+        self._pages[page_no] = data.ljust(self._page_size, b"\x00")
+
+    def _check(self, page_no: int) -> None:
+        if not 0 <= page_no < len(self._pages):
+            raise StorageError(f"page {page_no} out of range")
+
+    def dump(self, stream: BinaryIO) -> None:
+        """Write all pages, in order, to a binary stream."""
+        for page in self._pages:
+            stream.write(page)
+
+
+class FilePageStore:
+    """Page store over a region of a file — read-only unless ``writable``.
+
+    ``offset`` lets a page region coexist with other content (the header
+    page before it, a metadata blob after it) in one database file.  In
+    writable mode, :meth:`allocate` appends a zeroed page to the region
+    (the caller is responsible for relocating any trailing non-page
+    content, which the CCAM store does on flush).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int,
+        page_count: int,
+        offset: int = 0,
+        writable: bool = False,
+    ) -> None:
+        self._path = Path(path)
+        self._page_size = page_size
+        self._page_count = page_count
+        self._offset = offset
+        self._writable = writable
+        self._file: BinaryIO = open(self._path, "r+b" if writable else "rb")
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    @property
+    def writable(self) -> bool:
+        return self._writable
+
+    def read(self, page_no: int) -> bytes:
+        if not 0 <= page_no < self._page_count:
+            raise StorageError(f"page {page_no} out of range")
+        self._file.seek(self._offset + page_no * self._page_size)
+        data = self._file.read(self._page_size)
+        if len(data) != self._page_size:
+            raise StorageError(f"short read on page {page_no}")
+        return data
+
+    def write(self, page_no: int, data: bytes) -> None:
+        if not self._writable:
+            raise StorageError("FilePageStore opened read-only")
+        if not 0 <= page_no < self._page_count:
+            raise StorageError(f"page {page_no} out of range")
+        if len(data) > self._page_size:
+            raise StorageError(
+                f"page payload {len(data)} exceeds page size {self._page_size}"
+            )
+        self._file.seek(self._offset + page_no * self._page_size)
+        self._file.write(data.ljust(self._page_size, b"\x00"))
+
+    def allocate(self) -> int:
+        if not self._writable:
+            raise StorageError("FilePageStore opened read-only")
+        page_no = self._page_count
+        self._page_count += 1
+        self._file.seek(self._offset + page_no * self._page_size)
+        self._file.write(bytes(self._page_size))
+        return page_no
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class BufferManager:
+    """An LRU page cache fronting a page store, with I/O accounting.
+
+    ``logical_reads`` counts every page request; ``physical_reads`` counts
+    the requests that missed the cache and hit the underlying store — the
+    disk-I/O figure the CCAM experiments report.
+    """
+
+    def __init__(
+        self, store: PageStore, capacity: int = DEFAULT_BUFFER_PAGES
+    ) -> None:
+        if capacity < 1:
+            raise StorageError("buffer capacity must be >= 1")
+        self._store = store
+        self._capacity = capacity
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+
+    @property
+    def page_size(self) -> int:
+        return self._store.page_size
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def read(self, page_no: int) -> bytes:
+        self.logical_reads += 1
+        cached = self._cache.get(page_no)
+        if cached is not None:
+            self._cache.move_to_end(page_no)
+            return cached
+        self.physical_reads += 1
+        data = self._store.read(page_no)
+        self._cache[page_no] = data
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+        return data
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Write-through: update the store and keep the cache coherent."""
+        self._store.write(page_no, data)
+        self.physical_writes += 1
+        padded = data.ljust(self.page_size, b"\x00")
+        if page_no in self._cache:
+            self._cache[page_no] = padded
+            self._cache.move_to_end(page_no)
+
+    def allocate(self) -> int:
+        """Delegate page allocation to the underlying store."""
+        return self._store.allocate()
+
+    def invalidate(self, page_no: int | None = None) -> None:
+        """Drop one page (or everything) from the cache."""
+        if page_no is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(page_no, None)
+
+    def reset_counters(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of logical reads served from the cache."""
+        if self.logical_reads == 0:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads

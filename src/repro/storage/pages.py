@@ -1,0 +1,129 @@
+"""Binary codecs for node records and data pages.
+
+A node's record (the paper's ``info_i``, §2.2) stores its location plus its
+adjacency list — for each neighbour the Euclidean/road distance and a
+reference into the pattern catalog (patterns are heavily shared across
+edges, so they are interned once per database, not per edge).
+
+Record layout (little-endian):
+
+    ``node_id:u32 | x:f64 | y:f64 | n:u16 | n × (target:u32, dist:f64, pat:u16, class:u8)``
+
+Data-page layout:
+
+    ``count:u16 | count × record``
+
+Records are variable length, so slot access decodes sequentially; with the
+paper's 2048-byte pages a full page holds at most ~90 records, making this
+cheap.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..exceptions import PageOverflowError, StorageError
+
+_RECORD_HEAD = struct.Struct("<IddH")
+_NEIGHBOR = struct.Struct("<IdHB")
+_PAGE_HEAD = struct.Struct("<H")
+
+#: Sentinel for "no road class recorded".
+NO_CLASS = 0xFF
+
+
+@dataclass(frozen=True)
+class NeighborRef:
+    """One adjacency entry: target node, road distance, interned pattern."""
+
+    target: int
+    distance: float
+    pattern_id: int
+    class_id: int = NO_CLASS
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """The decoded ``info_i`` of one node."""
+
+    node_id: int
+    x: float
+    y: float
+    neighbors: tuple[NeighborRef, ...]
+
+    @property
+    def location(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def record_size(neighbor_count: int) -> int:
+    """Encoded size in bytes of a record with the given adjacency length."""
+    return _RECORD_HEAD.size + neighbor_count * _NEIGHBOR.size
+
+
+def encode_record(record: NodeRecord) -> bytes:
+    """Serialise one node record."""
+    if len(record.neighbors) > 0xFFFF:
+        raise StorageError(f"node {record.node_id}: too many neighbours")
+    parts = [
+        _RECORD_HEAD.pack(record.node_id, record.x, record.y, len(record.neighbors))
+    ]
+    parts.extend(
+        _NEIGHBOR.pack(n.target, n.distance, n.pattern_id, n.class_id)
+        for n in record.neighbors
+    )
+    return b"".join(parts)
+
+
+def decode_record(data: bytes, offset: int) -> tuple[NodeRecord, int]:
+    """Deserialise the record starting at ``offset``; returns the next offset."""
+    node_id, x, y, count = _RECORD_HEAD.unpack_from(data, offset)
+    offset += _RECORD_HEAD.size
+    neighbors = []
+    for _ in range(count):
+        target, distance, pattern_id, class_id = _NEIGHBOR.unpack_from(
+            data, offset
+        )
+        neighbors.append(NeighborRef(target, distance, pattern_id, class_id))
+        offset += _NEIGHBOR.size
+    return (NodeRecord(node_id, x, y, tuple(neighbors)), offset)
+
+
+def page_payload(page_size: int) -> int:
+    """Usable record bytes in a data page of the given size."""
+    return page_size - _PAGE_HEAD.size
+
+
+def encode_data_page(records: list[bytes], page_size: int) -> bytes:
+    """Assemble encoded records into one page image."""
+    body = b"".join(records)
+    if _PAGE_HEAD.size + len(body) > page_size:
+        raise PageOverflowError(
+            f"{len(records)} records ({len(body)} B) exceed page size {page_size}"
+        )
+    return (_PAGE_HEAD.pack(len(records)) + body).ljust(page_size, b"\x00")
+
+
+def decode_data_page(data: bytes) -> list[NodeRecord]:
+    """Decode every record in a page image."""
+    (count,) = _PAGE_HEAD.unpack_from(data, 0)
+    offset = _PAGE_HEAD.size
+    records = []
+    for _ in range(count):
+        record, offset = decode_record(data, offset)
+        records.append(record)
+    return records
+
+
+def decode_record_at_slot(data: bytes, slot: int) -> NodeRecord:
+    """Decode only the record at position ``slot`` within a page image."""
+    (count,) = _PAGE_HEAD.unpack_from(data, 0)
+    if not 0 <= slot < count:
+        raise StorageError(f"slot {slot} out of range (page holds {count})")
+    offset = _PAGE_HEAD.size
+    for _ in range(slot):
+        _node_id, _x, _y, n = _RECORD_HEAD.unpack_from(data, offset)
+        offset += _RECORD_HEAD.size + n * _NEIGHBOR.size
+    record, _next = decode_record(data, offset)
+    return record

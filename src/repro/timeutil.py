@@ -1,0 +1,171 @@
+"""Time representation used across the library.
+
+Time instants are floating-point **minutes since midnight of day 0**.  The
+paper works in minutes (speeds are quoted in miles per minute), so minutes are
+the natural unit; a full day is :data:`MINUTES_PER_DAY` = 1440.
+
+The helpers here parse and format clock strings such as ``"7:45"`` or
+``"6:58:30"`` and provide :class:`TimeInterval`, the closed interval type used
+for query leaving-time windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .exceptions import QueryError
+
+MINUTES_PER_HOUR = 60.0
+MINUTES_PER_DAY = 24.0 * MINUTES_PER_HOUR
+
+#: Numeric tolerance used when comparing time instants or travel times.
+EPS = 1e-9
+
+
+def hours(value: float) -> float:
+    """Convert hours to minutes: ``hours(2) == 120.0``."""
+    return value * MINUTES_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert whole/fractional days to minutes: ``days(1) == 1440.0``."""
+    return value * MINUTES_PER_DAY
+
+
+def mph_to_mpm(speed_mph: float) -> float:
+    """Convert miles-per-hour to miles-per-minute (the paper's unit)."""
+    return speed_mph / MINUTES_PER_HOUR
+
+
+def parse_clock(text: str, day: int = 0) -> float:
+    """Parse ``"H:MM"`` or ``"H:MM:SS"`` into minutes since day-0 midnight.
+
+    ``day`` shifts the result by whole days, e.g. ``parse_clock("7:00", day=1)``
+    is 7am on the second day.
+
+    >>> parse_clock("6:58:30")
+    418.5
+    """
+    parts = text.strip().split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"cannot parse clock string {text!r}")
+    try:
+        h = int(parts[0])
+        m = int(parts[1])
+        s = float(parts[2]) if len(parts) == 3 else 0.0
+    except ValueError as exc:
+        raise ValueError(f"cannot parse clock string {text!r}") from exc
+    if not (0 <= m < 60 and 0 <= s < 60):
+        raise ValueError(f"minutes/seconds out of range in {text!r}")
+    return day * MINUTES_PER_DAY + h * MINUTES_PER_HOUR + m + s / 60.0
+
+
+def format_clock(minutes: float, with_seconds: bool = True) -> str:
+    """Format minutes-since-day-0-midnight as ``[day+]H:MM[:SS]``.
+
+    >>> format_clock(418.5)
+    '6:58:30'
+    >>> format_clock(1440 + 60, with_seconds=False)
+    'd1+1:00'
+    """
+    day, rem = divmod(minutes, MINUTES_PER_DAY)
+    total_seconds = int(round(rem * 60.0))
+    if total_seconds >= 24 * 3600:  # rounding pushed us past midnight
+        total_seconds -= 24 * 3600
+        day += 1
+    h, rem_s = divmod(total_seconds, 3600)
+    m, s = divmod(rem_s, 60)
+    prefix = f"d{int(day)}+" if day else ""
+    if with_seconds and s:
+        return f"{prefix}{h}:{m:02d}:{s:02d}"
+    return f"{prefix}{h}:{m:02d}"
+
+
+def format_duration(minutes: float) -> str:
+    """Format a duration in minutes as a human string, e.g. ``'1h 05m 30s'``."""
+    if minutes < 0:
+        return "-" + format_duration(-minutes)
+    total_seconds = int(round(minutes * 60.0))
+    h, rem = divmod(total_seconds, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{h}h {m:02d}m {s:02d}s" if s else f"{h}h {m:02d}m"
+    if m:
+        return f"{m}m {s:02d}s" if s else f"{m}m"
+    return f"{s}s"
+
+
+def time_of_day(minutes: float) -> float:
+    """Reduce an absolute time instant to its offset within its day."""
+    return math.fmod(minutes, MINUTES_PER_DAY)
+
+
+def day_index(minutes: float) -> int:
+    """Return which day (0-based) an absolute time instant falls in."""
+    return int(math.floor(minutes / MINUTES_PER_DAY))
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed time interval ``[start, end]`` in absolute minutes.
+
+    Used for query leaving-time windows and for the sub-intervals of the
+    allFP answer partition.  ``start == end`` (a single instant) is allowed:
+    it is the degenerate case the paper notes reduces to the classical
+    shortest-path problem.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise QueryError("interval endpoints must be finite")
+        if self.end < self.start - EPS:
+            raise QueryError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    @classmethod
+    def from_clock(cls, start: str, end: str, day: int = 0) -> "TimeInterval":
+        """Build an interval from clock strings, e.g. ``("6:50", "7:05")``."""
+        return cls(parse_clock(start, day), parse_clock(end, day))
+
+    @property
+    def length(self) -> float:
+        """Interval length in minutes."""
+        return self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        """True when the interval is a single time instant."""
+        return self.end - self.start <= EPS
+
+    def contains(self, t: float, tol: float = EPS) -> bool:
+        """True when instant ``t`` lies inside the closed interval."""
+        return self.start - tol <= t <= self.end + tol
+
+    def clamp(self, t: float) -> float:
+        """Project instant ``t`` onto the interval."""
+        return min(max(t, self.start), self.end)
+
+    def intersect(self, other: "TimeInterval") -> "TimeInterval | None":
+        """Intersection with another interval, or None when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi < lo - EPS:
+            return None
+        return TimeInterval(lo, min(hi, max(lo, hi)))
+
+    def sample(self, count: int) -> list[float]:
+        """Return ``count`` evenly spaced instants covering the interval."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count == 1 or self.is_instant:
+            return [self.start]
+        step = self.length / (count - 1)
+        return [self.start + i * step for i in range(count)]
+
+    def __str__(self) -> str:
+        return f"[{format_clock(self.start)}, {format_clock(self.end)}]"

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generator import (
+    MetroConfig,
+    make_grid_network,
+    make_metro_network,
+    paper_example_network,
+)
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.timeutil import TimeInterval, parse_clock
+
+
+@pytest.fixture(scope="session")
+def single_calendar() -> Calendar:
+    """A calendar with one category for every day."""
+    return Calendar.single_category()
+
+
+@pytest.fixture(scope="session")
+def example_network():
+    """The paper's Figure 2 running-example network."""
+    return paper_example_network()
+
+
+@pytest.fixture(scope="session")
+def example_interval() -> TimeInterval:
+    """The paper's query interval I = [6:50, 7:05]."""
+    return TimeInterval.from_clock("6:50", "7:05")
+
+
+@pytest.fixture(scope="session")
+def grid5():
+    """A 5×5 uniform-speed two-way grid."""
+    return make_grid_network(5, 5)
+
+
+@pytest.fixture(scope="session")
+def metro_small():
+    """A small metro network with Table 1 patterns (16×16, seeded)."""
+    return make_metro_network(MetroConfig(width=16, height=16, seed=3))
+
+
+@pytest.fixture(scope="session")
+def metro_tiny():
+    """An even smaller metro network for exhaustive checks (10×10)."""
+    return make_metro_network(MetroConfig(width=10, height=10, seed=5))
+
+
+@pytest.fixture
+def rush_pattern(single_calendar) -> CapeCodPattern:
+    """1 mpm all day except 0.5 mpm during [7:00, 9:00)."""
+    cat = single_calendar.categories.names[0]
+    return CapeCodPattern(
+        {
+            cat: DailySpeedPattern(
+                [(0.0, 1.0), (parse_clock("7:00"), 0.5), (parse_clock("9:00"), 1.0)]
+            )
+        }
+    )

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness (at a deliberately tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    bench_network,
+    bench_queries,
+    bench_scale,
+    constant_speed_experiment,
+    fig9_experiment,
+    fig10_experiment,
+)
+from repro.analysis.report import format_table
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.patterns.schema import constant_speed_schema
+from repro.timeutil import parse_clock
+
+
+@pytest.fixture(scope="module")
+def net():
+    return make_metro_network(MetroConfig(width=12, height=12, seed=8))
+
+
+@pytest.fixture(scope="module")
+def const_net():
+    return make_metro_network(
+        MetroConfig(width=12, height=12, seed=8), schema=constant_speed_schema()
+    )
+
+
+class TestScaleControl:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "medium"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert bench_scale() == "small"
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_queries_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "3")
+        assert bench_queries() == 3
+
+    def test_bench_network_cached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        bench_network.cache_clear()
+        a = bench_network()
+        b = bench_network()
+        assert a is b
+        bench_network.cache_clear()
+
+
+class TestFig9:
+    def test_rows_shape(self, net):
+        estimators = {
+            "naiveLB": NaiveEstimator(net),
+            "bdLB": BoundaryNodeEstimator(net, 3, 3),
+        }
+        rows = fig9_experiment(
+            net, estimators, "singleFP", bands=[(0.5, 1.5)], per_band=3
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.queries == 3
+            assert row.mean_expanded > 0
+            assert row.query_type == "singleFP"
+
+    def test_bd_no_worse_than_naive(self, net):
+        estimators = {
+            "naiveLB": NaiveEstimator(net),
+            "bdLB": BoundaryNodeEstimator(net, 3, 3),
+        }
+        rows = fig9_experiment(
+            net, estimators, "allFP", bands=[(1.0, 2.0)], per_band=4
+        )
+        by_name = {r.estimator: r for r in rows}
+        assert by_name["bdLB"].mean_expanded <= by_name["naiveLB"].mean_expanded + 1e-9
+
+    def test_rejects_bad_query_type(self, net):
+        with pytest.raises(ValueError):
+            fig9_experiment(net, {}, "shortest", bands=[(1, 2)], per_band=1)
+
+
+class TestFig10:
+    def test_rows_and_monotonicity(self, net):
+        rows = fig10_experiment(
+            net,
+            steps_minutes=[60.0, 10.0],
+            count=3,
+            min_distance=1.0,
+            max_distance=2.5,
+        )
+        assert [r.step_minutes for r in rows] == [60.0, 10.0]
+        # Discrete can never beat the exact method on travel time.
+        for row in rows:
+            assert row.travel_time_ratio >= 1.0 - 1e-9
+        # Finer discretization is at least as accurate and costs more.
+        assert rows[1].travel_time_ratio <= rows[0].travel_time_ratio + 1e-9
+        assert rows[1].query_time_ratio >= rows[0].query_time_ratio
+
+
+class TestConstantSpeed:
+    def test_capecod_never_slower(self, net, const_net):
+        rows = constant_speed_experiment(
+            net,
+            const_net,
+            leave_times=[parse_clock("8:00")],
+            leave_labels=["8:00"],
+            count=4,
+            min_distance=1.0,
+            max_distance=2.5,
+        )
+        (row,) = rows
+        assert row.mean_capecod_minutes <= row.mean_constant_minutes + 1e-9
+        assert row.improvement_percent >= -1e-9
+
+    def test_no_improvement_off_peak(self, net, const_net):
+        rows = constant_speed_experiment(
+            net,
+            const_net,
+            leave_times=[parse_clock("3:00")],
+            leave_labels=["3:00"],
+            count=4,
+            min_distance=1.0,
+            max_distance=2.5,
+        )
+        # At 3am nothing is congested: both planners find the same times.
+        assert rows[0].improvement_percent == pytest.approx(0.0, abs=1e-6)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(
+            ["col", "value"], [["a", 1.2345], ["b", 12345.6]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        assert any("1.23" in line for line in lines)
+        assert any("12,346" in line for line in lines)
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_nan_rendering(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]

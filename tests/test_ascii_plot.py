@@ -1,0 +1,95 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import render_function, render_partition
+from repro.core.results import AllFPEntry
+from repro.func.piecewise import PiecewiseLinearFunction
+from repro.timeutil import TimeInterval
+
+PLF = PiecewiseLinearFunction
+
+
+class TestRenderFunction:
+    def test_basic_shape(self):
+        fn = PLF([(420.0, 5.0), (480.0, 10.0)])
+        text = render_function(fn, width=20, height=5, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 5 + 3  # title + rows + axis + labels
+        assert "7:00" in lines[-1]
+        assert "8:00" in lines[-1]
+
+    def test_one_marker_per_column(self):
+        fn = PLF([(0.0, 0.0), (100.0, 10.0)])
+        text = render_function(fn, width=16, height=6)
+        rows = [line.split("|", 1)[1] for line in text.splitlines()[:-2] if "|" in line]
+        for col in range(16):
+            assert sum(1 for row in rows if row[col] == "*") == 1
+
+    def test_min_max_labels(self):
+        fn = PLF([(0.0, 2.0), (50.0, 8.0), (100.0, 2.0)])
+        text = render_function(fn, width=20, height=5)
+        assert "8.0" in text
+        assert "2.0" in text
+
+    def test_constant_function(self):
+        fn = PLF.constant(0.0, 100.0, 3.0)
+        text = render_function(fn, width=12, height=4)
+        assert text.count("*") == 12
+
+    def test_instant_domain(self):
+        fn = PLF([(420.0, 5.0)])
+        text = render_function(fn)
+        assert "7:00" in text and "5.00" in text
+
+    def test_rejects_tiny_canvas(self):
+        fn = PLF.constant(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            render_function(fn, width=4)
+        with pytest.raises(ValueError):
+            render_function(fn, height=2)
+
+    def test_custom_marker(self):
+        fn = PLF.constant(0.0, 10.0, 1.0)
+        text = render_function(fn, width=10, height=3, marker="#")
+        assert "#" in text and "*" not in text
+
+
+class TestRenderPartition:
+    def _entries(self):
+        return [
+            AllFPEntry(TimeInterval(0.0, 30.0), (1, 2)),
+            AllFPEntry(TimeInterval(30.0, 60.0), (1, 3, 2)),
+            AllFPEntry(TimeInterval(60.0, 90.0), (1, 2)),
+        ]
+
+    def test_letters_reused_for_same_path(self):
+        text = render_partition(self._entries(), width=30)
+        bar = text.splitlines()[0].strip("|")
+        assert set(bar) == {"A", "B"}
+        assert bar.startswith("A") and bar.endswith("A")
+
+    def test_legend_lists_paths(self):
+        text = render_partition(self._entries(), width=30)
+        assert "A = 1 -> 2" in text
+        assert "B = 1 -> 3 -> 2" in text
+
+    def test_custom_labels(self):
+        text = render_partition(
+            self._entries(), width=30, labels={(1, 2): "X"}
+        )
+        assert "X = 1 -> 2" in text
+
+    def test_empty(self):
+        assert "empty" in render_partition([])
+
+    def test_tiny_piece_still_visible(self):
+        entries = [
+            AllFPEntry(TimeInterval(0.0, 99.0), (1, 2)),
+            AllFPEntry(TimeInterval(99.0, 99.5), (1, 3, 2)),
+        ]
+        text = render_partition(entries, width=20)
+        assert "B" in text.splitlines()[0]

@@ -1,0 +1,151 @@
+"""Unit tests for the fixed-departure time-dependent A* (system S9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import (
+    fixed_departure_query,
+    path_arrival_time,
+    path_travel_time,
+)
+from repro.estimators.naive import NaiveEstimator
+from repro.exceptions import NoPathError, QueryError
+from repro.network.generator import (
+    EXAMPLE_E,
+    EXAMPLE_N,
+    EXAMPLE_S,
+    make_grid_network,
+    paper_example_network,
+)
+from repro.network.model import CapeCodNetwork
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern
+from repro.timeutil import parse_clock
+
+
+class TestOnPaperExample:
+    def test_early_departure_takes_direct(self, example_network):
+        result = fixed_departure_query(
+            example_network, EXAMPLE_S, EXAMPLE_E, parse_clock("6:50")
+        )
+        assert result.path == (EXAMPLE_S, EXAMPLE_E)
+        assert result.travel_time == pytest.approx(6.0)
+
+    def test_seven_oclock_goes_via_n(self, example_network):
+        result = fixed_departure_query(
+            example_network, EXAMPLE_S, EXAMPLE_E, parse_clock("7:00")
+        )
+        assert result.path == (EXAMPLE_S, EXAMPLE_N, EXAMPLE_E)
+        assert result.travel_time == pytest.approx(5.0)
+
+    def test_boundary_crossover(self, example_network):
+        # At exactly 6:58:30 both routes take 6 minutes.
+        result = fixed_departure_query(
+            example_network, EXAMPLE_S, EXAMPLE_E, parse_clock("6:58:30")
+        )
+        assert result.travel_time == pytest.approx(6.0)
+
+
+class TestOnGrid:
+    def test_shortest_hop_count_constant_speed(self, grid5):
+        result = fixed_departure_query(grid5, 0, 24, 0.0)
+        assert len(result.path) == 9  # 4+4 moves on a 5x5 grid
+        assert result.travel_time == pytest.approx(8.0)
+
+    def test_heuristic_reduces_expansions(self, grid5):
+        blind = fixed_departure_query(grid5, 0, 24, 0.0)
+        est = NaiveEstimator(grid5)
+        est.prepare(24)
+        guided = fixed_departure_query(grid5, 0, 24, 0.0, est.bound)
+        assert guided.travel_time == pytest.approx(blind.travel_time)
+        assert guided.stats.expanded_paths <= blind.stats.expanded_paths
+
+    def test_arrival_equals_depart_plus_travel(self, grid5):
+        result = fixed_departure_query(grid5, 0, 24, 100.0)
+        assert result.arrival == pytest.approx(100.0 + result.travel_time)
+
+    def test_path_endpoints(self, grid5):
+        result = fixed_departure_query(grid5, 3, 21, 0.0)
+        assert result.path[0] == 3
+        assert result.path[-1] == 21
+
+    def test_stats_populated(self, grid5):
+        result = fixed_departure_query(grid5, 0, 24, 0.0)
+        assert result.stats.expanded_paths > 0
+        assert result.stats.labels_generated > 0
+        assert result.stats.distinct_nodes > 0
+
+
+class TestErrors:
+    def test_same_source_target(self, grid5):
+        with pytest.raises(QueryError):
+            fixed_departure_query(grid5, 0, 0, 0.0)
+
+    def test_unknown_node(self, grid5):
+        with pytest.raises(KeyError):
+            fixed_departure_query(grid5, 0, 10**9, 0.0)
+
+    def test_no_path(self):
+        cal = Calendar.single_category()
+        pat = CapeCodPattern.constant(1.0, cal.categories.names)
+        net = CapeCodNetwork(cal)
+        net.add_node(0, 0.0, 0.0)
+        net.add_node(1, 1.0, 0.0)
+        net.add_node(2, 2.0, 0.0)
+        net.add_edge(0, 1, 1.0, pat)  # 2 unreachable
+        with pytest.raises(NoPathError):
+            fixed_departure_query(net, 0, 2, 0.0)
+
+
+class TestTimeDependence:
+    def test_rush_hour_changes_route(self, metro_small):
+        """There exists a pair whose fastest route differs 6am vs 8am."""
+        ids = list(metro_small.node_ids())
+        changed = 0
+        for s, e in zip(ids[::13], reversed(ids[::13])):
+            if s == e:
+                continue
+            early = fixed_departure_query(metro_small, s, e, parse_clock("5:00"))
+            rush = fixed_departure_query(metro_small, s, e, parse_clock("8:00"))
+            assert rush.travel_time >= early.travel_time - 1e-6
+            if early.path != rush.path:
+                changed += 1
+        assert changed > 0
+
+    def test_weekend_is_free_flowing(self, metro_small):
+        # Day 5 is a Saturday: rush-hour departure equals off-peak times.
+        s, e = 0, metro_small.node_count - 1
+        saturday_rush = fixed_departure_query(
+            metro_small, s, e, parse_clock("8:00", day=5)
+        )
+        saturday_noon = fixed_departure_query(
+            metro_small, s, e, parse_clock("12:00", day=5)
+        )
+        assert saturday_rush.travel_time == pytest.approx(
+            saturday_noon.travel_time, abs=1e-6
+        )
+
+
+class TestPathEvaluators:
+    def test_path_arrival_time_consistency(self, grid5):
+        result = fixed_departure_query(grid5, 0, 24, 50.0)
+        assert path_arrival_time(grid5, result.path, 50.0) == pytest.approx(
+            result.arrival
+        )
+
+    def test_path_travel_time(self, grid5):
+        result = fixed_departure_query(grid5, 0, 24, 50.0)
+        assert path_travel_time(grid5, result.path, 50.0) == pytest.approx(
+            result.travel_time
+        )
+
+    def test_alternative_path_never_faster(self, example_network):
+        depart = parse_clock("6:50")
+        best = fixed_departure_query(
+            example_network, EXAMPLE_S, EXAMPLE_E, depart
+        )
+        detour = path_travel_time(
+            example_network, (EXAMPLE_S, EXAMPLE_N, EXAMPLE_E), depart
+        )
+        assert best.travel_time <= detour + 1e-9

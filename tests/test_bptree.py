@@ -1,0 +1,181 @@
+"""Unit tests for the page-based B+-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer import MemoryPageStore
+
+PAGE = 256
+
+
+@pytest.fixture
+def tree():
+    return BPlusTree(MemoryPageStore(PAGE), PAGE)
+
+
+class TestBasics:
+    def test_empty(self, tree):
+        assert tree.get(1) is None
+        assert 1 not in tree
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_insert_get(self, tree):
+        tree.insert(5, 50)
+        assert tree.get(5) == 50
+        assert 5 in tree
+
+    def test_overwrite(self, tree):
+        tree.insert(5, 50)
+        tree.insert(5, 99)
+        assert tree.get(5) == 99
+        assert len(tree) == 1
+
+    def test_ordered_items(self, tree):
+        for k in (5, 1, 9, 3):
+            tree.insert(k, k * 10)
+        assert list(tree.items()) == [(1, 10), (3, 30), (5, 50), (9, 90)]
+
+    def test_range_scan(self, tree):
+        for k in range(20):
+            tree.insert(k, k)
+        assert [k for k, _v in tree.items(5, 9)] == [5, 6, 7, 8, 9]
+
+    def test_range_scan_empty(self, tree):
+        tree.insert(1, 1)
+        assert list(tree.items(5, 9)) == []
+
+    def test_rejects_tiny_pages(self):
+        with pytest.raises(StorageError):
+            BPlusTree(MemoryPageStore(64), 24)
+
+
+class TestSplitting:
+    def test_many_sequential_inserts(self, tree):
+        n = 2000
+        for k in range(n):
+            tree.insert(k, k * 2)
+        tree.check_invariants()
+        assert len(tree) == n
+        for k in range(0, n, 97):
+            assert tree.get(k) == k * 2
+
+    def test_many_reverse_inserts(self, tree):
+        for k in range(1500, 0, -1):
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()][:5] == [1, 2, 3, 4, 5]
+
+    def test_random_inserts_model_check(self, tree):
+        rng = random.Random(1)
+        model = {}
+        for _ in range(3000):
+            k = rng.randrange(10000)
+            v = rng.randrange(1 << 50)
+            tree.insert(k, v)
+            model[k] = v
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+
+    def test_root_grows_multiple_levels(self):
+        store = MemoryPageStore(128)
+        tree = BPlusTree(store, 128)
+        for k in range(500):
+            tree.insert(k, k)
+        tree.check_invariants()
+        # With 128-byte pages a 500-key tree needs >= 3 levels -> many pages.
+        assert store.page_count > 50
+
+
+class TestDelete:
+    def test_delete_existing(self, tree):
+        tree.insert(5, 50)
+        assert tree.delete(5)
+        assert tree.get(5) is None
+
+    def test_delete_missing(self, tree):
+        assert not tree.delete(5)
+
+    def test_delete_random_model_check(self, tree):
+        rng = random.Random(2)
+        model = {}
+        keys = rng.sample(range(50000), 1200)
+        for k in keys:
+            tree.insert(k, k)
+            model[k] = k
+        for k in rng.sample(keys, 800):
+            assert tree.delete(k)
+            del model[k]
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+
+    def test_scan_skips_emptied_leaves(self, tree):
+        for k in range(300):
+            tree.insert(k, k)
+        for k in range(100, 200):
+            tree.delete(k)
+        keys = [k for k, _ in tree.items()]
+        assert keys == list(range(100)) + list(range(200, 300))
+
+
+class TestBulkLoad:
+    def test_matches_incremental(self):
+        items = [(k, k * 3) for k in range(0, 4000, 3)]
+        store = MemoryPageStore(PAGE)
+        bulk = BPlusTree.bulk_load(store, PAGE, items)
+        bulk.check_invariants()
+        assert list(bulk.items()) == items
+        assert bulk.get(3) == 9
+        assert bulk.get(4) is None
+
+    def test_empty(self):
+        store = MemoryPageStore(PAGE)
+        tree = BPlusTree.bulk_load(store, PAGE, [])
+        assert list(tree.items()) == []
+
+    def test_single_item(self):
+        store = MemoryPageStore(PAGE)
+        tree = BPlusTree.bulk_load(store, PAGE, [(7, 70)])
+        assert tree.get(7) == 70
+
+    def test_rejects_unsorted(self):
+        store = MemoryPageStore(PAGE)
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load(store, PAGE, [(2, 0), (1, 0)])
+
+    def test_rejects_duplicates(self):
+        store = MemoryPageStore(PAGE)
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load(store, PAGE, [(1, 0), (1, 1)])
+
+    def test_insert_after_bulk_load(self):
+        store = MemoryPageStore(PAGE)
+        tree = BPlusTree.bulk_load(store, PAGE, [(k, k) for k in range(0, 1000, 2)])
+        for k in range(1, 1000, 20):
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert tree.get(41) == 41
+
+    def test_uses_fill_factor(self):
+        items = [(k, k) for k in range(1000)]
+        dense_store = MemoryPageStore(PAGE)
+        BPlusTree.bulk_load(dense_store, PAGE, items, fill=1.0)
+        sparse_store = MemoryPageStore(PAGE)
+        BPlusTree.bulk_load(sparse_store, PAGE, items, fill=0.5)
+        assert sparse_store.page_count > dense_store.page_count
+
+
+class TestPersistence:
+    def test_reopen_via_root_page(self):
+        store = MemoryPageStore(PAGE)
+        tree = BPlusTree(store, PAGE)
+        for k in range(500):
+            tree.insert(k, k + 1)
+        reopened = BPlusTree(store, PAGE, root=tree.root_page)
+        assert reopened.get(123) == 124
+        assert len(reopened) == 500

@@ -1,0 +1,155 @@
+"""Unit tests for page stores and the LRU buffer manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.buffer import BufferManager, FilePageStore, MemoryPageStore
+
+
+class TestMemoryPageStore:
+    def test_allocate_and_roundtrip(self):
+        store = MemoryPageStore(128)
+        p = store.allocate()
+        store.write(p, b"hello")
+        data = store.read(p)
+        assert data.startswith(b"hello")
+        assert len(data) == 128
+
+    def test_pages_zero_initialised(self):
+        store = MemoryPageStore(128)
+        p = store.allocate()
+        assert store.read(p) == bytes(128)
+
+    def test_write_overflow_raises(self):
+        store = MemoryPageStore(64)
+        p = store.allocate()
+        with pytest.raises(StorageError):
+            store.write(p, b"x" * 65)
+
+    def test_out_of_range_raises(self):
+        store = MemoryPageStore(64)
+        with pytest.raises(StorageError):
+            store.read(0)
+        store.allocate()
+        with pytest.raises(StorageError):
+            store.read(5)
+
+    def test_too_small_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            MemoryPageStore(16)
+
+    def test_dump(self, tmp_path):
+        store = MemoryPageStore(64)
+        for i in range(3):
+            p = store.allocate()
+            store.write(p, bytes([i]) * 10)
+        path = tmp_path / "pages.bin"
+        with open(path, "wb") as f:
+            store.dump(f)
+        assert path.stat().st_size == 3 * 64
+
+
+class TestFilePageStore:
+    @pytest.fixture
+    def backing(self, tmp_path):
+        path = tmp_path / "db.bin"
+        payload = b"".join(bytes([i]) * 64 for i in range(10))
+        path.write_bytes(payload)
+        return path
+
+    def test_read(self, backing):
+        with FilePageStore(backing, 64, 10) as store:
+            assert store.read(3) == bytes([3]) * 64
+
+    def test_offset_region(self, backing):
+        with FilePageStore(backing, 64, 8, offset=2 * 64) as store:
+            assert store.read(0) == bytes([2]) * 64
+
+    def test_out_of_range(self, backing):
+        with FilePageStore(backing, 64, 10) as store:
+            with pytest.raises(StorageError):
+                store.read(10)
+
+    def test_short_read_detected(self, backing):
+        with FilePageStore(backing, 64, 11) as store:
+            with pytest.raises(StorageError):
+                store.read(10)
+
+    def test_read_only(self, backing):
+        with FilePageStore(backing, 64, 10) as store:
+            with pytest.raises(StorageError):
+                store.write(0, b"x")
+            with pytest.raises(StorageError):
+                store.allocate()
+
+
+class TestBufferManager:
+    @pytest.fixture
+    def store(self):
+        s = MemoryPageStore(64)
+        for i in range(10):
+            p = s.allocate()
+            s.write(p, bytes([i]) * 8)
+        return s
+
+    def test_counts_hits_and_misses(self, store):
+        buf = BufferManager(store, capacity=4)
+        buf.read(0)
+        buf.read(0)
+        assert buf.logical_reads == 2
+        assert buf.physical_reads == 1
+        assert buf.hit_rate == 0.5
+
+    def test_lru_eviction(self, store):
+        buf = BufferManager(store, capacity=2)
+        buf.read(0)
+        buf.read(1)
+        buf.read(2)  # evicts page 0
+        buf.read(0)  # miss again
+        assert buf.physical_reads == 4
+
+    def test_lru_recency_update(self, store):
+        buf = BufferManager(store, capacity=2)
+        buf.read(0)
+        buf.read(1)
+        buf.read(0)  # touch 0, making 1 the LRU
+        buf.read(2)  # evicts 1
+        buf.read(0)  # still cached
+        assert buf.physical_reads == 3
+
+    def test_invalidate_single(self, store):
+        buf = BufferManager(store, capacity=4)
+        buf.read(0)
+        buf.invalidate(0)
+        buf.read(0)
+        assert buf.physical_reads == 2
+
+    def test_invalidate_all(self, store):
+        buf = BufferManager(store, capacity=4)
+        buf.read(0)
+        buf.read(1)
+        buf.invalidate()
+        buf.read(0)
+        assert buf.physical_reads == 3
+
+    def test_reset_counters(self, store):
+        buf = BufferManager(store, capacity=4)
+        buf.read(0)
+        buf.reset_counters()
+        assert buf.logical_reads == 0
+        assert buf.physical_reads == 0
+
+    def test_hit_rate_empty(self, store):
+        assert BufferManager(store).hit_rate == 0.0
+
+    def test_rejects_zero_capacity(self, store):
+        with pytest.raises(StorageError):
+            BufferManager(store, capacity=0)
+
+    def test_data_correctness_through_cache(self, store):
+        buf = BufferManager(store, capacity=2)
+        for _ in range(3):
+            for i in range(10):
+                assert buf.read(i)[:8] == bytes([i]) * 8

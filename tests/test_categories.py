@@ -1,0 +1,106 @@
+"""Unit tests for day-category sets and calendars (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns.categories import (
+    NON_WORKDAY,
+    WORKDAY,
+    WORKWEEK,
+    Calendar,
+    DayCategorySet,
+    workweek_calendar,
+)
+
+
+class TestDayCategorySet:
+    def test_names(self):
+        cats = DayCategorySet(["a", "b"])
+        assert cats.names == ("a", "b")
+        assert len(cats) == 2
+
+    def test_contains(self):
+        cats = DayCategorySet(["a", "b"])
+        assert "a" in cats
+        assert "z" not in cats
+
+    def test_iteration_order(self):
+        assert list(DayCategorySet(["x", "y", "z"])) == ["x", "y", "z"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            DayCategorySet([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(PatternError):
+            DayCategorySet(["a", "a"])
+
+    def test_validate_member(self):
+        cats = DayCategorySet(["a"])
+        assert cats.validate("a") == "a"
+
+    def test_validate_non_member(self):
+        with pytest.raises(PatternError):
+            DayCategorySet(["a"]).validate("b")
+
+    def test_equality_and_hash(self):
+        assert DayCategorySet(["a", "b"]) == DayCategorySet(["a", "b"])
+        assert DayCategorySet(["a", "b"]) != DayCategorySet(["b", "a"])
+        assert hash(DayCategorySet(["a"])) == hash(DayCategorySet(["a"]))
+
+    def test_workweek_constant(self):
+        assert WORKWEEK.names == ("workday", "non-workday")
+
+
+class TestCalendar:
+    def test_single_category(self):
+        cal = Calendar.single_category("x")
+        assert cal.category_for_day(0) == "x"
+        assert cal.category_for_day(400) == "x"
+
+    def test_periodic(self):
+        cats = DayCategorySet(["a", "b"])
+        cal = Calendar.periodic(cats, ["a", "a", "b"])
+        assert [cal.category_for_day(d) for d in range(6)] == [
+            "a", "a", "b", "a", "a", "b",
+        ]
+
+    def test_periodic_rejects_empty(self):
+        with pytest.raises(PatternError):
+            Calendar.periodic(DayCategorySet(["a"]), [])
+
+    def test_periodic_rejects_unknown(self):
+        with pytest.raises(PatternError):
+            Calendar.periodic(DayCategorySet(["a"]), ["b"])
+
+    def test_custom_assignment_validated(self):
+        cal = Calendar(DayCategorySet(["a"]), lambda day: "z")
+        with pytest.raises(PatternError):
+            cal.category_for_day(0)
+
+    def test_caching(self):
+        calls = []
+        cal = Calendar(DayCategorySet(["a"]), lambda day: (calls.append(day), "a")[1])
+        cal.category_for_day(3)
+        cal.category_for_day(3)
+        assert calls == [3]
+
+
+class TestWorkweekCalendar:
+    def test_weekdays(self):
+        cal = workweek_calendar()
+        # Day 0 is a Monday.
+        assert [cal.category_for_day(d) for d in range(7)] == [
+            WORKDAY, WORKDAY, WORKDAY, WORKDAY, WORKDAY,
+            NON_WORKDAY, NON_WORKDAY,
+        ]
+
+    def test_repeats_weekly(self):
+        cal = workweek_calendar()
+        assert cal.category_for_day(7) == WORKDAY
+        assert cal.category_for_day(12) == NON_WORKDAY
+
+    def test_category_set(self):
+        assert workweek_calendar().categories == WORKWEEK

@@ -1,0 +1,126 @@
+"""Model-based fuzz test: random CCAM update sequences vs an in-memory twin.
+
+Applies a long random sequence of edge/node/pattern updates to a writable
+CCAM store and, in lockstep, to a plain dict model; afterwards (and after a
+close/reopen cycle) the disk adjacency must equal the model exactly, and
+the B+-tree invariants must hold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.patterns.categories import NON_WORKDAY, WORKDAY
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.storage.ccam import CCAMStore
+
+
+def pattern_with_speed(mpm: float) -> CapeCodPattern:
+    daily = DailySpeedPattern.constant(mpm)
+    return CapeCodPattern({WORKDAY: daily, NON_WORKDAY: daily})
+
+
+def snapshot(store_or_model) -> dict:
+    """Normalised adjacency snapshot {node: {target: (dist, pattern)}}."""
+    if isinstance(store_or_model, dict):
+        return store_or_model
+    snap: dict = {}
+    for nid in store_or_model.node_ids():
+        snap[nid] = {
+            e.target: (round(e.distance, 9), e.pattern)
+            for e in store_or_model.outgoing(nid)
+        }
+    return snap
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_update_sequence_matches_model(tmp_path, seed):
+    network = make_metro_network(MetroConfig(width=8, height=8, seed=seed))
+    path = tmp_path / f"fuzz-{seed}.ccam"
+    CCAMStore.build(network, path).close()
+
+    rng = random.Random(seed)
+    model: dict = {}
+    for nid in network.node_ids():
+        model[nid] = {
+            e.target: (round(e.distance, 9), e.pattern)
+            for e in network.outgoing(nid)
+        }
+    locations = {n.id: n.location for n in network.nodes()}
+    next_node_id = 10_000
+
+    with CCAMStore.open(path, writable=True) as store:
+        for step in range(300):
+            op = rng.choice(
+                ["pattern", "pattern", "insert_edge", "remove_edge", "insert_node"]
+            )
+            nodes = list(model)
+            if op == "pattern":
+                source = rng.choice(nodes)
+                if not model[source]:
+                    continue
+                target = rng.choice(list(model[source]))
+                new_pattern = pattern_with_speed(rng.choice([0.2, 0.5, 1.0, 1.5]))
+                store.update_edge_pattern(source, target, new_pattern)
+                dist, _old = model[source][target]
+                model[source][target] = (dist, new_pattern)
+            elif op == "insert_edge":
+                source, target = rng.choice(nodes), rng.choice(nodes)
+                if source == target or target in model[source]:
+                    continue
+                dist = round(rng.uniform(0.1, 2.0), 3)
+                pattern = pattern_with_speed(1.0)
+                store.insert_edge(source, target, dist, pattern)
+                model[source][target] = (dist, pattern)
+            elif op == "remove_edge":
+                source = rng.choice(nodes)
+                if not model[source]:
+                    continue
+                target = rng.choice(list(model[source]))
+                store.remove_edge(source, target)
+                del model[source][target]
+            else:  # insert_node
+                new_id = next_node_id
+                next_node_id += 1
+                x, y = rng.uniform(0, 2), rng.uniform(0, 2)
+                anchor = rng.choice(nodes)
+                pattern = pattern_with_speed(0.8)
+                store.insert_node(
+                    new_id, x, y, edges=[(anchor, 0.5, pattern, None)]
+                )
+                model[new_id] = {anchor: (0.5, pattern)}
+                locations[new_id] = (x, y)
+
+        # In-session fidelity.
+        assert snapshot(store) == model
+        assert store.node_count == len(model)
+        assert store.edge_count == sum(len(adj) for adj in model.values())
+        store._tree.check_invariants()
+        for nid, loc in list(locations.items())[::17]:
+            assert store.location(nid) == loc
+
+    # Reopen read-only: everything persisted.
+    with CCAMStore.open(path) as reopened:
+        assert snapshot(reopened) == model
+        assert reopened.node_count == len(model)
+
+
+def test_remove_nodes_then_reopen(tmp_path):
+    network = make_metro_network(MetroConfig(width=6, height=6, seed=9))
+    path = tmp_path / "removal.ccam"
+    CCAMStore.build(network, path).close()
+    with CCAMStore.open(path, writable=True) as store:
+        # Add then fully remove a batch of leaf nodes.
+        for i in range(20):
+            store.insert_node(5000 + i, float(i), 0.0)
+        for i in range(0, 20, 2):
+            store.remove_node(5000 + i)
+        remaining = {5000 + i for i in range(1, 20, 2)}
+        assert remaining <= set(store.node_ids())
+        assert not ({5000 + i for i in range(0, 20, 2)} & set(store.node_ids()))
+    with CCAMStore.open(path) as reopened:
+        assert remaining <= set(reopened.node_ids())
+        assert reopened.node_count == network.node_count + 10

@@ -1,0 +1,200 @@
+"""Tests for CCAM update operations (§2.2's network-update support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import fixed_departure_query
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.naive import NaiveEstimator
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NetworkError,
+    NodeNotFoundError,
+    StorageError,
+)
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.patterns.categories import NON_WORKDAY, WORKDAY
+from repro.storage.ccam import CCAMStore
+from repro.timeutil import TimeInterval, parse_clock
+
+
+@pytest.fixture(scope="module")
+def network():
+    return make_metro_network(MetroConfig(width=10, height=10, seed=23))
+
+
+@pytest.fixture
+def store(network, tmp_path):
+    path = tmp_path / "net.ccam"
+    CCAMStore.build(network, path).close()
+    with CCAMStore.open(path, writable=True) as s:
+        yield s
+
+
+def crawl_pattern():
+    daily = DailySpeedPattern.constant(0.05)
+    return CapeCodPattern({WORKDAY: daily, NON_WORKDAY: daily})
+
+
+class TestWritableGate:
+    def test_read_only_store_rejects_updates(self, network, tmp_path):
+        path = tmp_path / "ro.ccam"
+        with CCAMStore.build(network, path) as s:
+            with pytest.raises(StorageError, match="read-only"):
+                s.remove_edge(0, 1)
+
+    def test_writable_flag(self, store):
+        assert store.writable
+
+
+class TestUpdateEdgePattern:
+    def test_pattern_changes_travel_time(self, store):
+        edge = store.outgoing(0)[0]
+        before = fixed_departure_query(
+            store, 0, edge.target, parse_clock("12:00")
+        ).travel_time
+        store.update_edge_pattern(0, edge.target, crawl_pattern())
+        after = fixed_departure_query(
+            store, 0, edge.target, parse_clock("12:00")
+        ).travel_time
+        assert after > before * 2
+
+    def test_missing_edge_raises(self, store):
+        with pytest.raises(EdgeNotFoundError):
+            store.update_edge_pattern(0, 10**6, crawl_pattern())
+
+    def test_max_speed_tracks_new_patterns(self, store):
+        fast = CapeCodPattern(
+            {
+                WORKDAY: DailySpeedPattern.constant(9.0),
+                NON_WORKDAY: DailySpeedPattern.constant(9.0),
+            }
+        )
+        edge = store.outgoing(0)[0]
+        store.update_edge_pattern(0, edge.target, fast)
+        assert store.max_speed() == pytest.approx(9.0)
+
+    def test_persists_across_reopen(self, store, tmp_path):
+        edge = store.outgoing(0)[0]
+        store.update_edge_pattern(0, edge.target, crawl_pattern())
+        store.flush()
+        path = store._path
+        store.close()
+        with CCAMStore.open(path) as reopened:
+            reloaded = reopened.find_edge(0, edge.target)
+            assert reloaded.pattern == crawl_pattern()
+
+
+class TestInsertRemoveEdge:
+    def test_insert_and_query(self, store, network):
+        # A diagonal expressway between two far corners.
+        a, b = 0, network.node_count - 1
+        assert not any(e.target == b for e in store.outgoing(a))
+        store.insert_edge(a, b, 1.0, crawl_pattern())
+        assert store.find_edge(a, b).distance == 1.0
+        assert store.edge_count == network.edge_count + 1
+
+    def test_duplicate_rejected(self, store):
+        edge = store.outgoing(0)[0]
+        with pytest.raises(NetworkError):
+            store.insert_edge(0, edge.target, 1.0, crawl_pattern())
+
+    def test_missing_target_rejected(self, store):
+        with pytest.raises(NodeNotFoundError):
+            store.insert_edge(0, 10**6, 1.0, crawl_pattern())
+
+    def test_remove(self, store, network):
+        edge = store.outgoing(0)[0]
+        store.remove_edge(0, edge.target)
+        assert not any(e.target == edge.target for e in store.outgoing(0))
+        assert store.edge_count == network.edge_count - 1
+
+    def test_remove_missing(self, store):
+        with pytest.raises(EdgeNotFoundError):
+            store.remove_edge(0, 10**6)
+
+    def test_many_insertions_overflow_pages(self, store, network):
+        """Growing one node's adjacency forces a record relocation."""
+        hub = 0
+        added = []
+        for target in range(1, 90):
+            if any(e.target == target for e in store.outgoing(hub)):
+                continue
+            store.insert_edge(hub, target, 0.5, crawl_pattern())
+            added.append(target)
+        out = {e.target for e in store.outgoing(hub)}
+        assert set(added) <= out
+        # Every other node still resolves.
+        for nid in list(network.node_ids())[::9]:
+            store.find_node(nid)
+
+
+class TestInsertRemoveNode:
+    def test_insert_node_with_edges(self, store, network):
+        new_id = 10_000
+        store.insert_node(
+            new_id, 1.23, 4.56, edges=[(0, 0.7, crawl_pattern(), None)]
+        )
+        record = store.find_node(new_id)
+        assert record.location == (1.23, 4.56)
+        assert store.find_edge(new_id, 0).distance == 0.7
+        assert store.node_count == network.node_count + 1
+
+    def test_duplicate_node_rejected(self, store):
+        with pytest.raises(NetworkError):
+            store.insert_node(0, 0.0, 0.0)
+
+    def test_connectivity_placement(self, store):
+        """The new record lands in a page holding one of its neighbours."""
+        anchor = 42
+        anchor_page, _slot = store._locator(anchor)
+        new_id = 20_000
+        store.insert_node(
+            new_id, 9.9, 9.9, edges=[(anchor, 0.1, crawl_pattern(), None)]
+        )
+        new_page, _slot = store._locator(new_id)
+        # Either co-located with the anchor or the anchor's page was full.
+        assert new_page == anchor_page or store._page_free(anchor_page) < 60
+
+    def test_remove_node(self, store, network):
+        new_id = 30_000
+        store.insert_node(new_id, 0.0, 0.0)
+        store.remove_node(new_id)
+        with pytest.raises(NodeNotFoundError):
+            store.find_node(new_id)
+        assert store.node_count == network.node_count
+
+    def test_roundtrip_persistence(self, store):
+        new_id = 40_000
+        store.insert_node(
+            new_id, 5.0, 5.0, edges=[(7, 0.3, crawl_pattern(), None)]
+        )
+        path = store._path
+        store.close()
+        with CCAMStore.open(path) as reopened:
+            assert reopened.find_node(new_id).location == (5.0, 5.0)
+            assert reopened.find_edge(new_id, 7).distance == 0.3
+
+
+class TestQueriesAfterUpdates:
+    def test_engine_sees_updates(self, store, network):
+        """A fresh engine routes over a newly inserted expressway."""
+        a, b = 0, network.node_count - 1
+        interval = TimeInterval(parse_clock("12:00"), parse_clock("12:30"))
+        before = IntAllFastestPaths(store, NaiveEstimator(store)).all_fastest_paths(
+            a, b, interval
+        )
+        fast = CapeCodPattern(
+            {
+                WORKDAY: DailySpeedPattern.constant(5.0),
+                NON_WORKDAY: DailySpeedPattern.constant(5.0),
+            }
+        )
+        store.insert_edge(a, b, 0.5, fast)
+        after = IntAllFastestPaths(store, NaiveEstimator(store)).all_fastest_paths(
+            a, b, interval
+        )
+        assert after.border.min_value() < before.border.min_value()
+        assert after.path_at(parse_clock("12:10")) == (a, b)

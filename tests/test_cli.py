@@ -1,0 +1,211 @@
+"""End-to-end tests for the repro-allfp command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def network_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "net.json"
+    code = main(
+        [
+            "generate",
+            "--out",
+            str(path),
+            "--width",
+            "10",
+            "--height",
+            "10",
+            "--seed",
+            "7",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def ccam_db(network_json, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-db") / "net.ccam"
+    code = main(
+        ["build-ccam", "--network", str(network_json), "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_file(self, network_json, capsys):
+        assert network_json.exists()
+
+    def test_output_message(self, tmp_path, capsys):
+        main(["generate", "--out", str(tmp_path / "n.json"), "--width", "6", "--height", "6"])
+        out = capsys.readouterr().out
+        assert "36 nodes" in out
+
+
+class TestBuildCCAM:
+    def test_builds(self, ccam_db):
+        assert ccam_db.exists()
+
+    def test_reports_clustering(self, network_json, tmp_path, capsys):
+        main(
+            [
+                "build-ccam",
+                "--network",
+                str(network_json),
+                "--out",
+                str(tmp_path / "x.ccam"),
+                "--strategy",
+                "hilbert",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "clustering quality" in out
+
+
+class TestQuery:
+    def test_allfp_on_json(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "99",
+                "--from",
+                "7:00",
+                "--to",
+                "8:00",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "allFP 0->99" in out
+        assert "expanded paths" in out
+
+    def test_singlefp_on_ccam(self, ccam_db, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(ccam_db),
+                "--source",
+                "0",
+                "--target",
+                "99",
+                "--mode",
+                "singlefp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "singleFP 0->99" in out
+        assert "page reads" in out
+
+    def test_arrival_constraint(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "99",
+                "--from",
+                "8:00",
+                "--to",
+                "9:00",
+                "--constraint",
+                "arrival",
+                "--mode",
+                "singlefp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "singleFP 0->99" in out
+
+    def test_arrival_with_boundary_estimator(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "55",
+                "--constraint",
+                "arrival",
+                "--estimator",
+                "boundary",
+                "--grid",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    def test_boundary_estimator_on_json(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "55",
+                "--estimator",
+                "boundary",
+                "--grid",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    def test_boundary_estimator_on_ccam_warns(self, ccam_db, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(ccam_db),
+                "--source",
+                "0",
+                "--target",
+                "55",
+                "--estimator",
+                "boundary",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "falling back to naive" in err
+
+
+class TestInfo:
+    def test_json(self, network_json, capsys):
+        assert main(["info", "--network", str(network_json)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 100" in out
+
+    def test_ccam(self, ccam_db, capsys):
+        assert main(["info", "--network", str(ccam_db)]) == 0
+        out = capsys.readouterr().out
+        assert "page size: 2048" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

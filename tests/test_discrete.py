@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-time baseline (§3, §6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.discrete import DiscreteTimeModel
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.naive import NaiveEstimator
+from repro.exceptions import QueryError
+from repro.network.generator import EXAMPLE_E, EXAMPLE_S
+from repro.timeutil import TimeInterval, parse_clock
+
+
+@pytest.fixture
+def interval():
+    return TimeInterval(parse_clock("6:50"), parse_clock("7:05"))
+
+
+class TestInstantGrid:
+    def test_step_covers_interval(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        instants = model._instants(interval, 5.0)
+        assert instants[0] == interval.start
+        assert instants == [410.0, 415.0, 420.0, 425.0]
+
+    def test_non_divisible_step(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        instants = model._instants(interval, 4.0)
+        assert instants == [410.0, 414.0, 418.0, 422.0]
+
+    def test_rejects_bad_step(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        with pytest.raises(QueryError):
+            model.single_fastest_path(EXAMPLE_S, EXAMPLE_E, interval, 0.0)
+
+
+class TestSingleFP:
+    def test_fine_step_matches_continuous(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        exact = IntAllFastestPaths(example_network).single_fastest_path(
+            EXAMPLE_S, EXAMPLE_E, interval
+        )
+        approx = model.single_fastest_path(EXAMPLE_S, EXAMPLE_E, interval, 1.0)
+        # The optimum (5 min at 7:00-7:03) lies on the 1-minute grid.
+        assert approx.travel_time == pytest.approx(exact.optimal_travel_time)
+        assert approx.path == exact.path
+
+    def test_coarse_step_never_better(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        exact = IntAllFastestPaths(example_network).single_fastest_path(
+            EXAMPLE_S, EXAMPLE_E, interval
+        )
+        for step in (15.0, 10.0, 6.0, 2.0):
+            approx = model.single_fastest_path(
+                EXAMPLE_S, EXAMPLE_E, interval, step
+            )
+            assert approx.travel_time >= exact.optimal_travel_time - 1e-9
+
+    def test_accuracy_improves_with_refinement(self, metro_small):
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("9:00"))
+        model = DiscreteTimeModel(metro_small)
+        errors = []
+        exact = IntAllFastestPaths(metro_small).single_fastest_path(
+            0, 255, interval
+        )
+        for step in (60.0, 10.0, 1.0):
+            approx = model.single_fastest_path(0, 255, interval, step)
+            errors.append(approx.travel_time - exact.optimal_travel_time)
+        assert all(e >= -1e-9 for e in errors)
+        assert errors[-1] <= errors[0] + 1e-9
+
+    def test_cost_scales_with_instants(self, metro_small):
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("9:00"))
+        model = DiscreteTimeModel(metro_small)
+        coarse = model.single_fastest_path(0, 255, interval, 60.0)
+        fine = model.single_fastest_path(0, 255, interval, 10.0)
+        assert coarse.instants == 3
+        assert fine.instants == 13
+        assert fine.stats.expanded_paths > coarse.stats.expanded_paths
+
+    def test_with_estimator(self, metro_small):
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("8:00"))
+        blind = DiscreteTimeModel(metro_small)
+        guided = DiscreteTimeModel(metro_small, NaiveEstimator(metro_small))
+        a = blind.single_fastest_path(0, 255, interval, 30.0)
+        b = guided.single_fastest_path(0, 255, interval, 30.0)
+        assert b.travel_time == pytest.approx(a.travel_time)
+        assert b.stats.expanded_paths <= a.stats.expanded_paths
+
+
+class TestAllFP:
+    def test_partition_covers_interval(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        entries, _stats = model.all_fastest_paths(
+            EXAMPLE_S, EXAMPLE_E, interval, 1.0
+        )
+        assert entries[0].interval.start == interval.start
+        assert entries[-1].interval.end == interval.end
+
+    def test_fine_grid_finds_both_paths(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        entries, _stats = model.all_fastest_paths(
+            EXAMPLE_S, EXAMPLE_E, interval, 0.5
+        )
+        paths = {e.path for e in entries}
+        assert (EXAMPLE_S, EXAMPLE_E) in paths
+        assert len(paths) == 2
+
+    def test_coarse_grid_misses_boundaries(self, example_network, interval):
+        # With a 15-minute step only the 6:50 instant (plus 7:05) is probed;
+        # the continuous answer's boundary at 6:58:30 cannot be located.
+        model = DiscreteTimeModel(example_network)
+        entries, _stats = model.all_fastest_paths(
+            EXAMPLE_S, EXAMPLE_E, interval, 15.0
+        )
+        boundaries = {e.interval.end for e in entries}
+        assert parse_clock("6:58:30") not in boundaries
+
+    def test_stats_accumulate(self, example_network, interval):
+        model = DiscreteTimeModel(example_network)
+        _entries, stats = model.all_fastest_paths(
+            EXAMPLE_S, EXAMPLE_E, interval, 5.0
+        )
+        assert stats.expanded_paths > 0
+        assert stats.labels_generated > 0

@@ -1,0 +1,74 @@
+"""Unit tests for per-node dominance pruning."""
+
+from __future__ import annotations
+
+from repro.core.dominance import DominanceStore
+from repro.func.monotone import MonotonePiecewiseLinear
+
+MPL = MonotonePiecewiseLinear
+
+
+class TestDominanceStore:
+    def test_empty_never_dominates(self):
+        store = DominanceStore(0.0, 10.0)
+        assert not store.is_dominated(1, MPL([(0.0, 5.0), (10.0, 15.0)]))
+
+    def test_identical_is_dominated(self):
+        store = DominanceStore(0.0, 10.0)
+        fn = MPL([(0.0, 5.0), (10.0, 15.0)])
+        store.add(1, fn)
+        assert store.is_dominated(1, fn)
+
+    def test_later_arrival_dominated(self):
+        store = DominanceStore(0.0, 10.0)
+        store.add(1, MPL([(0.0, 5.0), (10.0, 15.0)]))
+        assert store.is_dominated(1, MPL([(0.0, 6.0), (10.0, 16.0)]))
+
+    def test_earlier_arrival_not_dominated(self):
+        store = DominanceStore(0.0, 10.0)
+        store.add(1, MPL([(0.0, 5.0), (10.0, 15.0)]))
+        assert not store.is_dominated(1, MPL([(0.0, 4.0), (10.0, 14.0)]))
+
+    def test_partially_better_not_dominated(self):
+        store = DominanceStore(0.0, 10.0)
+        store.add(1, MPL([(0.0, 5.0), (10.0, 15.0)]))
+        # Worse early, strictly better late.
+        crossing = MPL([(0.0, 7.0), (10.0, 13.0)])
+        assert not store.is_dominated(1, crossing)
+
+    def test_different_nodes_independent(self):
+        store = DominanceStore(0.0, 10.0)
+        fn = MPL([(0.0, 5.0), (10.0, 15.0)])
+        store.add(1, fn)
+        assert not store.is_dominated(2, fn)
+
+    def test_envelope_of_two_dominates_mixture(self):
+        store = DominanceStore(0.0, 10.0)
+        store.add(1, MPL([(0.0, 2.0), (10.0, 20.0)]))  # good early
+        store.add(1, MPL([(0.0, 8.0), (10.0, 12.0)]))  # good late
+        # Worse than the min of the two everywhere, though it beats each
+        # individual function somewhere.
+        mixture = MPL([(0.0, 6.5), (10.0, 16.5)])
+        assert store.is_dominated(1, mixture)
+
+    def test_strictly_below_envelope_in_middle(self):
+        store = DominanceStore(0.0, 10.0)
+        store.add(1, MPL([(0.0, 2.0), (10.0, 20.0)]))
+        store.add(1, MPL([(0.0, 8.0), (10.0, 12.0)]))
+        # Dips under the crossing point of the stored pair.
+        better_mid = MPL([(0.0, 6.0), (5.0, 6.1), (10.0, 16.0)])
+        assert not store.is_dominated(1, better_mid)
+
+    def test_len_counts_nodes(self):
+        store = DominanceStore(0.0, 10.0)
+        fn = MPL([(0.0, 5.0), (10.0, 15.0)])
+        store.add(1, fn)
+        store.add(1, fn)
+        store.add(2, fn)
+        assert len(store) == 2
+
+    def test_instant_domain(self):
+        store = DominanceStore(5.0, 5.0)
+        store.add(1, MPL([(5.0, 8.0)]))
+        assert store.is_dominated(1, MPL([(5.0, 9.0)]))
+        assert not store.is_dominated(1, MPL([(5.0, 7.0)]))

@@ -1,0 +1,275 @@
+"""Integration tests for IntAllFastestPaths — the paper's algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import fixed_departure_query, path_travel_time
+from repro.core.engine import IntAllFastestPaths, SearchBudgetExceeded
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator, ZeroEstimator
+from repro.exceptions import NoPathError, QueryError
+from repro.network.generator import (
+    EXAMPLE_E,
+    EXAMPLE_N,
+    EXAMPLE_S,
+    make_grid_network,
+)
+from repro.network.model import CapeCodNetwork
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern
+from repro.timeutil import TimeInterval, parse_clock
+
+
+class TestPaperWorkedExample:
+    """§4.3–§4.6 of the paper, end to end."""
+
+    @pytest.fixture(scope="class")
+    def allfp(self, example_network, example_interval):
+        engine = IntAllFastestPaths(example_network)
+        return engine.all_fastest_paths(EXAMPLE_S, EXAMPLE_E, example_interval)
+
+    def test_three_sub_intervals(self, allfp):
+        assert len(allfp.entries) == 3
+
+    def test_paths_in_order(self, allfp):
+        assert [e.path for e in allfp.entries] == [
+            (EXAMPLE_S, EXAMPLE_E),
+            (EXAMPLE_S, EXAMPLE_N, EXAMPLE_E),
+            (EXAMPLE_S, EXAMPLE_E),
+        ]
+
+    def test_first_boundary_is_6_58_30(self, allfp):
+        assert allfp.entries[0].interval.end == pytest.approx(
+            parse_clock("6:58:30"), abs=1e-6
+        )
+
+    def test_second_boundary_is_7_03_26(self, allfp):
+        # 12 - (7/3)(7:06 - l) = 6  =>  l = 7:06 - 18/7 min ≈ 7:03:25.7.
+        expected = parse_clock("7:06") - 18.0 / 7.0
+        assert allfp.entries[1].interval.end == pytest.approx(expected, abs=1e-6)
+
+    def test_partition_covers_interval(self, allfp, example_interval):
+        assert allfp.entries[0].interval.start == example_interval.start
+        assert allfp.entries[-1].interval.end == example_interval.end
+        for a, b in zip(allfp.entries, allfp.entries[1:]):
+            assert a.interval.end == pytest.approx(b.interval.start)
+
+    def test_distinct_paths(self, allfp):
+        assert allfp.distinct_paths == (
+            (EXAMPLE_S, EXAMPLE_E),
+            (EXAMPLE_S, EXAMPLE_N, EXAMPLE_E),
+        )
+
+    def test_border_max_is_six(self, allfp):
+        assert allfp.border.max_value() == pytest.approx(6.0)
+
+    def test_border_min_is_five(self, allfp):
+        assert allfp.border.min_value() == pytest.approx(5.0)
+
+    def test_singlefp(self, example_network, example_interval):
+        engine = IntAllFastestPaths(example_network)
+        single = engine.single_fastest_path(
+            EXAMPLE_S, EXAMPLE_E, example_interval
+        )
+        assert single.path == (EXAMPLE_S, EXAMPLE_N, EXAMPLE_E)
+        assert single.optimal_travel_time == pytest.approx(5.0)
+        (window,) = single.optimal_intervals
+        assert window[0] == pytest.approx(parse_clock("7:00"))
+        assert window[1] == pytest.approx(parse_clock("7:03"))
+
+    def test_path_at_and_travel_time_at(self, allfp):
+        assert allfp.path_at(parse_clock("6:52")) == (EXAMPLE_S, EXAMPLE_E)
+        assert allfp.path_at(parse_clock("7:00")) == (
+            EXAMPLE_S, EXAMPLE_N, EXAMPLE_E,
+        )
+        assert allfp.travel_time_at(parse_clock("7:00")) == pytest.approx(5.0)
+        assert allfp.travel_time_at(parse_clock("6:52")) == pytest.approx(6.0)
+
+    def test_path_at_outside_interval_raises(self, allfp):
+        with pytest.raises(ValueError):
+            allfp.path_at(parse_clock("5:00"))
+
+    def test_best(self, allfp):
+        leave, travel = allfp.best()
+        assert travel == pytest.approx(5.0)
+        assert parse_clock("7:00") <= leave <= parse_clock("7:03")
+
+
+class OracleMixin:
+    """Cross-check an allFP answer against fixed-departure A* sampling."""
+
+    @staticmethod
+    def check_against_oracle(network, result, samples=15):
+        for instant in result.interval.sample(samples):
+            oracle = fixed_departure_query(
+                network, result.source, result.target, instant
+            )
+            border_val = result.travel_time_at(instant)
+            assert border_val == pytest.approx(oracle.travel_time, abs=1e-6)
+            chosen = result.path_at(instant)
+            achieved = path_travel_time(network, chosen, instant)
+            assert achieved == pytest.approx(border_val, abs=1e-6)
+
+
+class TestOnMetroNetworks(OracleMixin):
+    INTERVAL = TimeInterval(parse_clock("6:30"), parse_clock("9:30"))
+
+    @pytest.mark.parametrize("pair", [(0, 255), (17, 240), (5, 130), (250, 3)])
+    def test_allfp_matches_oracle_naive(self, metro_small, pair):
+        engine = IntAllFastestPaths(metro_small, NaiveEstimator(metro_small))
+        result = engine.all_fastest_paths(pair[0], pair[1], self.INTERVAL)
+        self.check_against_oracle(metro_small, result)
+
+    @pytest.mark.parametrize("pair", [(0, 255), (17, 240)])
+    def test_allfp_matches_oracle_boundary(self, metro_small, pair):
+        est = BoundaryNodeEstimator(metro_small, 4, 4)
+        engine = IntAllFastestPaths(metro_small, est)
+        result = engine.all_fastest_paths(pair[0], pair[1], self.INTERVAL)
+        self.check_against_oracle(metro_small, result)
+
+    def test_allfp_matches_oracle_zero_estimator(self, metro_tiny):
+        engine = IntAllFastestPaths(metro_tiny, ZeroEstimator())
+        result = engine.all_fastest_paths(0, 99, self.INTERVAL)
+        self.check_against_oracle(metro_tiny, result)
+
+    def test_estimators_agree_on_answer(self, metro_small):
+        naive_engine = IntAllFastestPaths(metro_small, NaiveEstimator(metro_small))
+        bd_engine = IntAllFastestPaths(
+            metro_small, BoundaryNodeEstimator(metro_small, 4, 4)
+        )
+        a = naive_engine.all_fastest_paths(3, 200, self.INTERVAL)
+        b = bd_engine.all_fastest_paths(3, 200, self.INTERVAL)
+        for instant in self.INTERVAL.sample(11):
+            assert a.travel_time_at(instant) == pytest.approx(
+                b.travel_time_at(instant), abs=1e-6
+            )
+
+    def test_boundary_estimator_expands_no_more(self, metro_small):
+        naive_engine = IntAllFastestPaths(metro_small, NaiveEstimator(metro_small))
+        bd_engine = IntAllFastestPaths(
+            metro_small, BoundaryNodeEstimator(metro_small, 4, 4)
+        )
+        a = naive_engine.all_fastest_paths(0, 255, self.INTERVAL)
+        b = bd_engine.all_fastest_paths(0, 255, self.INTERVAL)
+        assert b.stats.expanded_paths <= a.stats.expanded_paths
+
+    def test_singlefp_is_border_minimum(self, metro_small):
+        engine = IntAllFastestPaths(metro_small)
+        single = engine.single_fastest_path(0, 255, self.INTERVAL)
+        full = engine.all_fastest_paths(0, 255, self.INTERVAL)
+        assert single.optimal_travel_time == pytest.approx(
+            full.border.min_value(), abs=1e-6
+        )
+
+    def test_singlefp_cheaper_than_allfp(self, metro_small):
+        engine = IntAllFastestPaths(metro_small)
+        single = engine.single_fastest_path(0, 255, self.INTERVAL)
+        full = engine.all_fastest_paths(0, 255, self.INTERVAL)
+        assert single.stats.expanded_paths <= full.stats.expanded_paths
+
+
+class TestPruningModes(OracleMixin):
+    INTERVAL = TimeInterval(parse_clock("6:45"), parse_clock("8:00"))
+
+    def test_unpruned_matches_pruned(self, metro_tiny):
+        pruned = IntAllFastestPaths(metro_tiny, prune=True)
+        literal = IntAllFastestPaths(metro_tiny, prune=False, max_pops=200_000)
+        a = pruned.all_fastest_paths(0, 55, self.INTERVAL)
+        b = literal.all_fastest_paths(0, 55, self.INTERVAL)
+        for instant in self.INTERVAL.sample(9):
+            assert a.travel_time_at(instant) == pytest.approx(
+                b.travel_time_at(instant), abs=1e-6
+            )
+
+    def test_unpruned_expands_more(self, metro_tiny):
+        pruned = IntAllFastestPaths(metro_tiny, prune=True)
+        literal = IntAllFastestPaths(metro_tiny, prune=False, max_pops=200_000)
+        a = pruned.all_fastest_paths(0, 99, self.INTERVAL)
+        b = literal.all_fastest_paths(0, 99, self.INTERVAL)
+        assert b.stats.expanded_paths >= a.stats.expanded_paths
+
+    def test_budget_exceeded_raises(self, metro_small):
+        engine = IntAllFastestPaths(metro_small, max_pops=5)
+        with pytest.raises(SearchBudgetExceeded) as info:
+            engine.all_fastest_paths(
+                0, 255, TimeInterval(parse_clock("7:00"), parse_clock("10:00"))
+            )
+        assert info.value.stats.expanded_paths == 6
+
+
+class TestDegenerateInterval:
+    def test_instant_interval_equals_fixed_departure(self, metro_tiny):
+        depart = parse_clock("7:30")
+        instant = TimeInterval(depart, depart)
+        engine = IntAllFastestPaths(metro_tiny)
+        result = engine.all_fastest_paths(0, 99, instant)
+        oracle = fixed_departure_query(metro_tiny, 0, 99, depart)
+        assert len(result.entries) == 1
+        assert result.travel_time_at(depart) == pytest.approx(
+            oracle.travel_time, abs=1e-6
+        )
+
+    def test_instant_singlefp(self, example_network):
+        depart = parse_clock("7:00")
+        engine = IntAllFastestPaths(example_network)
+        single = engine.single_fastest_path(
+            EXAMPLE_S, EXAMPLE_E, TimeInterval(depart, depart)
+        )
+        assert single.optimal_travel_time == pytest.approx(5.0)
+
+
+class TestQueryValidation:
+    def test_same_source_target(self, metro_tiny):
+        engine = IntAllFastestPaths(metro_tiny)
+        with pytest.raises(QueryError):
+            engine.all_fastest_paths(0, 0, TimeInterval(0.0, 10.0))
+
+    def test_unknown_nodes(self, metro_tiny):
+        engine = IntAllFastestPaths(metro_tiny)
+        with pytest.raises(KeyError):
+            engine.all_fastest_paths(0, 10**9, TimeInterval(0.0, 10.0))
+
+    def test_no_path(self):
+        cal = Calendar.single_category()
+        pat = CapeCodPattern.constant(1.0, cal.categories.names)
+        net = CapeCodNetwork(cal)
+        for i in range(3):
+            net.add_node(i, float(i), 0.0)
+        net.add_edge(0, 1, 1.0, pat)
+        net.add_edge(2, 1, 1.0, pat)  # 2 unreachable from 0
+        engine = IntAllFastestPaths(net)
+        with pytest.raises(NoPathError):
+            engine.all_fastest_paths(0, 2, TimeInterval(0.0, 10.0))
+
+
+class TestEngineReuse:
+    def test_multiple_queries_same_engine(self, metro_tiny):
+        engine = IntAllFastestPaths(metro_tiny)
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("8:00"))
+        first = engine.all_fastest_paths(0, 99, interval)
+        second = engine.all_fastest_paths(99, 0, interval)
+        third = engine.all_fastest_paths(0, 99, interval)
+        assert first.border.equals_approx(third.border)
+        assert second.source == 99
+
+    def test_edge_cache_grows_once(self, metro_tiny):
+        engine = IntAllFastestPaths(metro_tiny)
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("8:00"))
+        engine.all_fastest_paths(0, 99, interval)
+        cached = len(engine._edge_cache)
+        engine.all_fastest_paths(0, 99, interval)
+        assert len(engine._edge_cache) == cached
+
+
+class TestConstantNetworkSpecialCase:
+    def test_single_entry_on_constant_grid(self, grid5):
+        engine = IntAllFastestPaths(grid5)
+        result = engine.all_fastest_paths(
+            0, 24, TimeInterval(0.0, 120.0)
+        )
+        assert len(result.entries) == 1
+        assert result.border.max_value() == pytest.approx(
+            result.border.min_value()
+        )
+        assert result.border.min_value() == pytest.approx(8.0)

@@ -1,0 +1,78 @@
+"""Unit tests for engine internals: the edge-function cache and budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import _EdgeFunctionCache
+from repro.func.monotone import MonotonePiecewiseLinear
+from repro.network.model import Edge
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.patterns.travel_time import traverse
+
+
+@pytest.fixture
+def cal():
+    return Calendar.single_category("d")
+
+
+@pytest.fixture
+def edge(cal):
+    pattern = CapeCodPattern(
+        {"d": DailySpeedPattern([(0.0, 1.0), (420.0, 0.5), (540.0, 1.0)])}
+    )
+    return Edge(1, 2, 3.0, pattern)
+
+
+class TestEdgeFunctionCache:
+    def test_first_request_builds(self, cal, edge):
+        cache = _EdgeFunctionCache(cal)
+        fn = cache.arrival(edge, 400.0, 500.0)
+        assert fn.x_min <= 400.0 and fn.x_max >= 500.0
+        assert len(cache) == 1
+
+    def test_covered_request_reuses_object(self, cal, edge):
+        cache = _EdgeFunctionCache(cal)
+        first = cache.arrival(edge, 400.0, 500.0)
+        second = cache.arrival(edge, 420.0, 480.0)
+        assert second is first
+
+    def test_wider_request_rebuilds_superset(self, cal, edge):
+        cache = _EdgeFunctionCache(cal)
+        first = cache.arrival(edge, 400.0, 500.0)
+        wider = cache.arrival(edge, 300.0, 900.0)
+        assert wider is not first
+        assert wider.x_min <= 300.0 and wider.x_max >= 900.0
+        assert len(cache) == 1  # replaced, not duplicated
+
+    def test_cached_function_is_exact(self, cal, edge):
+        cache = _EdgeFunctionCache(cal)
+        fn = cache.arrival(edge, 380.0, 560.0)
+        for t in (380.0, 415.0, 470.0, 560.0):
+            assert fn(t) == pytest.approx(
+                traverse(edge.distance, edge.pattern, cal, t), abs=1e-9
+            )
+
+    def test_growth_is_bounded(self, cal, edge):
+        """Repeated slightly-wider requests must not blow the horizon up."""
+        cache = _EdgeFunctionCache(cal)
+        hi = 500.0
+        for _ in range(40):
+            hi += 10.0
+            fn = cache.arrival(edge, 400.0, hi)
+        assert fn.x_max < 400.0 + 40 * 10.0 + 4000.0  # far below a year
+
+    def test_provider_edges_bypass_cache(self, cal, edge):
+        class FakeShortcut:
+            source, target = 5, 6
+            profile = MonotonePiecewiseLinear([(0.0, 7.0), (1000.0, 1007.0)])
+
+            def arrival_function(self, lo, hi):
+                return self.profile
+
+        cache = _EdgeFunctionCache(cal)
+        shortcut = FakeShortcut()
+        fn = cache.arrival(shortcut, 100.0, 200.0)
+        assert fn is shortcut.profile
+        assert len(cache) == 0

@@ -1,0 +1,128 @@
+"""Property-based end-to-end tests: random networks, random patterns,
+random queries — every allFP answer must survive the brute-force oracle.
+
+This is the strongest correctness statement in the suite: whatever network
+hypothesis dreams up (within the CapeCod model), the continuous engine's
+lower border and partition agree with independent fixed-departure searches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validation import validate_allfp, validate_arrival_allfp
+from repro.core.arrival import ArrivalIntAllFastestPaths
+from repro.core.engine import IntAllFastestPaths
+from repro.network.model import CapeCodNetwork
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.timeutil import TimeInterval
+
+_CAL = Calendar.single_category("d")
+
+
+@st.composite
+def random_pattern(draw) -> CapeCodPattern:
+    """A daily pattern with up to three speed changes on a 5-min grid."""
+    cells = sorted(draw(st.lists(st.integers(1, 287), max_size=3, unique=True)))
+    pieces = [(0.0, draw(st.floats(0.1, 1.5)))]
+    pieces.extend((c * 5.0, draw(st.floats(0.1, 1.5))) for c in cells)
+    return CapeCodPattern({"d": DailySpeedPattern(pieces)})
+
+
+@st.composite
+def random_network(draw) -> CapeCodNetwork:
+    """A small strongly-connected random network.
+
+    Nodes sit on a jittered ring (guaranteeing distinct locations); a
+    directed ring gives strong connectivity and random chords add route
+    choices.  Edge lengths are at least the Euclidean distance.
+    """
+    n = draw(st.integers(4, 9))
+    net = CapeCodNetwork(_CAL)
+    for i in range(n):
+        angle = 2 * math.pi * i / n
+        radius = 1.0 + draw(st.floats(0.0, 0.3))
+        net.add_node(i, radius * math.cos(angle), radius * math.sin(angle))
+
+    def add(u: int, v: int) -> None:
+        if u == v or net.has_edge(u, v):
+            return
+        stretch = 1.0 + draw(st.floats(0.0, 0.5))
+        net.add_edge(u, v, net.euclidean(u, v) * stretch, draw(random_pattern()))
+
+    for i in range(n):
+        add(i, (i + 1) % n)
+    chords = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=2 * n,
+        )
+    )
+    for u, v in chords:
+        add(u, v)
+    return net
+
+
+QUERY_WINDOW = TimeInterval(400.0, 520.0)  # 6:40 - 8:40
+
+
+class TestRandomNetworksAgainstOracle:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_network(), st.data())
+    def test_allfp_matches_oracle(self, net, data):
+        source = data.draw(st.integers(0, net.node_count - 1))
+        target = data.draw(st.integers(0, net.node_count - 1))
+        if source == target:
+            target = (target + 1) % net.node_count
+        engine = IntAllFastestPaths(net)
+        result = engine.all_fastest_paths(source, target, QUERY_WINDOW)
+        report = validate_allfp(net, result, samples=13)
+        assert report.ok, report
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_network(), st.data())
+    def test_pruned_equals_literal_algorithm(self, net, data):
+        source = data.draw(st.integers(0, net.node_count - 1))
+        target = (source + net.node_count // 2) % net.node_count
+        pruned = IntAllFastestPaths(net, prune=True)
+        literal = IntAllFastestPaths(net, prune=False, max_pops=100_000)
+        a = pruned.all_fastest_paths(source, target, QUERY_WINDOW)
+        b = literal.all_fastest_paths(source, target, QUERY_WINDOW)
+        for instant in QUERY_WINDOW.sample(9):
+            assert math.isclose(
+                a.travel_time_at(instant),
+                b.travel_time_at(instant),
+                abs_tol=1e-6,
+            )
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_network(), st.data())
+    def test_arrival_engine_matches_oracle(self, net, data):
+        source = data.draw(st.integers(0, net.node_count - 1))
+        target = (source + 1 + data.draw(st.integers(0, net.node_count - 2))) % (
+            net.node_count
+        )
+        if source == target:
+            target = (target + 1) % net.node_count
+        engine = ArrivalIntAllFastestPaths(net)
+        result = engine.all_fastest_paths(
+            source, target, TimeInterval(460.0, 540.0)
+        )
+        report = validate_arrival_allfp(net, result, samples=9)
+        assert report.ok, report

@@ -1,0 +1,177 @@
+"""Unit tests for the annotated lower envelope (lower border function)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import FunctionDomainError
+from repro.func.envelope import AnnotatedEnvelope
+from repro.func.piecewise import PiecewiseLinearFunction
+
+PLF = PiecewiseLinearFunction
+
+
+class TestEmptyEnvelope:
+    def test_is_empty(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        assert env.is_empty
+
+    def test_value_is_inf(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        assert env.value_at(5.0) == math.inf
+
+    def test_max_min_are_inf(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        assert env.max_value() == math.inf
+        assert env.min_value() == math.inf
+
+    def test_as_function_raises(self):
+        with pytest.raises(FunctionDomainError):
+            AnnotatedEnvelope(0.0, 10.0).as_function()
+
+    def test_partition_empty(self):
+        assert AnnotatedEnvelope(0.0, 10.0).partition() == []
+
+    def test_rejects_reversed_domain(self):
+        with pytest.raises(FunctionDomainError):
+            AnnotatedEnvelope(10.0, 0.0)
+
+    def test_value_outside_domain_raises(self):
+        with pytest.raises(FunctionDomainError):
+            AnnotatedEnvelope(0.0, 10.0).value_at(11.0)
+
+
+class TestSingleFunction:
+    def test_add_first(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        assert env.add(PLF.constant(0.0, 10.0, 5.0), tag="a")
+        assert not env.is_empty
+        assert env.value_at(3.0) == 5.0
+        assert env.tag_at(3.0) == "a"
+
+    def test_max_min(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF([(0.0, 2.0), (10.0, 8.0)]), tag="a")
+        assert env.min_value() == 2.0
+        assert env.max_value() == 8.0
+
+    def test_function_must_cover_domain(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        with pytest.raises(FunctionDomainError):
+            env.add(PLF.constant(0.0, 5.0, 1.0), tag="a")
+
+    def test_partition_single(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF.constant(0.0, 10.0, 5.0), tag="a")
+        assert env.partition() == [(0.0, 10.0, "a")]
+
+
+class TestTwoFunctions:
+    def test_constant_below_wins_everywhere(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF.constant(0.0, 10.0, 5.0), tag="a")
+        assert env.add(PLF.constant(0.0, 10.0, 3.0), tag="b")
+        assert env.value_at(5.0) == 3.0
+        assert env.partition() == [(0.0, 10.0, "b")]
+
+    def test_constant_above_changes_nothing(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF.constant(0.0, 10.0, 3.0), tag="a")
+        assert not env.add(PLF.constant(0.0, 10.0, 5.0), tag="b")
+        assert env.partition() == [(0.0, 10.0, "a")]
+
+    def test_crossing_lines_split(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF([(0.0, 0.0), (10.0, 10.0)]), tag="up")
+        assert env.add(PLF([(0.0, 10.0), (10.0, 0.0)]), tag="down")
+        parts = env.partition()
+        assert parts == [(0.0, 5.0, "up"), (5.0, 10.0, "down")]
+        assert env.value_at(5.0) == pytest.approx(5.0)
+
+    def test_paper_lower_border_shape(self):
+        # Figure 7: constant 6 vs the V-shaped s=>n->e function; the border
+        # is 6 / V / 6.
+        env = AnnotatedEnvelope(0.0, 15.0)
+        env.add(
+            PLF([(0.0, 9.0), (4.0, 9.0), (10.0, 5.0), (13.0, 5.0), (15.0, 9.6667)]),
+            tag="via_n",
+        )
+        env.add(PLF.constant(0.0, 15.0, 6.0), tag="direct")
+        tags = [tag for _s, _e, tag in env.partition()]
+        assert tags == ["direct", "via_n", "direct"]
+        assert env.max_value() == pytest.approx(6.0)
+
+    def test_tie_keeps_incumbent(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF.constant(0.0, 10.0, 4.0), tag="first")
+        improved = env.add(PLF.constant(0.0, 10.0, 4.0), tag="second")
+        assert not improved
+        assert env.partition() == [(0.0, 10.0, "first")]
+
+    def test_tangent_touch_does_not_split(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF.constant(0.0, 10.0, 5.0), tag="a")
+        # V-shape touching 5 at exactly one point, above elsewhere.
+        env.add(PLF([(0.0, 8.0), (5.0, 5.0), (10.0, 8.0)]), tag="b")
+        assert [t for _s, _e, t in env.partition()] == ["a"]
+
+
+class TestManyFunctions:
+    def test_envelope_is_pointwise_min(self):
+        fns = {
+            "a": PLF([(0.0, 4.0), (10.0, 9.0)]),
+            "b": PLF([(0.0, 9.0), (10.0, 4.0)]),
+            "c": PLF.constant(0.0, 10.0, 6.0),
+        }
+        env = AnnotatedEnvelope(0.0, 10.0)
+        for tag, fn in fns.items():
+            env.add(fn, tag=tag)
+        for i in range(101):
+            x = 10.0 * i / 100.0
+            expected = min(fn(x) for fn in fns.values())
+            assert env.value_at(x) == pytest.approx(expected, abs=1e-9)
+
+    def test_as_function_matches_value_at(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF([(0.0, 4.0), (10.0, 9.0)]), tag="a")
+        env.add(PLF([(0.0, 9.0), (10.0, 4.0)]), tag="b")
+        fn = env.as_function()
+        for i in range(51):
+            x = 10.0 * i / 50.0
+            assert fn(x) == pytest.approx(env.value_at(x), abs=1e-9)
+
+    def test_tags_listing(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF([(0.0, 0.0), (10.0, 10.0)]), tag="up")
+        env.add(PLF([(0.0, 10.0), (10.0, 0.0)]), tag="down")
+        assert env.tags() == ["up", "down"]
+
+    def test_merge_tags(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF([(0.0, 0.0), (10.0, 10.0)]), tag="old")
+        env.merge_tags([("old", "new")])
+        assert env.tags() == ["new"]
+
+    def test_zigzag_partition_merges_same_tag(self):
+        env = AnnotatedEnvelope(0.0, 10.0)
+        env.add(PLF([(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]), tag="tent")
+        parts = env.partition()
+        assert parts == [(0.0, 10.0, "tent")]
+
+
+class TestInstantDomain:
+    def test_single_instant(self):
+        env = AnnotatedEnvelope(5.0, 5.0)
+        env.add(PLF([(5.0, 7.0)]), tag="a")
+        assert env.value_at(5.0) == 7.0
+        env.add(PLF([(5.0, 3.0)]), tag="b")
+        assert env.value_at(5.0) == 3.0
+        assert env.tag_at(5.0) == "b"
+
+    def test_instant_worse_not_taken(self):
+        env = AnnotatedEnvelope(5.0, 5.0)
+        env.add(PLF([(5.0, 3.0)]), tag="a")
+        env.add(PLF([(5.0, 7.0)]), tag="b")
+        assert env.tag_at(5.0) == "a"

@@ -1,0 +1,232 @@
+"""Unit tests for the lower-bound estimators — above all, admissibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.astar import fixed_departure_query
+from repro.estimators.base import LowerBoundEstimator
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.grid import GridPartition
+from repro.estimators.naive import NaiveEstimator, ZeroEstimator
+from repro.exceptions import EstimatorError, NoPathError
+from repro.timeutil import parse_clock
+
+
+class TestBase:
+    def test_unprepared_raises(self, metro_tiny):
+        est = NaiveEstimator(metro_tiny)
+        with pytest.raises(EstimatorError):
+            est.bound(0)
+
+    def test_target_property(self, metro_tiny):
+        est = NaiveEstimator(metro_tiny)
+        est.prepare(5)
+        assert est.target == 5
+
+
+class TestNaive:
+    def test_formula(self, metro_tiny):
+        est = NaiveEstimator(metro_tiny)
+        est.prepare(0)
+        expected = metro_tiny.euclidean(99, 0) / metro_tiny.max_speed()
+        assert est.bound(99) == pytest.approx(expected)
+
+    def test_zero_at_target(self, metro_tiny):
+        est = NaiveEstimator(metro_tiny)
+        est.prepare(7)
+        assert est.bound(7) == 0.0
+
+    def test_name(self, metro_tiny):
+        assert NaiveEstimator(metro_tiny).name == "naiveLB"
+
+    def test_admissible_everywhere(self, metro_tiny):
+        est = NaiveEstimator(metro_tiny)
+        target = 55
+        est.prepare(target)
+        for depart_clock in ("6:00", "8:00", "17:00"):
+            depart = parse_clock(depart_clock)
+            for node in list(metro_tiny.node_ids())[::7]:
+                if node == target:
+                    continue
+                actual = fixed_departure_query(
+                    metro_tiny, node, target, depart
+                ).travel_time
+                assert est.bound(node) <= actual + 1e-9
+
+
+class TestZero:
+    def test_always_zero(self, metro_tiny):
+        est = ZeroEstimator()
+        est.prepare(3)
+        assert est.bound(0) == 0.0
+        assert est.name == "zeroLB"
+
+
+class TestGridPartition:
+    def test_every_node_in_exactly_one_cell(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 3, 3)
+        counted = sum(len(c.members) for c in grid.cells())
+        assert counted == metro_tiny.node_count
+
+    def test_cell_of_node_consistent(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 3, 3)
+        for node in metro_tiny.nodes():
+            assert grid.cell_of_node(node.id) == grid.cell_index(node.x, node.y)
+
+    def test_boundary_definition(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 3, 3)
+        for cell in grid.cells():
+            for b in cell.boundary:
+                assert b in cell.members
+                touches_other = any(
+                    grid.cell_of_node(e.target) != cell.index
+                    for e in metro_tiny.outgoing(b)
+                ) or any(
+                    grid.cell_of_node(e.source) != cell.index
+                    for e in metro_tiny.incoming(b)
+                )
+                assert touches_other
+
+    def test_non_boundary_nodes_internal(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 3, 3)
+        for cell in grid.cells():
+            for n in cell.members - cell.boundary:
+                for e in metro_tiny.outgoing(n):
+                    assert grid.cell_of_node(e.target) == cell.index
+                for e in metro_tiny.incoming(n):
+                    assert grid.cell_of_node(e.source) == cell.index
+
+    def test_single_cell_has_no_boundary(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 1, 1)
+        assert grid.cell_count == 1
+        assert grid.boundary_nodes(0) == frozenset()
+
+    def test_rejects_bad_shape(self, metro_tiny):
+        with pytest.raises(EstimatorError):
+            GridPartition(metro_tiny, 0, 3)
+
+    def test_unknown_node(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 2, 2)
+        with pytest.raises(EstimatorError):
+            grid.cell_of_node(10**9)
+
+    def test_shape_and_count(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 4, 2)
+        assert grid.shape == (4, 2)
+        assert grid.cell_count == 8
+
+    def test_non_empty_cells(self, metro_tiny):
+        grid = GridPartition(metro_tiny, 3, 3)
+        assert all(c.members for c in grid.non_empty_cells())
+
+
+class TestBoundaryNode:
+    @pytest.fixture(scope="class", params=["time", "distance"])
+    def estimator(self, request, metro_tiny):
+        return BoundaryNodeEstimator(metro_tiny, 3, 3, metric=request.param)
+
+    def test_admissible_everywhere(self, metro_tiny, estimator):
+        target = 0
+        estimator.prepare(target)
+        for depart_clock in ("6:30", "8:00", "17:30"):
+            depart = parse_clock(depart_clock)
+            for node in list(metro_tiny.node_ids())[::5]:
+                if node == target:
+                    continue
+                try:
+                    actual = fixed_departure_query(
+                        metro_tiny, node, target, depart
+                    ).travel_time
+                except NoPathError:
+                    continue
+                assert estimator.bound(node) <= actual + 1e-9, (
+                    node, depart_clock,
+                )
+
+    def test_at_least_as_tight_as_naive(self, metro_tiny, estimator):
+        naive = NaiveEstimator(metro_tiny)
+        target = 0
+        estimator.prepare(target)
+        naive.prepare(target)
+        for node in metro_tiny.node_ids():
+            if node != target:
+                assert estimator.bound(node) >= naive.bound(node) - 1e-12
+
+    def test_strictly_tighter_somewhere(self, metro_tiny):
+        # The whole point of §5: with the time metric the bound must beat
+        # naive for at least some far-apart pairs.
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3, metric="time")
+        naive = NaiveEstimator(metro_tiny)
+        target = 0
+        est.prepare(target)
+        naive.prepare(target)
+        improvements = sum(
+            1
+            for node in metro_tiny.node_ids()
+            if node != target and est.bound(node) > naive.bound(node) + 1e-9
+        )
+        assert improvements > 0
+
+    def test_zero_at_target(self, metro_tiny, estimator):
+        estimator.prepare(42)
+        assert estimator.bound(42) == 0.0
+
+    def test_same_cell_falls_back_to_naive(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 2, 2)
+        naive = NaiveEstimator(metro_tiny)
+        grid = est.grid
+        target = 0
+        est.prepare(target)
+        naive.prepare(target)
+        same_cell = [
+            n
+            for n in metro_tiny.node_ids()
+            if n != target and grid.cell_of_node(n) == grid.cell_of_node(target)
+        ]
+        assert same_cell
+        for node in same_cell[:10]:
+            assert est.boundary_bound(node) == math.inf
+            assert est.bound(node) == pytest.approx(naive.bound(node))
+
+    def test_rejects_unknown_metric(self, metro_tiny):
+        with pytest.raises(EstimatorError):
+            BoundaryNodeEstimator(metro_tiny, 2, 2, metric="banana")  # type: ignore[arg-type]
+
+    def test_name(self, metro_tiny):
+        assert BoundaryNodeEstimator(metro_tiny, 2, 2).name == "bdLB"
+
+    def test_time_metric_tighter_than_distance(self, metro_tiny):
+        # Optimistic per-edge times dominate distance/v_max bounds.
+        time_est = BoundaryNodeEstimator(metro_tiny, 3, 3, metric="time")
+        dist_est = BoundaryNodeEstimator(metro_tiny, 3, 3, metric="distance")
+        target = 0
+        time_est.prepare(target)
+        dist_est.prepare(target)
+        for node in list(metro_tiny.node_ids())[::3]:
+            if node != target:
+                assert time_est.bound(node) >= dist_est.bound(node) - 1e-9
+
+
+class TestCustomEstimator:
+    def test_subclass_contract(self, metro_tiny):
+        class Half(LowerBoundEstimator):
+            def __init__(self, inner):
+                super().__init__()
+                self._inner = inner
+
+            def prepare(self, target):
+                super().prepare(target)
+                self._inner.prepare(target)
+
+            def bound(self, node):
+                return 0.5 * self._inner.bound(node)
+
+        est = Half(NaiveEstimator(metro_tiny))
+        est.prepare(0)
+        reference = NaiveEstimator(metro_tiny)
+        reference.prepare(0)
+        assert est.bound(50) == pytest.approx(0.5 * reference.bound(50))
+        assert est.name == "Half"

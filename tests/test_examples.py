@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs cleanly and prints its headline.
+
+Marked opt-in by default-skipping under ``REPRO_SKIP_EXAMPLES=1`` (CI knob);
+each example finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_EXAMPLES") == "1",
+    reason="example smoke tests disabled via REPRO_SKIP_EXAMPLES",
+)
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "6:58:30" in out
+        assert "s -> n -> e" in out
+        assert "5m" in out
+
+    def test_commuter_rush_hour(self):
+        out = run_example("commuter_rush_hour.py")
+        assert "allFP" in out
+        assert "inbound highway" in out
+        assert "Saturday" in out
+
+    def test_discrete_vs_continuous(self):
+        out = run_example("discrete_vs_continuous.py")
+        assert "continuous (CapeCod)" in out
+        assert "1 hour" in out and "10 sec" in out
+        # The coarse grid must exhibit an error; the fine one must be exact.
+        assert "+" in out and "exact" in out
+
+    def test_disk_backed_queries(self):
+        out = run_example("disk_backed_queries.py")
+        assert "physical page reads" in out
+        assert "agree at 13 sampled instants: True" in out
+
+    def test_airport_deadline(self):
+        out = run_example("airport_deadline.py")
+        assert "leave by" in out
+        assert "travel time (min) vs arrival time" in out
+
+    def test_lunch_knn(self):
+        out = run_example("lunch_knn.py")
+        assert "#1" in out
+        assert "nearest restaurant by leaving instant" in out
+
+    def test_traffic_incident(self):
+        out = run_example("traffic_incident.py")
+        assert "incident" in out
+        assert "persisted" in out

@@ -1,0 +1,55 @@
+"""Tests pinning the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            exc.FunctionDomainError,
+            exc.FunctionShapeError,
+            exc.NotMonotoneError,
+            exc.PatternError,
+            exc.NetworkError,
+            exc.NodeNotFoundError,
+            exc.EdgeNotFoundError,
+            exc.NoPathError,
+            exc.QueryError,
+            exc.StorageError,
+            exc.PageOverflowError,
+            exc.EstimatorError,
+        ],
+    )
+    def test_all_derive_from_base(self, error_type):
+        assert issubclass(error_type, exc.ReproError)
+
+    def test_not_monotone_is_shape_error(self):
+        assert issubclass(exc.NotMonotoneError, exc.FunctionShapeError)
+
+    def test_node_not_found_is_keyerror(self):
+        # So dict-style callers can catch KeyError.
+        assert issubclass(exc.NodeNotFoundError, KeyError)
+        err = exc.NodeNotFoundError(42)
+        assert err.node_id == 42
+        assert "42" in str(err)
+
+    def test_edge_not_found_carries_endpoints(self):
+        err = exc.EdgeNotFoundError(1, 2)
+        assert (err.source, err.target) == (1, 2)
+
+    def test_no_path_carries_endpoints(self):
+        err = exc.NoPathError(3, 4)
+        assert (err.source, err.target) == (3, 4)
+        assert "3" in str(err) and "4" in str(err)
+
+    def test_page_overflow_is_storage_error(self):
+        assert issubclass(exc.PageOverflowError, exc.StorageError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(exc.ReproError):
+            raise exc.QueryError("anything")

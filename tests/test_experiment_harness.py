@@ -1,0 +1,77 @@
+"""Tests for experiment-harness invariants the benchmarks rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import _SCALES, bench_network, default_bands
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.patterns.schema import constant_speed_schema
+
+
+class TestTwinTopologies:
+    """The constant-speed comparison requires *identical* topology.
+
+    The generator must consume its PRNG identically regardless of the
+    pattern schema, so the CapeCod network and its constant-speed twin
+    align node for node and edge for edge.
+    """
+
+    @pytest.fixture(scope="class")
+    def twins(self):
+        config = MetroConfig(width=10, height=10, seed=77)
+        real = make_metro_network(config)
+        const = make_metro_network(config, schema=constant_speed_schema())
+        return real, const
+
+    def test_same_nodes(self, twins):
+        real, const = twins
+        assert [n.location for n in real.nodes()] == [
+            n.location for n in const.nodes()
+        ]
+
+    def test_same_edges_and_lengths(self, twins):
+        real, const = twins
+        assert [
+            (e.source, e.target, e.distance, e.road_class)
+            for e in real.edges()
+        ] == [
+            (e.source, e.target, e.distance, e.road_class)
+            for e in const.edges()
+        ]
+
+    def test_constant_twin_really_constant(self, twins):
+        _real, const = twins
+        assert all(e.pattern.is_constant() for e in const.edges())
+
+    def test_real_twin_time_dependent(self, twins):
+        real, _const = twins
+        assert any(not e.pattern.is_constant() for e in real.edges())
+
+
+class TestScalePresets:
+    def test_three_scales_defined(self):
+        assert set(_SCALES) == {"small", "medium", "paper"}
+
+    def test_scales_strictly_grow(self):
+        sizes = [
+            _SCALES[name].width * _SCALES[name].height
+            for name in ("small", "medium", "paper")
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 14_000  # the paper's node count
+
+    def test_default_bands_fit_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert max(hi for _lo, hi in default_bands()) <= 4
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert max(hi for _lo, hi in default_bands()) == 8
+
+    def test_bench_network_constant_twin_cached_separately(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        bench_network.cache_clear()
+        real = bench_network()
+        const = bench_network(constant_speed=True)
+        assert real is not const
+        assert real.node_count == const.node_count
+        bench_network.cache_clear()

@@ -1,0 +1,93 @@
+"""Failure-injection tests: corrupted storage must fail loudly, not wrongly."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer import MemoryPageStore
+from repro.storage.ccam import CCAMStore
+
+
+@pytest.fixture(scope="module")
+def network():
+    return make_metro_network(MetroConfig(width=8, height=8, seed=19))
+
+
+@pytest.fixture
+def db_bytes(network, tmp_path):
+    path = tmp_path / "net.ccam"
+    CCAMStore.build(network, path).close()
+    return path, bytearray(path.read_bytes())
+
+
+class TestCorruptHeader:
+    def test_flipped_magic(self, db_bytes, tmp_path):
+        path, data = db_bytes
+        data[0] ^= 0xFF
+        bad = tmp_path / "bad_magic.ccam"
+        bad.write_bytes(data)
+        with pytest.raises(StorageError, match="not a CCAM"):
+            CCAMStore.open(bad)
+
+    def test_future_version(self, db_bytes, tmp_path):
+        path, data = db_bytes
+        struct.pack_into("<I", data, 8, 999)
+        bad = tmp_path / "bad_version.ccam"
+        bad.write_bytes(data)
+        with pytest.raises(StorageError, match="version"):
+            CCAMStore.open(bad)
+
+    def test_truncated_file(self, db_bytes, tmp_path):
+        path, data = db_bytes
+        bad = tmp_path / "short.ccam"
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises((StorageError, json.JSONDecodeError, ValueError)):
+            store = CCAMStore.open(bad)
+            # If the metadata happened to survive, page reads must fail.
+            for nid in range(64):
+                store.find_node(nid)
+
+
+class TestCorruptTreePages:
+    def test_bad_node_type_byte(self, network, tmp_path):
+        path = tmp_path / "net.ccam"
+        store = CCAMStore.build(network, path)
+        header = path.read_bytes()[: struct.calcsize("<8sIIIIIQQ")]
+        (_m, _v, page_size, _region, _r, tree_root, _mo, _ml) = struct.unpack(
+            "<8sIIIIIQQ", header
+        )
+        store.close()
+        data = bytearray(path.read_bytes())
+        root_offset = (1 + tree_root) * page_size
+        data[root_offset] = 7  # neither leaf (1) nor internal (0)
+        path.write_bytes(data)
+        corrupted = CCAMStore.open(path)
+        with pytest.raises(StorageError, match="corrupt"):
+            corrupted.find_node(0)
+        corrupted.close()
+
+
+class TestBPlusTreeMisuse:
+    def test_garbage_page_detected_on_search(self):
+        store = MemoryPageStore(256)
+        tree = BPlusTree(store, 256)
+        for k in range(500):
+            tree.insert(k, k)
+        root = tree.root_page
+        page = bytearray(store.read(root))
+        page[0] = 9  # invalid node-type byte
+        store.write(root, bytes(page))
+        with pytest.raises(StorageError, match="corrupt"):
+            tree.get(42)
+
+    def test_write_through_readonly_region_blocked(self, network, tmp_path):
+        path = tmp_path / "net.ccam"
+        with CCAMStore.build(network, path) as store:
+            with pytest.raises(StorageError):
+                store._tree.insert(10**6, 1)

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic network generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.generator import (
+    EXAMPLE_E,
+    EXAMPLE_N,
+    EXAMPLE_S,
+    MetroConfig,
+    make_grid_network,
+    make_metro_network,
+    paper_example_network,
+)
+from repro.patterns.schema import RoadClass
+from repro.timeutil import parse_clock
+
+
+class TestMetroNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return make_metro_network(MetroConfig(width=16, height=16, seed=1))
+
+    def test_size(self, net):
+        assert net.node_count == 256
+        assert net.edge_count > 256
+
+    def test_strongly_connected(self, net):
+        assert net.is_strongly_connected()
+
+    def test_deterministic(self):
+        cfg = MetroConfig(width=10, height=10, seed=9)
+        a = make_metro_network(cfg)
+        b = make_metro_network(cfg)
+        assert [n.location for n in a.nodes()] == [n.location for n in b.nodes()]
+        assert [(e.source, e.target, e.distance) for e in a.edges()] == [
+            (e.source, e.target, e.distance) for e in b.edges()
+        ]
+
+    def test_seed_changes_layout(self):
+        a = make_metro_network(MetroConfig(width=10, height=10, seed=1))
+        b = make_metro_network(MetroConfig(width=10, height=10, seed=2))
+        assert [n.location for n in a.nodes()] != [n.location for n in b.nodes()]
+
+    def test_has_all_road_classes(self, net):
+        classes = {e.road_class for e in net.edges()}
+        assert classes == set(RoadClass)
+
+    def test_highway_corridors_are_bidirectional(self, net):
+        inbound = [e for e in net.edges() if e.road_class is RoadClass.INBOUND_HIGHWAY]
+        assert inbound
+        for e in inbound[:20]:
+            assert net.has_edge(e.target, e.source)
+
+    def test_inbound_edges_head_toward_center(self, net):
+        min_x, min_y, max_x, max_y = net.bounding_box()
+        cx, cy = (min_x + max_x) / 2, (min_y + max_y) / 2
+        for e in net.edges():
+            if e.road_class is not RoadClass.INBOUND_HIGHWAY:
+                continue
+            sx, sy = net.location(e.source)
+            tx, ty = net.location(e.target)
+            d_s = ((sx - cx) ** 2 + (sy - cy) ** 2) ** 0.5
+            d_t = ((tx - cx) ** 2 + (ty - cy) ** 2) ** 0.5
+            assert d_t < d_s + 1e-9
+
+    def test_edge_lengths_at_least_euclidean(self, net):
+        for e in net.edges():
+            assert e.distance >= net.euclidean(e.source, e.target) - 1e-9
+
+    def test_rush_hour_slows_inbound(self, net):
+        inbound = next(
+            e for e in net.edges() if e.road_class is RoadClass.INBOUND_HIGHWAY
+        )
+        cal = net.calendar
+        rush = inbound.pattern.speed_at(parse_clock("8:00"), cal)  # Monday 8am
+        offpeak = inbound.pattern.speed_at(parse_clock("12:00"), cal)
+        assert rush < offpeak
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(NetworkError):
+            make_metro_network(MetroConfig(width=1, height=5))
+
+    def test_paper_scale_counts(self):
+        cfg = MetroConfig.paper_scale()
+        assert cfg.width * cfg.height == 14520  # paper: 14,456 nodes
+
+    def test_custom_corridors(self):
+        net = make_metro_network(
+            MetroConfig(width=8, height=8, highway_rows=(2,), highway_cols=())
+        )
+        rows_with_highways = {
+            net.location(e.source)[1]
+            for e in net.edges()
+            if e.road_class and e.road_class.is_highway
+        }
+        assert rows_with_highways  # corridor exists
+        assert net.is_strongly_connected()
+
+
+class TestGridNetwork:
+    def test_size_and_connectivity(self):
+        net = make_grid_network(4, 3)
+        assert net.node_count == 12
+        # Directed edges: 2*(3*3 + 4*2) = 34.
+        assert net.edge_count == 34
+        assert net.is_strongly_connected()
+
+    def test_spacing(self):
+        net = make_grid_network(3, 3, spacing=2.0)
+        assert net.location(1) == (2.0, 0.0)
+        assert net.find_edge(0, 1).distance == 2.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(NetworkError):
+            make_grid_network(1, 5)
+
+
+class TestPaperExample:
+    def test_structure(self):
+        net = paper_example_network()
+        assert net.node_count == 3
+        assert net.edge_count == 3
+        assert net.has_edge(EXAMPLE_S, EXAMPLE_E)
+        assert net.has_edge(EXAMPLE_S, EXAMPLE_N)
+        assert net.has_edge(EXAMPLE_N, EXAMPLE_E)
+
+    def test_max_speed_is_one(self):
+        # Needed for the paper's T_est(n => e) = 1 minute.
+        assert paper_example_network().max_speed() == 1.0
+
+    def test_naive_estimate_from_n(self):
+        net = paper_example_network()
+        assert net.euclidean(EXAMPLE_N, EXAMPLE_E) == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the Hilbert space-filling curve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.hilbert import hilbert_index, hilbert_point, hilbert_value
+
+
+class TestHilbertIndex:
+    def test_order_one(self):
+        # The canonical order-1 curve: (0,0) (0,1) (1,1) (1,0).
+        assert hilbert_index(1, 0, 0) == 0
+        assert hilbert_index(1, 0, 1) == 1
+        assert hilbert_index(1, 1, 1) == 2
+        assert hilbert_index(1, 1, 0) == 3
+
+    def test_bijective_order_4(self):
+        side = 16
+        seen = set()
+        for x in range(side):
+            for y in range(side):
+                d = hilbert_index(4, x, y)
+                assert 0 <= d < side * side
+                seen.add(d)
+        assert len(seen) == side * side
+
+    def test_inverse_roundtrip(self):
+        for d in range(256):
+            x, y = hilbert_point(4, d)
+            assert hilbert_index(4, x, y) == d
+
+    def test_adjacent_indices_are_adjacent_cells(self):
+        # Locality: consecutive curve positions are grid neighbours.
+        for d in range(255):
+            x0, y0 = hilbert_point(4, d)
+            x1, y1 = hilbert_point(4, d + 1)
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+    def test_out_of_grid_raises(self):
+        with pytest.raises(StorageError):
+            hilbert_index(2, 4, 0)
+        with pytest.raises(StorageError):
+            hilbert_index(2, 0, -1)
+
+    def test_point_out_of_curve_raises(self):
+        with pytest.raises(StorageError):
+            hilbert_point(2, 16)
+
+
+class TestHilbertValue:
+    BBOX = (0.0, 0.0, 10.0, 10.0)
+
+    def test_corners_distinct(self):
+        values = {
+            hilbert_value(x, y, self.BBOX, order=8)
+            for x, y in [(0, 0), (0, 10), (10, 10), (10, 0)]
+        }
+        assert len(values) == 4
+
+    def test_clamps_outside_points(self):
+        inside = hilbert_value(0.0, 0.0, self.BBOX, order=8)
+        outside = hilbert_value(-5.0, -5.0, self.BBOX, order=8)
+        assert inside == outside
+
+    def test_locality(self):
+        a = hilbert_value(3.0, 3.0, self.BBOX, order=10)
+        b = hilbert_value(3.01, 3.0, self.BBOX, order=10)
+        c = hilbert_value(9.9, 9.9, self.BBOX, order=10)
+        assert abs(a - b) < abs(a - c)
+
+    def test_degenerate_bbox(self):
+        # All nodes on one point must not crash.
+        assert hilbert_value(1.0, 1.0, (1.0, 1.0, 1.0, 1.0)) == 0

@@ -1,0 +1,89 @@
+"""Unit tests for path labels and the label priority queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labels import LabelQueue, PathLabel
+from repro.func.monotone import MonotonePiecewiseLinear, identity
+
+MPL = MonotonePiecewiseLinear
+
+
+def make_label(path, points, estimate=0.0):
+    return PathLabel.make(tuple(path), MPL(points), estimate)
+
+
+class TestPathLabel:
+    def test_end_and_hops(self):
+        label = make_label([1, 2, 3], [(0.0, 5.0), (10.0, 15.0)])
+        assert label.end == 3
+        assert label.hops == 2
+
+    def test_f_min_constant_travel(self):
+        # Arrival = l + 5 -> travel 5; estimate 2 -> f_min 7.
+        label = make_label([1, 2], [(0.0, 5.0), (10.0, 15.0)], estimate=2.0)
+        assert label.f_min == pytest.approx(7.0)
+
+    def test_f_min_varying_travel(self):
+        # Travel falls from 10 to 2 across the window.
+        label = make_label([1], [(0.0, 10.0), (8.0, 10.0)], estimate=0.0)
+        assert label.f_min == pytest.approx(2.0)
+
+    def test_travel_time_function(self):
+        label = make_label([1], [(0.0, 6.0), (10.0, 16.0)])
+        travel = label.travel_time_function()
+        assert travel(0.0) == pytest.approx(6.0)
+        assert travel(10.0) == pytest.approx(6.0)
+
+    def test_source_label_zero_travel(self):
+        label = PathLabel.make((7,), identity(0.0, 10.0), 3.5)
+        assert label.f_min == pytest.approx(3.5)
+
+    def test_frozen(self):
+        label = make_label([1], [(0.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(AttributeError):
+            label.estimate = 9.0  # type: ignore[misc]
+
+
+class TestLabelQueue:
+    def test_orders_by_f_min(self):
+        q = LabelQueue()
+        a = make_label([1], [(0.0, 5.0), (10.0, 15.0)])  # f=5
+        b = make_label([2], [(0.0, 3.0), (10.0, 13.0)])  # f=3
+        c = make_label([3], [(0.0, 8.0), (10.0, 18.0)])  # f=8
+        for label in (a, b, c):
+            q.push(label)
+        assert q.pop() is b
+        assert q.pop() is a
+        assert q.pop() is c
+
+    def test_tie_break_fewer_hops_first(self):
+        q = LabelQueue()
+        long = make_label([1, 2, 3], [(0.0, 5.0), (10.0, 15.0)])
+        short = make_label([9], [(0.0, 5.0), (10.0, 15.0)])
+        q.push(long)
+        q.push(short)
+        assert q.pop() is short
+
+    def test_peek_f_min(self):
+        q = LabelQueue()
+        assert q.peek_f_min() == float("inf")
+        q.push(make_label([1], [(0.0, 4.0), (10.0, 14.0)]))
+        assert q.peek_f_min() == pytest.approx(4.0)
+
+    def test_len_and_bool(self):
+        q = LabelQueue()
+        assert not q
+        q.push(make_label([1], [(0.0, 4.0), (10.0, 14.0)]))
+        assert q
+        assert len(q) == 1
+
+    def test_max_size_high_water_mark(self):
+        q = LabelQueue()
+        for i in range(5):
+            q.push(make_label([i], [(0.0, float(i + 1)), (10.0, 10.0 + i + 1)]))
+        for _ in range(5):
+            q.pop()
+        assert q.max_size == 5
+        assert len(q) == 0

@@ -1,0 +1,157 @@
+"""Unit tests for monotone functions: inverse, preimages, composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FunctionDomainError, NotMonotoneError
+from repro.func.monotone import MonotonePiecewiseLinear, identity
+
+MPL = MonotonePiecewiseLinear
+
+
+class TestConstruction:
+    def test_accepts_nondecreasing(self):
+        f = MPL([(0.0, 0.0), (5.0, 2.0), (10.0, 2.0)])
+        assert f.value_range == (0.0, 2.0)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(NotMonotoneError):
+            MPL([(0.0, 5.0), (10.0, 0.0)])
+
+    def test_snaps_numeric_noise(self):
+        f = MPL([(0.0, 1.0), (1.0, 1.0 - 1e-9), (2.0, 2.0)])
+        assert f(1.0) >= f(0.0)
+
+    def test_y_min_max(self):
+        f = MPL([(0.0, 3.0), (10.0, 7.0)])
+        assert f.y_min == 3.0
+        assert f.y_max == 7.0
+
+    def test_identity(self):
+        f = identity(2.0, 9.0)
+        assert f(2.0) == 2.0
+        assert f(5.5) == 5.5
+        assert f(9.0) == 9.0
+
+    def test_identity_instant(self):
+        f = identity(4.0, 4.0)
+        assert f.is_instant
+        assert f(4.0) == 4.0
+
+
+class TestPreimages:
+    def test_strictly_increasing_single(self):
+        f = MPL([(0.0, 0.0), (10.0, 20.0)])
+        assert f.preimage_points(10.0) == [5.0]
+
+    def test_flat_segment_interval(self):
+        f = MPL([(0.0, 0.0), (4.0, 4.0), (8.0, 4.0), (10.0, 6.0)])
+        points = f.preimage_points(4.0)
+        assert points[0] == pytest.approx(4.0)
+        assert points[-1] == pytest.approx(8.0)
+
+    def test_outside_range(self):
+        f = MPL([(0.0, 0.0), (10.0, 20.0)])
+        assert f.preimage_points(-1.0) == []
+        assert f.preimage_points(25.0) == []
+
+    def test_at_endpoints(self):
+        f = MPL([(0.0, 0.0), (10.0, 20.0)])
+        assert f.preimage_points(0.0) == [0.0]
+        assert f.preimage_points(20.0) == [10.0]
+
+    def test_instant_function(self):
+        f = MPL([(3.0, 7.0)])
+        assert f.preimage_points(7.0) == [3.0]
+        assert f.preimage_points(8.0) == []
+
+
+class TestInverse:
+    def test_strictly_increasing(self):
+        f = MPL([(0.0, 1.0), (4.0, 5.0), (10.0, 23.0)])
+        inv = f.inverse()
+        for x in (0.0, 2.0, 4.0, 7.0, 10.0):
+            assert inv(f(x)) == pytest.approx(x)
+
+    def test_flat_raises(self):
+        f = MPL([(0.0, 0.0), (5.0, 0.0), (10.0, 5.0)])
+        with pytest.raises(NotMonotoneError):
+            f.inverse()
+
+    def test_inverse_domain_is_range(self):
+        f = MPL([(0.0, 3.0), (10.0, 13.0)])
+        assert f.inverse().domain == (3.0, 13.0)
+
+
+class TestCompose:
+    def test_identity_left(self):
+        f = MPL([(0.0, 5.0), (10.0, 25.0)])
+        outer = identity(5.0, 25.0)
+        assert outer.compose(f).equals_approx(f)
+
+    def test_identity_right(self):
+        f = MPL([(0.0, 5.0), (10.0, 25.0)])
+        inner = identity(0.0, 10.0)
+        assert f.compose(inner).equals_approx(f)
+
+    def test_linear_composition(self):
+        inner = MPL([(0.0, 0.0), (10.0, 20.0)])  # 2x
+        outer = MPL([(0.0, 1.0), (20.0, 61.0)])  # 3y + 1
+        composed = outer.compose(inner)
+        for x in (0.0, 2.5, 5.0, 10.0):
+            assert composed(x) == pytest.approx(6 * x + 1)
+
+    def test_breakpoints_include_preimages(self):
+        # Outer kinks at y=10; inner hits 10 at x=5 -> composition kinks at 5.
+        inner = MPL([(0.0, 0.0), (10.0, 20.0)])
+        outer = MPL([(0.0, 0.0), (10.0, 10.0), (20.0, 40.0)])
+        composed = outer.compose(inner)
+        xs = [x for x, _y in composed.breakpoints]
+        assert any(abs(x - 5.0) < 1e-9 for x in xs)
+        assert composed(5.0) == pytest.approx(10.0)
+        assert composed(10.0) == pytest.approx(40.0)
+
+    def test_pointwise_agreement_random_grid(self):
+        inner = MPL([(0.0, 2.0), (3.0, 4.0), (6.0, 10.0), (9.0, 11.0)])
+        outer = MPL([(2.0, 0.0), (5.0, 9.0), (11.0, 12.0)])
+        composed = outer.compose(inner)
+        for i in range(50):
+            x = 9.0 * i / 49.0
+            assert composed(x) == pytest.approx(outer(inner(x)), abs=1e-9)
+
+    def test_range_outside_domain_raises(self):
+        inner = MPL([(0.0, 0.0), (10.0, 100.0)])
+        outer = MPL([(0.0, 0.0), (10.0, 10.0)])
+        with pytest.raises(FunctionDomainError):
+            outer.compose(inner)
+
+    def test_monotone_closure(self):
+        inner = MPL([(0.0, 2.0), (6.0, 10.0)])
+        outer = MPL([(2.0, 0.0), (10.0, 12.0)])
+        assert isinstance(outer.compose(inner), MPL)
+
+    def test_associativity(self):
+        f = MPL([(0.0, 1.0), (10.0, 11.0)])
+        g = MPL([(1.0, 2.0), (11.0, 22.0)])
+        h = MPL([(2.0, 0.0), (22.0, 40.0)])
+        left = h.compose(g).compose(f)
+        right = h.compose(g.compose(f))
+        assert left.equals_approx(right)
+
+
+class TestOverrides:
+    def test_restrict_returns_monotone(self):
+        f = MPL([(0.0, 0.0), (10.0, 10.0)])
+        assert isinstance(f.restrict(1.0, 5.0), MPL)
+
+    def test_simplify_returns_monotone(self):
+        f = MPL([(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)])
+        g = f.simplify()
+        assert isinstance(g, MPL)
+        assert len(g) == 2
+
+    def test_shift_x_returns_monotone(self):
+        f = MPL([(0.0, 0.0), (10.0, 10.0)]).shift_x(3.0)
+        assert isinstance(f, MPL)
+        assert f.domain == (3.0, 13.0)

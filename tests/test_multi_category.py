@@ -1,0 +1,98 @@
+"""End-to-end scenario with a three-category calendar (Def 1's Friday case).
+
+The paper motivates extra day categories: "if for some road segment the
+speed pattern for Fridays is different from that of other workdays, we can
+identify Friday as another category."  This module runs the full pipeline —
+patterns, network, engine, CCAM — over a {workday, friday, non-workday}
+calendar and checks that answers differ exactly where the categories do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import fixed_departure_query
+from repro.core.engine import IntAllFastestPaths
+from repro.network.model import CapeCodNetwork
+from repro.patterns.categories import Calendar, DayCategorySet
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.storage.ccam import CCAMStore
+from repro.timeutil import TimeInterval, parse_clock
+
+CATS = DayCategorySet(["workday", "friday", "non-workday"])
+#: Mon-Thu workdays, Friday its own category, Sat/Sun weekend.
+CAL = Calendar.periodic(
+    CATS, ["workday"] * 4 + ["friday"] + ["non-workday"] * 2
+)
+
+
+def friday_getaway_pattern() -> CapeCodPattern:
+    """Free-flowing except a *Friday-afternoon* getaway jam (2pm-8pm)."""
+    normal = DailySpeedPattern.constant(1.0)
+    friday = DailySpeedPattern(
+        [(0.0, 1.0), (parse_clock("14:00"), 0.25), (parse_clock("20:00"), 1.0)]
+    )
+    return CapeCodPattern(
+        {"workday": normal, "friday": friday, "non-workday": normal}
+    )
+
+
+@pytest.fixture(scope="module")
+def network():
+    """A two-route network: a highway with Friday jams and a local detour."""
+    net = CapeCodNetwork(CAL)
+    constant = CapeCodPattern.constant(0.5, CATS.names)
+    net.add_node(0, 0.0, 0.0)
+    net.add_node(1, 4.0, 0.0)
+    net.add_node(2, 2.0, 1.0)
+    net.add_edge(0, 1, 4.0, friday_getaway_pattern())  # highway: 4 min normally
+    net.add_edge(0, 2, 2.5, constant)  # detour leg 1: 5 min
+    net.add_edge(2, 1, 2.5, constant)  # detour leg 2: 5 min
+    return net
+
+
+class TestFridayCategory:
+    def test_thursday_uses_highway(self, network):
+        # Day 3 = Thursday: 15:00 is ordinary workday traffic.
+        depart = parse_clock("15:00", day=3)
+        result = fixed_departure_query(network, 0, 1, depart)
+        assert result.path == (0, 1)
+        assert result.travel_time == pytest.approx(4.0)
+
+    def test_friday_takes_detour(self, network):
+        # Day 4 = Friday: the 14:00-20:00 getaway jam makes 0->1 take 16 min.
+        depart = parse_clock("15:00", day=4)
+        result = fixed_departure_query(network, 0, 1, depart)
+        assert result.path == (0, 2, 1)
+        assert result.travel_time == pytest.approx(10.0)
+
+    def test_saturday_back_to_highway(self, network):
+        depart = parse_clock("15:00", day=5)
+        result = fixed_departure_query(network, 0, 1, depart)
+        assert result.path == (0, 1)
+
+    def test_allfp_partition_on_friday(self, network):
+        """Leaving window straddling the Friday 14:00 jam onset."""
+        engine = IntAllFastestPaths(network)
+        window = TimeInterval(
+            parse_clock("13:00", day=4), parse_clock("15:00", day=4)
+        )
+        result = engine.all_fastest_paths(0, 1, window)
+        paths = [e.path for e in result.entries]
+        assert paths[0] == (0, 1)
+        assert (0, 2, 1) in paths
+
+    def test_allfp_single_path_on_thursday(self, network):
+        engine = IntAllFastestPaths(network)
+        window = TimeInterval(
+            parse_clock("13:00", day=3), parse_clock("15:00", day=3)
+        )
+        result = engine.all_fastest_paths(0, 1, window)
+        assert [e.path for e in result.entries] == [(0, 1)]
+
+    def test_three_category_calendar_survives_ccam(self, network, tmp_path):
+        path = tmp_path / "friday.ccam"
+        with CCAMStore.build(network, path) as store:
+            assert store.calendar.category_for_day(4) == "friday"
+            depart = parse_clock("15:00", day=4)
+            assert fixed_departure_query(store, 0, 1, depart).path == (0, 2, 1)

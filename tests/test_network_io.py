@@ -1,0 +1,97 @@
+"""Unit tests for network JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.generator import MetroConfig, make_metro_network, paper_example_network
+from repro.network.io import load_network, save_network
+from repro.patterns.travel_time import traverse
+from repro.timeutil import parse_clock
+
+
+@pytest.fixture
+def metro(tmp_path):
+    net = make_metro_network(MetroConfig(width=8, height=8, seed=2))
+    path = tmp_path / "net.json"
+    save_network(net, path)
+    return net, path
+
+
+class TestRoundTrip:
+    def test_counts(self, metro):
+        net, path = metro
+        loaded = load_network(path)
+        assert loaded.node_count == net.node_count
+        assert loaded.edge_count == net.edge_count
+
+    def test_locations_exact(self, metro):
+        net, path = metro
+        loaded = load_network(path)
+        for nid in net.node_ids():
+            assert loaded.location(nid) == net.location(nid)
+
+    def test_edges_exact(self, metro):
+        net, path = metro
+        loaded = load_network(path)
+        for e in net.edges():
+            e2 = loaded.find_edge(e.source, e.target)
+            assert e2.distance == e.distance
+            assert e2.pattern == e.pattern
+            assert e2.road_class == e.road_class
+
+    def test_calendar_behaviour_preserved(self, metro):
+        net, path = metro
+        loaded = load_network(path)
+        for day in range(14):
+            assert loaded.calendar.category_for_day(
+                day
+            ) == net.calendar.category_for_day(day)
+
+    def test_travel_times_preserved(self, metro):
+        net, path = metro
+        loaded = load_network(path)
+        edge = next(net.edges())
+        edge2 = loaded.find_edge(edge.source, edge.target)
+        for clock in ("6:00", "8:00", "12:00"):
+            t = parse_clock(clock)
+            assert traverse(
+                edge.distance, edge.pattern, net.calendar, t
+            ) == pytest.approx(
+                traverse(edge2.distance, edge2.pattern, loaded.calendar, t)
+            )
+
+    def test_paper_example_roundtrip(self, tmp_path):
+        net = paper_example_network()
+        path = tmp_path / "example.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.edge_count == 3
+        assert loaded.find_edge(0, 2).distance == 6.0
+
+
+class TestFormatValidation:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(NetworkError):
+            load_network(path)
+
+    def test_rejects_wrong_version(self, tmp_path, metro):
+        _net, src = metro
+        doc = json.loads(src.read_text())
+        doc["version"] = 999
+        path = tmp_path / "v999.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(NetworkError):
+            load_network(path)
+
+    def test_pattern_deduplication(self, metro):
+        _net, path = metro
+        doc = json.loads(path.read_text())
+        # The metro schema has far fewer distinct patterns than edges.
+        assert len(doc["patterns"]) < 10
+        assert len(doc["edges"]) > 50

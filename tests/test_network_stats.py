@@ -1,0 +1,86 @@
+"""Unit tests for the network statistics module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generator import MetroConfig, make_grid_network, make_metro_network
+from repro.network.stats import network_stats
+from repro.patterns.schema import RoadClass
+
+
+@pytest.fixture(scope="module")
+def metro():
+    return make_metro_network(MetroConfig(width=12, height=12, seed=14))
+
+
+@pytest.fixture(scope="module")
+def stats(metro):
+    return network_stats(metro)
+
+
+class TestBasicCounts:
+    def test_node_edge_counts(self, metro, stats):
+        assert stats.node_count == metro.node_count
+        assert stats.edge_count == metro.edge_count
+
+    def test_total_miles_positive_and_consistent(self, metro, stats):
+        assert stats.total_miles == pytest.approx(
+            sum(e.distance for e in metro.edges())
+        )
+
+    def test_mean_out_degree(self, stats):
+        assert stats.mean_out_degree == pytest.approx(
+            stats.edge_count / stats.node_count
+        )
+
+    def test_degree_histogram_sums_to_nodes(self, stats):
+        assert sum(stats.degree_histogram.values()) == stats.node_count
+
+    def test_strongly_connected(self, stats):
+        assert stats.strongly_connected
+
+
+class TestClassBreakdown:
+    def test_all_metro_classes_present(self, stats):
+        assert set(stats.by_class) == set(RoadClass)
+
+    def test_class_counts_sum_to_total(self, stats):
+        assert (
+            sum(s.edge_count for s in stats.by_class.values())
+            == stats.edge_count
+        )
+
+    def test_speed_ranges_sane(self, stats):
+        inbound = stats.by_class[RoadClass.INBOUND_HIGHWAY]
+        # 20 MPH rush floor, 65 MPH limit (in mpm).
+        assert inbound.min_speed == pytest.approx(20 / 60)
+        assert inbound.max_speed == pytest.approx(65 / 60)
+
+    def test_unclassified_edges(self):
+        grid = make_grid_network(3, 3)
+        stats = network_stats(grid)
+        assert set(stats.by_class) == {None}
+
+
+class TestPatternCensus:
+    def test_distinct_patterns_small(self, stats):
+        # Table 1 schema: four classes, some sharing patterns.
+        assert 1 <= stats.distinct_patterns <= 4
+
+    def test_time_dependent_fraction(self, stats):
+        assert 0.0 < stats.time_dependent_fraction < 1.0
+
+    def test_constant_grid_has_no_time_dependence(self):
+        grid = make_grid_network(3, 3)
+        stats = network_stats(grid)
+        assert stats.time_dependent_fraction == 0.0
+        assert stats.distinct_patterns == 1
+
+
+class TestSummaryLines:
+    def test_lines_mention_key_figures(self, stats):
+        text = "\n".join(stats.summary_lines())
+        assert f"nodes: {stats.node_count}" in text
+        assert "inbound_highway" in text
+        assert "MPH" in text

@@ -1,0 +1,95 @@
+"""Unit tests for node-record and data-page codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PageOverflowError, StorageError
+from repro.storage.pages import (
+    NO_CLASS,
+    NeighborRef,
+    NodeRecord,
+    decode_data_page,
+    decode_record,
+    decode_record_at_slot,
+    encode_data_page,
+    encode_record,
+    page_payload,
+    record_size,
+)
+
+
+@pytest.fixture
+def record():
+    return NodeRecord(
+        42,
+        1.25,
+        -3.5,
+        (
+            NeighborRef(7, 0.5, 0, 1),
+            NeighborRef(9, 1.75, 3, NO_CLASS),
+        ),
+    )
+
+
+class TestRecordCodec:
+    def test_roundtrip(self, record):
+        data = encode_record(record)
+        decoded, offset = decode_record(data, 0)
+        assert decoded == record
+        assert offset == len(data)
+
+    def test_record_size_matches(self, record):
+        assert len(encode_record(record)) == record_size(len(record.neighbors))
+
+    def test_empty_adjacency(self):
+        rec = NodeRecord(1, 0.0, 0.0, ())
+        decoded, _ = decode_record(encode_record(rec), 0)
+        assert decoded.neighbors == ()
+
+    def test_location_property(self, record):
+        assert record.location == (1.25, -3.5)
+
+    def test_float_precision_exact(self):
+        rec = NodeRecord(1, 0.1 + 0.2, 1e-17, (NeighborRef(2, 1 / 3, 0),))
+        decoded, _ = decode_record(encode_record(rec), 0)
+        assert decoded.x == rec.x
+        assert decoded.neighbors[0].distance == 1 / 3
+
+
+class TestDataPageCodec:
+    def test_roundtrip_multiple_records(self, record):
+        other = NodeRecord(43, 0.0, 0.0, (NeighborRef(42, 1.0, 0),))
+        page = encode_data_page(
+            [encode_record(record), encode_record(other)], 512
+        )
+        assert len(page) == 512
+        decoded = decode_data_page(page)
+        assert decoded == [record, other]
+
+    def test_empty_page(self):
+        page = encode_data_page([], 256)
+        assert decode_data_page(page) == []
+
+    def test_overflow_raises(self, record):
+        blob = encode_record(record)
+        needed = len(blob) * 10
+        with pytest.raises(PageOverflowError):
+            encode_data_page([blob] * 10, needed - 1)
+
+    def test_slot_access(self, record):
+        records = [
+            NodeRecord(i, float(i), 0.0, tuple(NeighborRef(j, 1.0, 0) for j in range(i)))
+            for i in range(5)
+        ]
+        page = encode_data_page([encode_record(r) for r in records], 1024)
+        for slot, expected in enumerate(records):
+            assert decode_record_at_slot(page, slot) == expected
+
+    def test_slot_out_of_range(self, record):
+        page = encode_data_page([encode_record(record)], 256)
+        with pytest.raises(StorageError):
+            decode_record_at_slot(page, 1)
+
+    def test_page_payload(self):
+        assert page_payload(2048) == 2046

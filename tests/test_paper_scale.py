@@ -1,0 +1,59 @@
+"""Paper-scale smoke validation (opt-in: set REPRO_PAPER_SCALE=1).
+
+Generates the 14,520-node network (the paper: 14,456 nodes, 20,461 directed
+edges), runs one long rush-hour query with both estimators, and
+cross-validates the answer.  Takes ~30 s; excluded from the default run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.validation import validate_allfp
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_PAPER_SCALE"),
+    reason="paper-scale validation is opt-in (REPRO_PAPER_SCALE=1)",
+)
+
+
+@pytest.fixture(scope="module")
+def paper_net():
+    return make_metro_network(MetroConfig.paper_scale(seed=42))
+
+
+class TestPaperScale:
+    def test_network_size_matches_paper(self, paper_net):
+        # Paper: 14,456 nodes / 20,461 directed edges (Suffolk County).
+        assert abs(paper_net.node_count - 14_456) < 200
+        assert abs(paper_net.edge_count - 20_461) / 20_461 < 0.05
+        assert paper_net.is_strongly_connected()
+
+    def test_long_rush_query_both_estimators(self, paper_net):
+        interval = morning_rush_interval(3.0)
+        query = distance_band_queries(
+            paper_net, [(7.0, 8.0)], 1, interval, seed=5
+        )[(7.0, 8.0)][0]
+        naive_engine = IntAllFastestPaths(paper_net, NaiveEstimator(paper_net))
+        bd_engine = IntAllFastestPaths(
+            paper_net, BoundaryNodeEstimator(paper_net, 8, 8)
+        )
+        naive = naive_engine.all_fastest_paths(
+            query.source, query.target, query.interval
+        )
+        bd = bd_engine.all_fastest_paths(
+            query.source, query.target, query.interval
+        )
+        assert bd.stats.expanded_paths < naive.stats.expanded_paths
+        assert validate_allfp(paper_net, naive, samples=7).ok
+        for instant in query.interval.sample(7):
+            assert abs(
+                naive.travel_time_at(instant) - bd.travel_time_at(instant)
+            ) <= 1e-6

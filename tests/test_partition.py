@@ -1,0 +1,95 @@
+"""Unit tests for page packing strategies and clustering quality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.network.generator import MetroConfig, make_grid_network, make_metro_network
+from repro.storage.partition import (
+    clustering_quality,
+    pack_connectivity,
+    pack_hilbert,
+)
+
+
+@pytest.fixture(scope="module")
+def metro():
+    return make_metro_network(MetroConfig(width=12, height=12, seed=4))
+
+
+def _uniform_size(_nid: int) -> int:
+    return 40
+
+
+class TestPackHilbert:
+    def test_every_node_exactly_once(self, metro):
+        pages = pack_hilbert(metro, _uniform_size, 400)
+        flat = [n for page in pages for n in page]
+        assert sorted(flat) == sorted(metro.node_ids())
+
+    def test_capacity_respected(self, metro):
+        pages = pack_hilbert(metro, _uniform_size, 400)
+        assert all(len(page) * 40 <= 400 for page in pages)
+
+    def test_oversized_record_raises(self, metro):
+        with pytest.raises(StorageError):
+            pack_hilbert(metro, lambda _n: 500, 400)
+
+    def test_spatial_coherence(self, metro):
+        # Consecutive page members should be near each other on average.
+        pages = pack_hilbert(metro, _uniform_size, 400)
+        page = max(pages, key=len)
+        xs = [metro.location(n)[0] for n in page]
+        ys = [metro.location(n)[1] for n in page]
+        min_x, min_y, max_x, max_y = metro.bounding_box()
+        assert (max(xs) - min(xs)) < (max_x - min_x) / 2
+        assert (max(ys) - min(ys)) < (max_y - min_y) / 2
+
+
+class TestPackConnectivity:
+    def test_every_node_exactly_once(self, metro):
+        pages = pack_connectivity(metro, _uniform_size, 400)
+        flat = [n for page in pages for n in page]
+        assert sorted(flat) == sorted(metro.node_ids())
+
+    def test_capacity_respected(self, metro):
+        pages = pack_connectivity(metro, _uniform_size, 400)
+        assert all(len(page) * 40 <= 400 for page in pages)
+
+    def test_oversized_record_raises(self, metro):
+        with pytest.raises(StorageError):
+            pack_connectivity(metro, lambda _n: 500, 400)
+
+    def test_beats_or_matches_hilbert_on_grid(self):
+        grid = make_grid_network(10, 10)
+        size = _uniform_size
+        hil = clustering_quality(grid, pack_hilbert(grid, size, 400))
+        bfs = clustering_quality(grid, pack_connectivity(grid, size, 400))
+        assert bfs >= hil - 0.05  # BFS targets the objective directly
+
+
+class TestClusteringQuality:
+    def test_single_page_is_one(self, metro):
+        all_nodes = list(metro.node_ids())
+        assert clustering_quality(metro, [all_nodes]) == 1.0
+
+    def test_singleton_pages_is_zero(self, metro):
+        pages = [[n] for n in metro.node_ids()]
+        assert clustering_quality(metro, pages) == 0.0
+
+    def test_empty_network(self):
+        from repro.network.model import CapeCodNetwork
+        from repro.patterns.categories import Calendar
+
+        net = CapeCodNetwork(Calendar.single_category())
+        assert clustering_quality(net, []) == 0.0
+
+    def test_reasonable_quality_at_2048(self, metro):
+        from repro.storage.pages import record_size
+
+        sizes = {
+            nid: record_size(len(metro.outgoing(nid))) for nid in metro.node_ids()
+        }
+        pages = pack_connectivity(metro, lambda n: sizes[n], 2046)
+        assert clustering_quality(metro, pages) > 0.5

@@ -1,0 +1,263 @@
+"""Unit tests for PiecewiseLinearFunction — the core function algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FunctionDomainError, FunctionShapeError
+from repro.func.piecewise import LinearPiece, PiecewiseLinearFunction
+
+PLF = PiecewiseLinearFunction
+
+
+class TestConstruction:
+    def test_two_points(self):
+        f = PLF([(0.0, 1.0), (10.0, 3.0)])
+        assert f.domain == (0.0, 10.0)
+        assert len(f) == 2
+
+    def test_single_point(self):
+        f = PLF([(5.0, 2.0)])
+        assert f.is_instant
+        assert f(5.0) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(FunctionShapeError):
+            PLF([])
+
+    def test_rejects_decreasing_x(self):
+        with pytest.raises(FunctionShapeError):
+            PLF([(1.0, 0.0), (0.0, 0.0)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(FunctionShapeError):
+            PLF([(0.0, float("nan"))])
+
+    def test_rejects_inf(self):
+        with pytest.raises(FunctionShapeError):
+            PLF([(0.0, float("inf")), (1.0, 0.0)])
+
+    def test_merges_duplicate_x(self):
+        f = PLF([(0.0, 1.0), (0.0, 1.0), (1.0, 2.0)])
+        assert len(f) == 2
+
+    def test_rejects_conflicting_duplicate_x(self):
+        with pytest.raises(FunctionShapeError):
+            PLF([(0.0, 1.0), (0.0, 2.0), (1.0, 2.0)])
+
+    def test_constant_constructor(self):
+        f = PLF.constant(0.0, 5.0, 7.0)
+        assert f(0.0) == f(2.5) == f(5.0) == 7.0
+
+    def test_constant_degenerate(self):
+        f = PLF.constant(3.0, 3.0, 1.0)
+        assert f.is_instant
+
+    def test_constant_rejects_reversed(self):
+        with pytest.raises(FunctionShapeError):
+            PLF.constant(5.0, 0.0, 1.0)
+
+    def test_linear_constructor(self):
+        f = PLF.linear(0.0, 10.0, 2.0, 1.0)
+        assert f(0.0) == 1.0
+        assert f(10.0) == 21.0
+
+    def test_from_callable(self):
+        f = PLF.from_callable(lambda x: 2 * x, [0.0, 1.0, 2.0])
+        assert f(1.5) == 3.0
+
+
+class TestEvaluation:
+    def test_interpolation(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        assert f(3.0) == pytest.approx(3.0)
+
+    def test_at_breakpoints(self):
+        f = PLF([(0.0, 1.0), (5.0, 6.0), (10.0, 2.0)])
+        assert f(0.0) == 1.0
+        assert f(5.0) == 6.0
+        assert f(10.0) == 2.0
+
+    def test_outside_domain_raises(self):
+        f = PLF([(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(FunctionDomainError):
+            f(-0.5)
+        with pytest.raises(FunctionDomainError):
+            f(1.5)
+
+    def test_instant_domain_check(self):
+        f = PLF([(5.0, 2.0)])
+        with pytest.raises(FunctionDomainError):
+            f(5.5)
+
+    def test_piece_at(self):
+        f = PLF([(0.0, 0.0), (5.0, 10.0), (10.0, 10.0)])
+        piece = f.piece_at(2.0)
+        assert piece.slope == pytest.approx(2.0)
+        assert piece.intercept == pytest.approx(0.0)
+        flat = f.piece_at(7.0)
+        assert flat.slope == pytest.approx(0.0)
+
+    def test_pieces_iteration(self):
+        f = PLF([(0.0, 0.0), (5.0, 10.0), (10.0, 10.0)])
+        pieces = list(f.pieces())
+        assert len(pieces) == 2
+        assert pieces[0].x_start == 0.0
+        assert pieces[1].x_end == 10.0
+
+    def test_linear_piece_values(self):
+        piece = LinearPiece(0.0, 10.0, 2.0, 1.0)
+        assert piece.y_start == 1.0
+        assert piece.y_end == 21.0
+
+
+class TestExtrema:
+    def test_min_max(self):
+        f = PLF([(0.0, 3.0), (5.0, 1.0), (10.0, 4.0)])
+        assert f.min_value() == 1.0
+        assert f.max_value() == 4.0
+
+    def test_argmin_point(self):
+        f = PLF([(0.0, 3.0), (5.0, 1.0), (10.0, 4.0)])
+        assert f.argmin() == 5.0
+        assert f.argmin_intervals() == [(5.0, 5.0)]
+
+    def test_argmin_flat_interval(self):
+        # The paper's singleFP answer is a flat optimum on [7:00, 7:03].
+        f = PLF([(0.0, 9.0), (4.0, 5.0), (7.0, 5.0), (10.0, 8.0)])
+        assert f.argmin_intervals() == [(4.0, 7.0)]
+
+    def test_argmin_multiple_intervals(self):
+        f = PLF([(0.0, 1.0), (2.0, 5.0), (4.0, 1.0)])
+        assert f.argmin_intervals() == [(0.0, 0.0), (4.0, 4.0)]
+
+    def test_argmin_whole_domain(self):
+        f = PLF.constant(0.0, 5.0, 2.0)
+        assert f.argmin_intervals() == [(0.0, 5.0)]
+
+
+class TestAlgebra:
+    def test_add_scalar(self):
+        f = PLF([(0.0, 1.0), (10.0, 3.0)]) + 5.0
+        assert f(0.0) == 6.0
+        assert f(10.0) == 8.0
+
+    def test_radd_scalar(self):
+        f = 5.0 + PLF([(0.0, 1.0), (10.0, 3.0)])
+        assert f(0.0) == 6.0
+
+    def test_add_functions(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = PLF([(0.0, 5.0), (5.0, 0.0), (10.0, 5.0)])
+        h = f + g
+        assert h(0.0) == 5.0
+        assert h(5.0) == 5.0
+        assert h(10.0) == 15.0
+        # Breakpoint union is preserved.
+        assert h(2.5) == pytest.approx(2.5 + 2.5)
+
+    def test_add_domain_mismatch(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = PLF([(0.0, 0.0), (5.0, 5.0)])
+        with pytest.raises(FunctionDomainError):
+            f + g
+
+    def test_sub_scalar(self):
+        f = PLF([(0.0, 1.0), (10.0, 3.0)]) - 1.0
+        assert f(0.0) == 0.0
+
+    def test_sub_functions(self):
+        f = PLF([(0.0, 5.0), (10.0, 15.0)])
+        g = PLF([(0.0, 1.0), (10.0, 3.0)])
+        assert (f - g)(10.0) == pytest.approx(12.0)
+
+    def test_scale(self):
+        f = PLF([(0.0, 1.0), (10.0, 3.0)]).scale(2.0)
+        assert f(10.0) == 6.0
+
+    def test_shift_x(self):
+        f = PLF([(0.0, 1.0), (10.0, 3.0)]).shift_x(5.0)
+        assert f.domain == (5.0, 15.0)
+        assert f(5.0) == 1.0
+
+    def test_minus_identity(self):
+        arrival = PLF([(0.0, 6.0), (10.0, 16.0)])
+        travel = arrival.minus_identity()
+        assert travel(0.0) == 6.0
+        assert travel(10.0) == 6.0
+
+    def test_plus_identity_roundtrip(self):
+        travel = PLF([(0.0, 6.0), (10.0, 2.0)])
+        assert travel.plus_identity().minus_identity().equals_approx(travel)
+
+
+class TestRestrictSimplify:
+    def test_restrict_interior(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = f.restrict(2.0, 7.0)
+        assert g.domain == (2.0, 7.0)
+        assert g(2.0) == 2.0
+        assert g(7.0) == 7.0
+
+    def test_restrict_keeps_interior_breakpoints(self):
+        f = PLF([(0.0, 0.0), (5.0, 10.0), (10.0, 0.0)])
+        g = f.restrict(2.0, 8.0)
+        assert g(5.0) == 10.0
+
+    def test_restrict_to_instant(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = f.restrict(4.0, 4.0)
+        assert g.is_instant
+        assert g(4.0) == 4.0
+
+    def test_restrict_outside_raises(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        with pytest.raises(FunctionDomainError):
+            f.restrict(-1.0, 5.0)
+
+    def test_simplify_collinear(self):
+        f = PLF([(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)])
+        assert len(f.simplify()) == 2
+
+    def test_simplify_preserves_kinks(self):
+        f = PLF([(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)])
+        assert len(f.simplify()) == 3
+
+    def test_simplify_pointwise_identical(self):
+        f = PLF([(0.0, 3.0), (1.0, 3.0), (2.0, 3.0), (10.0, 3.0)])
+        g = f.simplify()
+        assert g.equals_approx(f)
+        assert len(g) == 2
+
+
+class TestComparison:
+    def test_equals_approx_true(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = PLF([(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)])
+        assert f.equals_approx(g)
+
+    def test_equals_approx_false_value(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = PLF([(0.0, 0.0), (10.0, 11.0)])
+        assert not f.equals_approx(g)
+
+    def test_equals_approx_false_domain(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = PLF([(0.0, 0.0), (9.0, 9.0)])
+        assert not f.equals_approx(g)
+
+    def test_dominates(self):
+        low = PLF([(0.0, 1.0), (10.0, 1.0)])
+        high = PLF([(0.0, 2.0), (10.0, 3.0)])
+        assert low.dominates(high)
+        assert not high.dominates(low)
+
+    def test_dominates_crossing(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        g = PLF([(0.0, 10.0), (10.0, 0.0)])
+        assert not f.dominates(g)
+        assert not g.dominates(f)
+
+    def test_dominates_self(self):
+        f = PLF([(0.0, 0.0), (10.0, 10.0)])
+        assert f.dominates(f)

@@ -1,0 +1,378 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the mathematical backbone of the paper's machinery:
+piecewise-linear algebra laws, FIFO of arrival functions, envelope
+correctness, estimator admissibility, Hilbert bijectivity, and B+-tree
+equivalence with a dictionary model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.astar import fixed_departure_query
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator
+from repro.exceptions import NoPathError
+from repro.func.envelope import AnnotatedEnvelope
+from repro.func.monotone import MonotonePiecewiseLinear
+from repro.func.piecewise import PiecewiseLinearFunction
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.patterns.travel_time import edge_arrival_function, traverse
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer import MemoryPageStore
+from repro.storage.hilbert import hilbert_index, hilbert_point
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+DOMAIN = (0.0, 100.0)
+
+
+def _interior_points(draw, lo, hi, max_kinks):
+    """Well-separated interior abscissae drawn from a fine grid."""
+    cells = draw(
+        st.lists(st.integers(1, 999), max_size=max_kinks, unique=True)
+    )
+    step = (hi - lo) / 1000.0
+    return [lo + c * step for c in cells]
+
+
+@st.composite
+def plf(draw, lo=DOMAIN[0], hi=DOMAIN[1], max_kinks=6):
+    """A continuous PLF on the fixed domain [lo, hi]."""
+    interior = _interior_points(draw, lo, hi, max_kinks)
+    xs = sorted([lo, hi] + interior)
+    ys = [
+        draw(st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False))
+        for _ in xs
+    ]
+    return PiecewiseLinearFunction(list(zip(xs, ys)))
+
+
+@st.composite
+def monotone_plf(draw, lo=DOMAIN[0], hi=DOMAIN[1], max_kinks=5):
+    """A strictly increasing PLF on [lo, hi] (an arrival-like function)."""
+    interior = _interior_points(draw, lo, hi, max_kinks)
+    xs = sorted([lo, hi] + interior)
+    y = draw(st.floats(0.0, 10.0, allow_nan=False))
+    ys = [y]
+    for a, b in zip(xs, xs[1:]):
+        slope = draw(st.floats(0.05, 3.0, allow_nan=False))
+        y = y + slope * (b - a)
+        ys.append(y)
+    return MonotonePiecewiseLinear(list(zip(xs, ys)))
+
+
+@st.composite
+def daily_pattern(draw):
+    cells = sorted(
+        draw(st.lists(st.integers(1, 287), max_size=4, unique=True))
+    )
+    pieces = [(0.0, draw(st.floats(0.05, 2.0)))]
+    pieces.extend(
+        (c * 5.0, draw(st.floats(0.05, 2.0))) for c in cells
+    )
+    return DailySpeedPattern(pieces)
+
+
+GRID_POINTS = [DOMAIN[0] + i * (DOMAIN[1] - DOMAIN[0]) / 40 for i in range(41)]
+
+
+# ----------------------------------------------------------------------
+# PLF algebra laws
+# ----------------------------------------------------------------------
+class TestPLFAlgebra:
+    @given(plf(), plf())
+    def test_addition_is_pointwise(self, f, g):
+        h = f + g
+        for x in GRID_POINTS:
+            assert math.isclose(h(x), f(x) + g(x), abs_tol=1e-7)
+
+    @given(plf(), plf())
+    def test_addition_commutes(self, f, g):
+        assert (f + g).equals_approx(g + f, tol=1e-7)
+
+    @given(plf(), st.floats(-20, 20, allow_nan=False))
+    def test_scalar_shift(self, f, c):
+        g = f + c
+        for x in GRID_POINTS[::5]:
+            assert math.isclose(g(x), f(x) + c, abs_tol=1e-7)
+
+    @given(plf())
+    def test_simplify_is_pointwise_identity(self, f):
+        g = f.simplify()
+        for x in GRID_POINTS:
+            assert math.isclose(g(x), f(x), abs_tol=1e-6)
+
+    @given(plf())
+    def test_restrict_preserves_values(self, f):
+        g = f.restrict(20.0, 70.0)
+        for x in GRID_POINTS:
+            if 20.0 <= x <= 70.0:
+                assert math.isclose(g(x), f(x), abs_tol=1e-7)
+
+    @given(plf())
+    def test_min_max_attained(self, f):
+        values = [f(x) for x, _ in f.breakpoints]
+        assert math.isclose(min(values), f.min_value(), abs_tol=1e-9)
+        assert math.isclose(max(values), f.max_value(), abs_tol=1e-9)
+
+    @given(plf())
+    def test_argmin_attains_min(self, f):
+        for lo, hi in f.argmin_intervals():
+            assert math.isclose(f(lo), f.min_value(), abs_tol=1e-6)
+            assert math.isclose(f(hi), f.min_value(), abs_tol=1e-6)
+
+    @given(plf())
+    def test_identity_roundtrip(self, f):
+        assert f.plus_identity().minus_identity().equals_approx(f, tol=1e-7)
+
+
+class TestMonotoneProperties:
+    @given(monotone_plf())
+    def test_inverse_roundtrip(self, f):
+        inv = f.inverse()
+        for x in GRID_POINTS[::4]:
+            assert math.isclose(inv(f(x)), x, abs_tol=1e-6)
+
+    @given(monotone_plf())
+    def test_preimage_hits_value(self, f):
+        y = 0.5 * (f.y_min + f.y_max)
+        points = f.preimage_points(y)
+        assert points
+        for x in points:
+            assert math.isclose(f(x), y, abs_tol=1e-6)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow])
+    @given(monotone_plf(), st.data())
+    def test_composition_pointwise(self, inner, data):
+        lo, hi = inner.value_range
+        outer = data.draw(monotone_plf(lo=lo - 1.0, hi=hi + 1.0))
+        composed = outer.compose(inner)
+        for x in GRID_POINTS[::4]:
+            assert math.isclose(
+                composed(x), outer(inner(x)), abs_tol=1e-6
+            )
+
+    @given(monotone_plf())
+    def test_composition_preserves_monotonicity(self, inner):
+        lo, hi = inner.value_range
+        outer = MonotonePiecewiseLinear([(lo - 1, lo - 1), (hi + 1, hi + 1)])
+        composed = outer.compose(inner)
+        ys = [y for _x, y in composed.breakpoints]
+        assert all(a <= b + 1e-9 for a, b in zip(ys, ys[1:]))
+
+
+class TestEnvelopeProperties:
+    @given(st.lists(plf(), min_size=1, max_size=5))
+    def test_envelope_is_pointwise_min(self, fns):
+        env = AnnotatedEnvelope(*DOMAIN)
+        for i, f in enumerate(fns):
+            env.add(f, tag=i)
+        for x in GRID_POINTS:
+            expected = min(f(x) for f in fns)
+            assert math.isclose(env.value_at(x), expected, abs_tol=1e-6)
+
+    @given(st.lists(plf(), min_size=1, max_size=5))
+    def test_partition_covers_domain(self, fns):
+        env = AnnotatedEnvelope(*DOMAIN)
+        for i, f in enumerate(fns):
+            env.add(f, tag=i)
+        parts = env.partition()
+        assert parts[0][0] == DOMAIN[0]
+        assert math.isclose(parts[-1][1], DOMAIN[1], abs_tol=1e-9)
+        for (_, end, _), (start, _, _) in zip(parts, parts[1:]):
+            assert math.isclose(end, start, abs_tol=1e-9)
+
+    @given(st.lists(plf(), min_size=1, max_size=5))
+    def test_tag_owner_achieves_min(self, fns):
+        env = AnnotatedEnvelope(*DOMAIN)
+        for i, f in enumerate(fns):
+            env.add(f, tag=i)
+        for start, end, tag in env.partition():
+            mid = 0.5 * (start + end)
+            assert math.isclose(
+                fns[tag](mid), env.value_at(mid), abs_tol=1e-6
+            )
+
+
+# ----------------------------------------------------------------------
+# Travel-time machinery: FIFO and exactness
+# ----------------------------------------------------------------------
+class TestTravelTimeProperties:
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        daily_pattern(),
+        st.floats(0.1, 20.0, allow_nan=False),
+        st.floats(0.0, 1400.0, allow_nan=False),
+    )
+    def test_fifo(self, daily, distance, depart):
+        cal = Calendar.single_category("d")
+        pattern = CapeCodPattern({"d": daily})
+        a1 = traverse(distance, pattern, cal, depart)
+        a2 = traverse(distance, pattern, cal, depart + 1.0)
+        assert a1 <= a2 + 1e-9
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        daily_pattern(),
+        st.floats(0.1, 15.0, allow_nan=False),
+        st.floats(0.0, 1200.0, allow_nan=False),
+    )
+    def test_arrival_function_matches_scalar(self, daily, distance, lo):
+        cal = Calendar.single_category("d")
+        pattern = CapeCodPattern({"d": daily})
+        hi = lo + 90.0
+        fn = edge_arrival_function(distance, pattern, cal, lo, hi)
+        for i in range(11):
+            t = lo + (hi - lo) * i / 10
+            assert math.isclose(
+                fn(t), traverse(distance, pattern, cal, t), abs_tol=1e-7
+            )
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(daily_pattern(), st.floats(0.1, 15.0, allow_nan=False))
+    def test_travel_time_bounded_by_speed_range(self, daily, distance):
+        cal = Calendar.single_category("d")
+        pattern = CapeCodPattern({"d": daily})
+        t = traverse(distance, pattern, cal, 500.0) - 500.0
+        assert distance / daily.max_speed() - 1e-9 <= t
+        assert t <= distance / daily.min_speed() + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Estimator admissibility on random queries
+# ----------------------------------------------------------------------
+_net = make_metro_network(MetroConfig(width=8, height=8, seed=11))
+_naive = NaiveEstimator(_net)
+_boundary = BoundaryNodeEstimator(_net, 3, 3)
+_ids = sorted(_net.node_ids())
+
+
+class TestEstimatorAdmissibility:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from(_ids),
+        st.sampled_from(_ids),
+        st.floats(300.0, 700.0, allow_nan=False),
+    )
+    def test_bounds_never_exceed_truth(self, source, target, depart):
+        assume(source != target)
+        try:
+            actual = fixed_departure_query(_net, source, target, depart).travel_time
+        except NoPathError:
+            assume(False)
+        for estimator in (_naive, _boundary):
+            estimator.prepare(target)
+            assert estimator.bound(source) <= actual + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Storage invariants
+# ----------------------------------------------------------------------
+class TestHilbertProperties:
+    @settings(max_examples=60)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip(self, x, y):
+        assert hilbert_point(8, hilbert_index(8, x, y)) == (x, y)
+
+    @settings(max_examples=60)
+    @given(st.integers(0, 255 * 255))
+    def test_index_in_range(self, d):
+        x, y = hilbert_point(8, d)
+        assert 0 <= x < 256 and 0 <= y < 256
+
+
+class TestBPlusTreeModel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "del", "get"]),
+                st.integers(0, 200),
+                st.integers(0, 1 << 30),
+            ),
+            max_size=200,
+        )
+    )
+    def test_equivalent_to_dict(self, ops):
+        tree = BPlusTree(MemoryPageStore(128), 128)
+        model: dict[int, int] = {}
+        for op, key, value in ops:
+            if op == "put":
+                tree.insert(key, value)
+                model[key] = value
+            elif op == "del":
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert tree.get(key) == model.get(key)
+        assert list(tree.items()) == sorted(model.items())
+        tree.check_invariants()
+
+
+class TestPointwiseMinimumProperties:
+    @given(plf(), plf())
+    def test_is_pointwise_min(self, f, g):
+        from repro.func.piecewise import pointwise_minimum
+
+        h = pointwise_minimum(f, g)
+        for x in GRID_POINTS:
+            assert math.isclose(h(x), min(f(x), g(x)), abs_tol=1e-6)
+
+    @given(plf(), plf())
+    def test_commutes(self, f, g):
+        from repro.func.piecewise import pointwise_minimum
+
+        assert pointwise_minimum(f, g).equals_approx(
+            pointwise_minimum(g, f), tol=1e-6
+        )
+
+    @given(plf())
+    def test_idempotent(self, f):
+        from repro.func.piecewise import pointwise_minimum
+
+        assert pointwise_minimum(f, f).equals_approx(f, tol=1e-9)
+
+    @given(monotone_plf(), monotone_plf())
+    def test_min_of_monotone_is_monotone(self, f, g):
+        from repro.func.piecewise import pointwise_minimum
+
+        h = pointwise_minimum(f, g)
+        ys = [y for _x, y in h.breakpoints]
+        assert all(a <= b + 1e-7 for a, b in zip(ys, ys[1:]))
+
+
+class TestKnnProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_knn_matches_per_candidate_optima(self, data):
+        from repro.core.engine import IntAllFastestPaths
+        from repro.core.knn import interval_knn
+        from repro.timeutil import TimeInterval
+
+        source = data.draw(st.sampled_from(_ids))
+        candidates = data.draw(
+            st.lists(
+                st.sampled_from([n for n in _ids if n != source]),
+                min_size=2,
+                max_size=5,
+                unique=True,
+            )
+        )
+        window = TimeInterval(420.0, 540.0)
+        result = interval_knn(_net, source, candidates, len(candidates), window)
+        engine = IntAllFastestPaths(_net)
+        for neighbor in result:
+            exact = engine.single_fastest_path(source, neighbor.node, window)
+            assert math.isclose(
+                neighbor.min_travel_time,
+                exact.optimal_travel_time,
+                abs_tol=1e-6,
+            )

@@ -1,0 +1,91 @@
+"""Unit tests for the Table 1 schema and its baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns.categories import NON_WORKDAY, WORKDAY
+from repro.patterns.schema import (
+    SPEED_LIMITS_MPH,
+    RoadClass,
+    constant_speed_schema,
+    table1_schema,
+    uniform_schema,
+)
+from repro.timeutil import mph_to_mpm, parse_clock
+
+
+class TestTable1Schema:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return table1_schema()
+
+    def test_covers_all_classes(self, schema):
+        assert set(schema) == set(RoadClass)
+
+    def test_non_workday_speed_limits(self, schema):
+        for cls in RoadClass:
+            daily = schema[cls].daily(NON_WORKDAY)
+            assert daily.piece_count == 1
+            assert daily.speed_at(0.0) == pytest.approx(
+                mph_to_mpm(SPEED_LIMITS_MPH[cls])
+            )
+
+    def test_inbound_morning_rush(self, schema):
+        daily = schema[RoadClass.INBOUND_HIGHWAY].daily(WORKDAY)
+        assert daily.speed_at(parse_clock("8:00")) == pytest.approx(mph_to_mpm(20))
+        assert daily.speed_at(parse_clock("6:59")) == pytest.approx(mph_to_mpm(65))
+        assert daily.speed_at(parse_clock("10:00")) == pytest.approx(mph_to_mpm(65))
+
+    def test_inbound_not_slow_in_evening(self, schema):
+        daily = schema[RoadClass.INBOUND_HIGHWAY].daily(WORKDAY)
+        assert daily.speed_at(parse_clock("17:00")) == pytest.approx(mph_to_mpm(65))
+
+    def test_outbound_evening_rush(self, schema):
+        daily = schema[RoadClass.OUTBOUND_HIGHWAY].daily(WORKDAY)
+        assert daily.speed_at(parse_clock("17:00")) == pytest.approx(mph_to_mpm(30))
+        assert daily.speed_at(parse_clock("8:00")) == pytest.approx(mph_to_mpm(65))
+        assert daily.speed_at(parse_clock("19:00")) == pytest.approx(mph_to_mpm(65))
+
+    def test_local_city_both_rushes(self, schema):
+        daily = schema[RoadClass.LOCAL_CITY].daily(WORKDAY)
+        assert daily.speed_at(parse_clock("8:00")) == pytest.approx(mph_to_mpm(20))
+        assert daily.speed_at(parse_clock("17:00")) == pytest.approx(mph_to_mpm(20))
+        assert daily.speed_at(parse_clock("12:00")) == pytest.approx(mph_to_mpm(40))
+
+    def test_local_outside_never_slows(self, schema):
+        daily = schema[RoadClass.LOCAL_OUTSIDE].daily(WORKDAY)
+        assert daily.piece_count == 1
+        assert daily.speed_at(parse_clock("8:00")) == pytest.approx(mph_to_mpm(40))
+
+    def test_rush_windows(self, schema):
+        daily = schema[RoadClass.INBOUND_HIGHWAY].daily(WORKDAY)
+        # The slowdown is exactly [7:00, 10:00).
+        assert daily.speed_at(parse_clock("7:00")) == pytest.approx(mph_to_mpm(20))
+        assert daily.speed_at(parse_clock("9:59")) == pytest.approx(mph_to_mpm(20))
+        assert daily.speed_at(parse_clock("10:00")) == pytest.approx(mph_to_mpm(65))
+
+
+class TestBaselineSchemas:
+    def test_constant_speed_schema_is_constant(self):
+        for pattern in constant_speed_schema().values():
+            assert pattern.is_constant()
+
+    def test_constant_speed_matches_limits(self):
+        schema = constant_speed_schema()
+        for cls in RoadClass:
+            assert schema[cls].daily(WORKDAY).speed_at(
+                parse_clock("8:00")
+            ) == pytest.approx(mph_to_mpm(SPEED_LIMITS_MPH[cls]))
+
+    def test_uniform_schema(self):
+        schema = uniform_schema(2.0)
+        for cls in RoadClass:
+            assert schema[cls].max_speed() == 2.0
+            assert schema[cls].min_speed() == 2.0
+
+    def test_is_highway_property(self):
+        assert RoadClass.INBOUND_HIGHWAY.is_highway
+        assert RoadClass.OUTBOUND_HIGHWAY.is_highway
+        assert not RoadClass.LOCAL_CITY.is_highway
+        assert not RoadClass.LOCAL_OUTSIDE.is_highway

@@ -1,0 +1,153 @@
+"""Unit tests for daily speed patterns and CapeCod patterns (Defs 2-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns.categories import Calendar, DayCategorySet
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.timeutil import MINUTES_PER_DAY, parse_clock
+
+
+class TestDailySpeedPattern:
+    def test_constant(self):
+        p = DailySpeedPattern.constant(1.0)
+        assert p.speed_at(0.0) == 1.0
+        assert p.speed_at(1000.0) == 1.0
+        assert p.piece_count == 1
+
+    def test_paper_example_pattern(self):
+        # Workday: 1 mpm except 0.5 mpm during [7:00, 9:00).
+        p = DailySpeedPattern(
+            [(0.0, 1.0), (parse_clock("7:00"), 0.5), (parse_clock("9:00"), 1.0)]
+        )
+        assert p.speed_at(parse_clock("6:59")) == 1.0
+        assert p.speed_at(parse_clock("7:00")) == 0.5
+        assert p.speed_at(parse_clock("8:59")) == 0.5
+        assert p.speed_at(parse_clock("9:00")) == 1.0
+
+    def test_from_mph(self):
+        p = DailySpeedPattern.from_mph([(0.0, 60.0)])
+        assert p.speed_at(0.0) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern([])
+
+    def test_rejects_nonzero_first_start(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern([(60.0, 1.0)])
+
+    def test_rejects_non_increasing_starts(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern([(0.0, 1.0), (60.0, 2.0), (60.0, 3.0)])
+
+    def test_rejects_start_beyond_day(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern([(0.0, 1.0), (MINUTES_PER_DAY, 2.0)])
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern([(0.0, 0.0)])
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern([(0.0, 1.0), (10.0, -0.5)])
+
+    def test_min_max(self):
+        p = DailySpeedPattern([(0.0, 1.0), (420.0, 0.5), (540.0, 1.25)])
+        assert p.min_speed() == 0.5
+        assert p.max_speed() == 1.25
+
+    def test_breakpoints(self):
+        p = DailySpeedPattern([(0.0, 1.0), (420.0, 0.5)])
+        assert p.breakpoints == (420.0,)
+
+    def test_segments_cover_day(self):
+        p = DailySpeedPattern([(0.0, 1.0), (420.0, 0.5), (540.0, 1.0)])
+        segs = list(p.segments())
+        assert segs[0] == (0.0, 420.0, 1.0)
+        assert segs[-1] == (540.0, MINUTES_PER_DAY, 1.0)
+        # Contiguity.
+        for (_, end, _), (start, _, _) in zip(segs, segs[1:]):
+            assert end == start
+
+    def test_speed_at_out_of_day_raises(self):
+        with pytest.raises(PatternError):
+            DailySpeedPattern.constant(1.0).speed_at(2000.0)
+
+    def test_equality_hash(self):
+        a = DailySpeedPattern([(0.0, 1.0), (60.0, 2.0)])
+        b = DailySpeedPattern([(0.0, 1.0), (60.0, 2.0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != DailySpeedPattern.constant(1.0)
+
+
+class TestCapeCodPattern:
+    def test_constant(self):
+        p = CapeCodPattern.constant(1.0, ("a", "b"))
+        assert p.daily("a").speed_at(0.0) == 1.0
+        assert set(p.categories) == {"a", "b"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            CapeCodPattern({})
+
+    def test_missing_category_raises(self):
+        p = CapeCodPattern.constant(1.0, ("a",))
+        with pytest.raises(PatternError):
+            p.daily("z")
+
+    def test_covers(self):
+        p = CapeCodPattern.constant(1.0, ("a", "b"))
+        assert p.covers(DayCategorySet(["a"]))
+        assert p.covers(DayCategorySet(["a", "b"]))
+        assert not p.covers(DayCategorySet(["a", "c"]))
+
+    def test_speed_at_uses_calendar(self):
+        cats = DayCategorySet(["slow", "fast"])
+        cal = Calendar.periodic(cats, ["slow", "fast"])
+        p = CapeCodPattern(
+            {
+                "slow": DailySpeedPattern.constant(0.5),
+                "fast": DailySpeedPattern.constant(2.0),
+            }
+        )
+        assert p.speed_at(100.0, cal) == 0.5  # day 0
+        assert p.speed_at(MINUTES_PER_DAY + 100.0, cal) == 2.0  # day 1
+
+    def test_min_max_across_categories(self):
+        p = CapeCodPattern(
+            {
+                "a": DailySpeedPattern([(0.0, 1.0), (60.0, 0.25)]),
+                "b": DailySpeedPattern.constant(3.0),
+            }
+        )
+        assert p.min_speed() == 0.25
+        assert p.max_speed() == 3.0
+
+    def test_is_constant_true(self):
+        assert CapeCodPattern.constant(1.0, ("a", "b")).is_constant()
+
+    def test_is_constant_false_multi_piece(self):
+        p = CapeCodPattern(
+            {"a": DailySpeedPattern([(0.0, 1.0), (60.0, 0.5)])}
+        )
+        assert not p.is_constant()
+
+    def test_is_constant_false_differing_categories(self):
+        p = CapeCodPattern(
+            {
+                "a": DailySpeedPattern.constant(1.0),
+                "b": DailySpeedPattern.constant(2.0),
+            }
+        )
+        assert not p.is_constant()
+
+    def test_equality_hash(self):
+        a = CapeCodPattern.constant(1.0, ("x",))
+        b = CapeCodPattern.constant(1.0, ("x",))
+        assert a == b
+        assert hash(a) == hash(b)

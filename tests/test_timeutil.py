@@ -1,0 +1,204 @@
+"""Unit tests for time representation and intervals."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.timeutil import (
+    MINUTES_PER_DAY,
+    TimeInterval,
+    day_index,
+    days,
+    format_clock,
+    format_duration,
+    hours,
+    mph_to_mpm,
+    parse_clock,
+    time_of_day,
+)
+
+
+class TestConversions:
+    def test_hours(self):
+        assert hours(2) == 120.0
+
+    def test_hours_fractional(self):
+        assert hours(1.5) == 90.0
+
+    def test_days(self):
+        assert days(1) == 1440.0
+
+    def test_mph_to_mpm(self):
+        assert mph_to_mpm(60.0) == 1.0
+
+    def test_mph_to_mpm_table1_inbound_rush(self):
+        assert mph_to_mpm(20.0) == pytest.approx(1.0 / 3.0)
+
+
+class TestParseClock:
+    def test_basic(self):
+        assert parse_clock("7:00") == 420.0
+
+    def test_with_seconds(self):
+        assert parse_clock("6:58:30") == 418.5
+
+    def test_midnight(self):
+        assert parse_clock("0:00") == 0.0
+
+    def test_evening(self):
+        assert parse_clock("16:30") == 990.0
+
+    def test_day_offset(self):
+        assert parse_clock("7:00", day=1) == 1440.0 + 420.0
+
+    def test_whitespace_tolerated(self):
+        assert parse_clock(" 7:05 ") == 425.0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_clock("noon")
+
+    def test_rejects_single_field(self):
+        with pytest.raises(ValueError):
+            parse_clock("7")
+
+    def test_rejects_minutes_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_clock("7:61")
+
+    def test_rejects_seconds_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_clock("7:00:60")
+
+
+class TestFormatClock:
+    def test_basic(self):
+        assert format_clock(420.0) == "7:00"
+
+    def test_seconds(self):
+        assert format_clock(418.5) == "6:58:30"
+
+    def test_suppresses_zero_seconds(self):
+        assert format_clock(425.0) == "7:05"
+
+    def test_without_seconds_flag(self):
+        assert format_clock(418.5, with_seconds=False) == "6:58"
+
+    def test_next_day_prefix(self):
+        assert format_clock(1440.0 + 60.0) == "d1+1:00"
+
+    def test_roundtrip(self):
+        for text in ("0:00", "6:58:30", "12:34:56", "23:59"):
+            assert format_clock(parse_clock(text)) == text
+
+    def test_rounding_past_midnight(self):
+        # 23:59:59.9 rounds up to the next day's 0:00.
+        almost = MINUTES_PER_DAY - 1.0 / 600.0
+        assert format_clock(almost) == "d1+0:00"
+
+
+class TestFormatDuration:
+    def test_minutes_only(self):
+        assert format_duration(5.0) == "5m"
+
+    def test_minutes_seconds(self):
+        assert format_duration(5.5) == "5m 30s"
+
+    def test_hours(self):
+        assert format_duration(125.0) == "2h 05m"
+
+    def test_seconds_only(self):
+        assert format_duration(0.5) == "30s"
+
+    def test_negative(self):
+        assert format_duration(-5.0) == "-5m"
+
+
+class TestDayHelpers:
+    def test_time_of_day(self):
+        assert time_of_day(1440.0 + 420.0) == pytest.approx(420.0)
+
+    def test_day_index(self):
+        assert day_index(0.0) == 0
+        assert day_index(1439.9) == 0
+        assert day_index(1440.0) == 1
+        assert day_index(3000.0) == 2
+
+
+class TestTimeInterval:
+    def test_construction(self):
+        interval = TimeInterval(10.0, 20.0)
+        assert interval.length == 10.0
+        assert not interval.is_instant
+
+    def test_instant(self):
+        interval = TimeInterval(10.0, 10.0)
+        assert interval.is_instant
+        assert interval.length == 0.0
+
+    def test_rejects_reversed(self):
+        with pytest.raises(QueryError):
+            TimeInterval(20.0, 10.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(QueryError):
+            TimeInterval(0.0, math.inf)
+
+    def test_from_clock(self):
+        interval = TimeInterval.from_clock("6:50", "7:05")
+        assert interval.start == 410.0
+        assert interval.end == 425.0
+
+    def test_contains(self):
+        interval = TimeInterval(10.0, 20.0)
+        assert interval.contains(10.0)
+        assert interval.contains(20.0)
+        assert interval.contains(15.0)
+        assert not interval.contains(9.0)
+        assert not interval.contains(21.0)
+
+    def test_clamp(self):
+        interval = TimeInterval(10.0, 20.0)
+        assert interval.clamp(5.0) == 10.0
+        assert interval.clamp(25.0) == 20.0
+        assert interval.clamp(15.0) == 15.0
+
+    def test_intersect_overlapping(self):
+        a = TimeInterval(0.0, 10.0)
+        b = TimeInterval(5.0, 15.0)
+        inter = a.intersect(b)
+        assert inter is not None
+        assert (inter.start, inter.end) == (5.0, 10.0)
+
+    def test_intersect_disjoint(self):
+        assert TimeInterval(0.0, 1.0).intersect(TimeInterval(2.0, 3.0)) is None
+
+    def test_intersect_touching(self):
+        inter = TimeInterval(0.0, 5.0).intersect(TimeInterval(5.0, 9.0))
+        assert inter is not None
+        assert inter.is_instant
+
+    def test_sample_endpoints(self):
+        samples = TimeInterval(0.0, 10.0).sample(3)
+        assert samples == [0.0, 5.0, 10.0]
+
+    def test_sample_single(self):
+        assert TimeInterval(3.0, 9.0).sample(1) == [3.0]
+
+    def test_sample_instant(self):
+        assert TimeInterval(3.0, 3.0).sample(5) == [3.0]
+
+    def test_sample_rejects_zero(self):
+        with pytest.raises(ValueError):
+            TimeInterval(0.0, 1.0).sample(0)
+
+    def test_str(self):
+        assert str(TimeInterval.from_clock("6:50", "7:05")) == "[6:50, 7:05]"
+
+    def test_frozen(self):
+        interval = TimeInterval(0.0, 1.0)
+        with pytest.raises(AttributeError):
+            interval.start = 5.0  # type: ignore[misc]

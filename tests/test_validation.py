@@ -1,0 +1,95 @@
+"""Tests for the public validation helpers (and via them, more oracle runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationReport,
+    validate_allfp,
+    validate_arrival_allfp,
+)
+from repro.core.arrival import ArrivalIntAllFastestPaths
+from repro.core.engine import IntAllFastestPaths
+from repro.core.results import AllFPEntry, AllFPResult, SearchStats
+from repro.func.piecewise import PiecewiseLinearFunction
+from repro.network.generator import EXAMPLE_E, EXAMPLE_S
+from repro.timeutil import TimeInterval, parse_clock
+
+
+class TestValidateAllFP:
+    def test_correct_answer_passes(self, example_network, example_interval):
+        engine = IntAllFastestPaths(example_network)
+        result = engine.all_fastest_paths(EXAMPLE_S, EXAMPLE_E, example_interval)
+        report = validate_allfp(example_network, result, samples=31)
+        assert report.ok
+        assert report.samples == 31
+        assert report.max_travel_time_error <= 1e-9
+
+    def test_metro_answers_pass(self, metro_small):
+        engine = IntAllFastestPaths(metro_small)
+        interval = TimeInterval(parse_clock("6:30"), parse_clock("8:30"))
+        for target in (100, 200, 255):
+            result = engine.all_fastest_paths(0, target, interval)
+            assert validate_allfp(metro_small, result, samples=11).ok
+
+    def test_detects_fabricated_answer(self, example_network, example_interval):
+        """A wrong border (claims 1 minute everywhere) must be caught."""
+        fake = AllFPResult(
+            source=EXAMPLE_S,
+            target=EXAMPLE_E,
+            interval=example_interval,
+            entries=(
+                AllFPEntry(example_interval, (EXAMPLE_S, EXAMPLE_E)),
+            ),
+            border=PiecewiseLinearFunction.constant(
+                example_interval.start, example_interval.end, 1.0
+            ),
+            stats=SearchStats(),
+        )
+        report = validate_allfp(example_network, fake, samples=9)
+        assert not report.ok
+        assert report.max_travel_time_error > 1.0
+
+    def test_detects_suboptimal_path_claim(
+        self, example_network, example_interval
+    ):
+        """Border values correct, but the claimed path can't achieve them."""
+        engine = IntAllFastestPaths(example_network)
+        genuine = engine.all_fastest_paths(
+            EXAMPLE_S, EXAMPLE_E, example_interval
+        )
+        tampered = AllFPResult(
+            source=genuine.source,
+            target=genuine.target,
+            interval=genuine.interval,
+            entries=(
+                AllFPEntry(example_interval, (EXAMPLE_S, EXAMPLE_E)),
+            ),  # claims the direct road is always fastest
+            border=genuine.border,
+            stats=genuine.stats,
+        )
+        report = validate_allfp(example_network, tampered, samples=9)
+        assert not report.ok
+        assert report.max_path_suboptimality > 0.5
+
+
+class TestValidateArrivalAllFP:
+    def test_correct_answer_passes(self, example_network):
+        engine = ArrivalIntAllFastestPaths(example_network)
+        window = TimeInterval(parse_clock("6:56"), parse_clock("7:10"))
+        result = engine.all_fastest_paths(EXAMPLE_S, EXAMPLE_E, window)
+        assert validate_arrival_allfp(example_network, result, samples=15).ok
+
+    def test_metro_answer_passes(self, metro_tiny):
+        engine = ArrivalIntAllFastestPaths(metro_tiny)
+        window = TimeInterval(parse_clock("7:30"), parse_clock("9:00"))
+        result = engine.all_fastest_paths(0, 99, window)
+        assert validate_arrival_allfp(metro_tiny, result, samples=11).ok
+
+
+class TestReport:
+    def test_ok_thresholds(self):
+        assert ValidationReport(5, 1e-9, 0.0).ok
+        assert not ValidationReport(5, 1e-3, 0.0).ok
+        assert not ValidationReport(5, 0.0, 1e-3).ok
