@@ -4,9 +4,24 @@ Every IntAllFastestPaths expansion performs one monotone composition, one
 dominance check and possibly one envelope fold, so these primitives bound
 the engine's per-expansion cost.  Tracked here so regressions in the
 algebra show up independently of workload effects.
+
+Two entry points:
+
+* pytest-benchmark classes (``pytest benchmarks/bench_func_ops.py``) for
+  statistical timing,
+* a standalone ``main()`` (``python benchmarks/bench_func_ops.py [--quick]``)
+  that times the same operations and writes ``BENCH_func_ops.json`` at the
+  repo root via :mod:`emit_json`.
 """
 
 from __future__ import annotations
+
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_func_ops.py` without PYTHONPATH=src.
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
@@ -108,3 +123,98 @@ class TestEdgeFunctions:
             lambda: edge_arrival_function(3.0, pattern, cal, 360.0, 720.0)
         )
         assert result.x_min <= 360.0
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: write BENCH_func_ops.json at the repo root.
+# ----------------------------------------------------------------------
+
+def _standalone_ops() -> dict:
+    """The same operations as the pytest classes, as plain callables."""
+    inner = MonotonePiecewiseLinear(
+        [(x, x + 5.0 + (i % 4) * 0.2) for i, x in enumerate(range(0, 200, 10))]
+    )
+    lo, hi = inner.value_range
+    outer = MonotonePiecewiseLinear(
+        [
+            (lo - 1 + i * (hi - lo + 2) / 20, lo - 1 + i * (hi - lo + 2) / 18)
+            for i in range(21)
+        ]
+    )
+    env_fns = [
+        PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 12, 5.0 + k * 0.1))
+        for k in range(20)
+    ]
+
+    def fold():
+        env = AnnotatedEnvelope(0.0, 100.0)
+        for k, fn in enumerate(env_fns):
+            env.add(fn, tag=k)
+        return env
+
+    a = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 15, 5.0))
+    b = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 11, 5.3))
+    store = DominanceStore(0.0, 100.0)
+    for k in range(8):
+        store.add(
+            1,
+            MonotonePiecewiseLinear(
+                [
+                    (x, x + 6.0 + k * 0.05 + (x % 17) * 0.01)
+                    for x in range(0, 101, 5)
+                ]
+            ),
+        )
+    probe = MonotonePiecewiseLinear([(x, x + 6.2) for x in range(0, 101, 10)])
+    cal = Calendar.single_category("d")
+    pattern = CapeCodPattern(
+        {
+            "d": DailySpeedPattern(
+                [
+                    (0.0, 1.0),
+                    (420.0, 0.33),
+                    (540.0, 1.0),
+                    (960.0, 0.5),
+                    (1140.0, 1.0),
+                ]
+            )
+        }
+    )
+    return {
+        "compose": lambda: outer.compose(inner),
+        "inverse": outer.inverse,
+        "envelope_fold_20": fold,
+        "pointwise_minimum": lambda: pointwise_minimum(a, b),
+        "dominance_check": lambda: store.is_dominated(1, probe),
+        "edge_arrival_build": lambda: edge_arrival_function(
+            3.0, pattern, cal, 360.0, 720.0
+        ),
+    }
+
+
+def main(argv: list | None = None) -> int:
+    import argparse
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_kernel import time_op
+    from emit_json import emit_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="few reps")
+    args = parser.parse_args(argv)
+    reps = 20 if args.quick else 300
+
+    rows = []
+    for name, op in _standalone_ops().items():
+        ns = time_op(op, reps)
+        rows.append({"name": name, "ns_per_op": round(ns, 1)})
+        print(f"{name:<20} {ns:>12.0f} ns/op")
+    path = emit_bench_json("func_ops", rows, quick=args.quick)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""Kernel vs legacy A/B microbenchmarks — writes ``BENCH_kernel.json``.
+
+Runs every hot operator of the piecewise-linear kernel twice — once through
+the fused array kernel (:mod:`repro.func.kernel`) and once through the
+legacy per-point implementations (``REPRO_FUNC_KERNEL=0`` path) — on the
+same randomized inputs, then a small end-to-end allFP workload.  Reports
+ns/op, the speedup, output breakpoint counts and engine pops, and writes
+the machine-readable artifact at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--quick]
+
+``--quick`` shrinks inputs and repetition counts so CI can smoke-test the
+emitter in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from emit_json import emit_bench_json
+
+from repro.core.engine import IntAllFastestPaths
+from repro.func import kernel
+from repro.func.envelope import AnnotatedEnvelope
+from repro.func.monotone import MonotonePiecewiseLinear
+from repro.func.piecewise import PiecewiseLinearFunction, pointwise_minimum
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.patterns.categories import Calendar
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.patterns.travel_time import edge_arrival_function
+from repro.timeutil import TimeInterval
+
+
+# ----------------------------------------------------------------------
+# Randomized inputs (seeded — both modes see identical functions).
+# ----------------------------------------------------------------------
+
+def _rand_xs(rng: random.Random, lo: float, hi: float, n: int) -> list[float]:
+    xs = sorted(rng.uniform(lo, hi) for _ in range(max(n - 2, 0)))
+    return [lo] + xs + [hi]
+
+
+def rand_plf(
+    rng: random.Random, lo: float, hi: float, n: int, base: float
+) -> PiecewiseLinearFunction:
+    xs = _rand_xs(rng, lo, hi, n)
+    return PiecewiseLinearFunction(
+        [(x, base + rng.uniform(0.0, 5.0)) for x in xs]
+    )
+
+
+def rand_monotone(
+    rng: random.Random, lo: float, hi: float, n: int, y0: float
+) -> MonotonePiecewiseLinear:
+    xs = _rand_xs(rng, lo, hi, n)
+    pts = []
+    y = y0
+    for x in xs:
+        pts.append((x, y))
+        y += rng.uniform(0.05, 2.0)
+    return MonotonePiecewiseLinear(pts)
+
+
+# ----------------------------------------------------------------------
+# Timing.
+# ----------------------------------------------------------------------
+
+def time_op(fn: Callable[[], object], reps: int) -> float:
+    """Best-of-3 mean ns per call."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed / reps)
+    return best * 1e9
+
+
+def _breakpoint_count(obj: object) -> int:
+    if isinstance(obj, AnnotatedEnvelope):
+        return len(obj.pieces()) + 1
+    if isinstance(obj, PiecewiseLinearFunction):
+        return len(obj.breakpoints)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Workloads.
+# ----------------------------------------------------------------------
+
+def build_micro_ops(quick: bool) -> dict[str, Callable[[], object]]:
+    n = 40 if quick else 200
+    rng = random.Random(42)
+    a = rand_plf(rng, 0.0, 100.0, n, 5.0)
+    b = rand_plf(rng, 0.0, 100.0, n, 5.3)
+    low = a + (-0.5)  # everywhere below a: dominance comparisons do work
+    inner = rand_monotone(rng, 0.0, 100.0, n, 10.0)
+    lo, hi = inner.value_range
+    outer = rand_monotone(rng, lo - 1.0, hi + 1.0, n, 0.0)
+    env_fns = [
+        rand_plf(rng, 0.0, 100.0, max(n // 10, 4), 5.0 + k * 0.05)
+        for k in range(20)
+    ]
+    cal = Calendar.single_category("d")
+    pattern = CapeCodPattern(
+        {
+            "d": DailySpeedPattern(
+                [
+                    (0.0, 1.0),
+                    (420.0, 0.33),
+                    (540.0, 1.0),
+                    (960.0, 0.5),
+                    (1140.0, 1.0),
+                ]
+            )
+        }
+    )
+
+    def fold_envelope() -> AnnotatedEnvelope:
+        env = AnnotatedEnvelope(0.0, 100.0)
+        for k, fn in enumerate(env_fns):
+            env.add(fn, tag=k)
+        return env
+
+    return {
+        "add": lambda: a + b,
+        "min": lambda: pointwise_minimum(a, b),
+        "dominates": lambda: low.dominates(a),
+        "compose": lambda: outer.compose(inner),
+        "inverse": lambda: inner.inverse(),
+        "simplify": lambda: a.simplify(),
+        "envelope_fold_20": fold_envelope,
+        "edge_arrival_build": lambda: edge_arrival_function(
+            3.0, pattern, cal, 360.0, 720.0
+        ),
+    }
+
+
+def run_micro(quick: bool) -> list[dict[str, object]]:
+    reps = {"envelope_fold_20": 5 if quick else 50,
+            "edge_arrival_build": 20 if quick else 200}
+    default_reps = 50 if quick else 500
+    rows: list[dict[str, object]] = []
+    for name, op in build_micro_ops(quick).items():
+        r = reps.get(name, default_reps)
+        previous = kernel.set_kernel_enabled(True)
+        out = op()
+        kernel_ns = time_op(op, r)
+        kernel.set_kernel_enabled(False)
+        legacy_ns = time_op(op, r)
+        kernel.set_kernel_enabled(previous)
+        rows.append(
+            {
+                "name": name,
+                "kernel_ns_per_op": round(kernel_ns, 1),
+                "legacy_ns_per_op": round(legacy_ns, 1),
+                "speedup": round(legacy_ns / kernel_ns, 2),
+                "out_breakpoints": _breakpoint_count(out),
+            }
+        )
+    return rows
+
+
+def run_end_to_end(quick: bool) -> dict[str, object]:
+    """A small allFP workload, kernel vs legacy, on the same queries."""
+    config = MetroConfig(width=12, height=12, spacing=0.25, seed=7)
+    network = make_metro_network(config)
+    rng = random.Random(9)
+    nodes = list(network.node_ids())
+    n_queries = 2 if quick else 8
+    pairs = []
+    while len(pairs) < n_queries:
+        s, t = rng.sample(nodes, 2)
+        pairs.append((s, t))
+    interval = TimeInterval(7 * 60.0, 9 * 60.0)
+
+    def run_all() -> tuple[float, int, int]:
+        engine = IntAllFastestPaths(network)
+        pops = 0
+        peak_bp = 0
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            result = engine.all_fastest_paths(s, t, interval)
+            pops += result.stats.expanded_paths
+            peak_bp = max(peak_bp, result.stats.breakpoints_allocated)
+        return (time.perf_counter() - t0, pops, peak_bp)
+
+    previous = kernel.set_kernel_enabled(True)
+    kernel_s, kernel_pops, peak_bp = run_all()
+    kernel.set_kernel_enabled(False)
+    legacy_s, legacy_pops, _ = run_all()
+    kernel.set_kernel_enabled(previous)
+    return {
+        "name": "allfp_end_to_end",
+        "queries": n_queries,
+        "kernel_ms_per_query": round(kernel_s / n_queries * 1e3, 3),
+        "legacy_ms_per_query": round(legacy_s / n_queries * 1e3, 3),
+        "speedup": round(legacy_s / kernel_s, 2),
+        "kernel_pops": kernel_pops,
+        "legacy_pops": legacy_pops,
+        "peak_breakpoints_per_query": peak_bp,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small inputs / few reps (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_micro(args.quick)
+    rows.append(run_end_to_end(args.quick))
+
+    width = max(len(r["name"]) for r in rows)
+    print(f"{'op':<{width}}  {'kernel':>12}  {'legacy':>12}  speedup")
+    for r in rows:
+        if "kernel_ns_per_op" in r:
+            k, l = r["kernel_ns_per_op"], r["legacy_ns_per_op"]
+            print(
+                f"{r['name']:<{width}}  {k:>10.0f}ns  {l:>10.0f}ns  "
+                f"{r['speedup']:>6.2f}x"
+            )
+        else:
+            k, l = r["kernel_ms_per_query"], r["legacy_ms_per_query"]
+            print(
+                f"{r['name']:<{width}}  {k:>10.2f}ms  {l:>10.2f}ms  "
+                f"{r['speedup']:>6.2f}x"
+            )
+
+    path = emit_bench_json(
+        "kernel",
+        rows,
+        quick=args.quick,
+        meta={"seed": 42, "kernel_default": kernel.KERNEL_ENABLED},
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

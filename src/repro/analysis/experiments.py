@@ -93,6 +93,10 @@ class Fig9Row:
     mean_distinct_nodes: float
     mean_seconds: float
     queries: int
+    #: Mean kernel breakpoints allocated per query (0.0 with the kernel off).
+    mean_breakpoints: float = 0.0
+    #: Edge-function cache hit rate across the row's queries.
+    edge_cache_hit_rate: float = 0.0
 
 
 def fig9_experiment(
@@ -124,6 +128,8 @@ def fig9_experiment(
             expanded: list[int] = []
             distinct: list[int] = []
             seconds: list[float] = []
+            breakpoints: list[int] = []
+            cache_hits = cache_lookups = 0
             for query in workload[band]:
                 start = time.perf_counter()
                 if query_type == "singleFP":
@@ -137,6 +143,11 @@ def fig9_experiment(
                 seconds.append(time.perf_counter() - start)
                 expanded.append(result.stats.expanded_paths)
                 distinct.append(result.stats.distinct_nodes)
+                breakpoints.append(result.stats.breakpoints_allocated)
+                cache_hits += result.stats.edge_cache_hits
+                cache_lookups += (
+                    result.stats.edge_cache_hits + result.stats.edge_cache_misses
+                )
             rows.append(
                 Fig9Row(
                     band,
@@ -146,6 +157,8 @@ def fig9_experiment(
                     statistics.fmean(distinct),
                     statistics.fmean(seconds),
                     len(workload[band]),
+                    statistics.fmean(breakpoints),
+                    cache_hits / cache_lookups if cache_lookups else 0.0,
                 )
             )
     return rows

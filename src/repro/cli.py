@@ -94,6 +94,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"expanded paths: {single.stats.expanded_paths}, "
             f"page reads: {single.stats.page_reads}"
         )
+        _print_kernel_stats(single.stats)
     else:
         result = engine.all_fastest_paths(args.source, args.target, interval)
         print(result)
@@ -103,7 +104,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{format_duration(best_time)}; expanded paths: "
             f"{result.stats.expanded_paths}, page reads: {result.stats.page_reads}"
         )
+        _print_kernel_stats(result.stats)
     return 0
+
+
+def _print_kernel_stats(stats) -> None:
+    """One line of kernel-work counters (silent when the kernel was off)."""
+    lookups = stats.edge_cache_hits + stats.edge_cache_misses
+    if stats.breakpoints_allocated == 0 and lookups == 0:
+        return
+    hit_rate = stats.edge_cache_hits / lookups if lookups else 0.0
+    print(
+        f"kernel: {stats.breakpoints_allocated} breakpoints allocated, "
+        f"{stats.envelope_merges} envelope merges, "
+        f"edge cache {stats.edge_cache_hits}/{lookups} hits "
+        f"({hit_rate:.0%})"
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

@@ -39,6 +39,7 @@ from ..estimators.base import LowerBoundEstimator
 from ..estimators.boundary import BoundaryNodeEstimator, Metric
 from ..estimators.naive import NaiveEstimator
 from ..exceptions import NoPathError, QueryError
+from ..func import kernel
 from ..func.envelope import AnnotatedEnvelope
 from ..func.monotone import MonotonePiecewiseLinear, identity
 from ..func.piecewise import XTOL, PiecewiseLinearFunction
@@ -64,9 +65,11 @@ class _LatestDepartureStore:
 
     A backward label at ``u`` is dominated when an already-expanded label at
     ``u`` departs *no earlier* at every arrival instant (a later departure
-    with the same arrival can only help any prefix).  Implemented as an
-    :class:`AnnotatedEnvelope` over the *negated* departure functions: the
-    lower envelope of ``−D`` is the upper envelope of ``D``.
+    with the same arrival can only help any prefix).  Stored as raw
+    breakpoint arrays of the lower envelope of the *negated* departure
+    functions (the lower envelope of ``−D`` is the upper envelope of ``D``),
+    maintained with the kernel's fused min-merge like the forward
+    :class:`~repro.core.dominance.DominanceStore`.
     """
 
     __slots__ = ("_lo", "_hi", "_envelopes")
@@ -74,32 +77,36 @@ class _LatestDepartureStore:
     def __init__(self, lo: float, hi: float) -> None:
         self._lo = lo
         self._hi = hi
-        self._envelopes: dict[int, AnnotatedEnvelope] = {}
+        # node -> (xs, ys) arrays of the lower envelope of −D.
+        self._envelopes: dict[int, tuple[list[float], list[float]]] = {}
+
+    def _negated(
+        self, departure: PiecewiseLinearFunction
+    ) -> tuple[list[float], list[float]]:
+        xs, ys = departure._xs, departure._ys
+        neg = [-y for y in ys]
+        if xs[0] < self._lo - XTOL or xs[-1] > self._hi + XTOL:
+            return kernel.restrict(
+                xs, neg, max(xs[0], self._lo), min(xs[-1], self._hi)
+            )
+        return list(xs), neg
 
     def is_dominated(self, node: int, departure: PiecewiseLinearFunction) -> bool:
         env = self._envelopes.get(node)
-        if env is None or env.is_empty:
+        if env is None:
             return False
-        xs = {self._lo, self._hi}
-        for piece in env.pieces():
-            xs.add(piece.x_start)
-            xs.add(piece.x_end)
-        for x, _y in departure.breakpoints:
-            if self._lo - XTOL <= x <= self._hi + XTOL:
-                xs.add(min(max(x, self._lo), self._hi))
-        for x in xs:
-            x_c = min(max(x, departure.x_min), departure.x_max)
-            # Strictly later departure somewhere => not dominated.
-            if -departure(x_c) < env.value_at(x) - 1e-9:
-                return False
-        return True
+        xs, neg = self._negated(departure)
+        # Strictly later departure somewhere (−D below envelope) => survives.
+        return not kernel.lt_somewhere(xs, neg, env[0], env[1], 1e-9)
 
     def add(self, node: int, departure: PiecewiseLinearFunction) -> None:
+        xs, neg = self._negated(departure)
         env = self._envelopes.get(node)
         if env is None:
-            env = AnnotatedEnvelope(self._lo, self._hi)
-            self._envelopes[node] = env
-        env.add(departure.scale(-1.0), tag=None)
+            self._envelopes[node] = (xs, neg)
+        else:
+            kernel.COUNTERS.envelope_merges += 1
+            self._envelopes[node] = kernel.merge_min(env[0], env[1], xs, neg)
 
 
 class ArrivalIntAllFastestPaths:
@@ -196,6 +203,7 @@ class ArrivalIntAllFastestPaths:
         lo, hi = arrival_interval.start, arrival_interval.end
         stats = SearchStats()
         io_before = getattr(self._network, "page_reads", 0)
+        kernel_before = kernel.COUNTERS.snapshot()
         queue = LabelQueue()
         dominance = _LatestDepartureStore(lo, hi)
         border = AnnotatedEnvelope(lo, hi)
@@ -207,6 +215,13 @@ class ArrivalIntAllFastestPaths:
         # departure function D(a): travel = a − D(a) = −(D − identity), so
         # minus_identity() . scale(−1) gives the travel function.
         def make_label(path, departure_fn, estimate):
+            if kernel.KERNEL_ENABLED:
+                # Lazy ranking: travel = a − D(a) shares D's breakpoints, so
+                # its minimum is read directly off the arrays.
+                t_min = min(
+                    x - y for x, y in zip(departure_fn._xs, departure_fn._ys)
+                )
+                return PathLabel(path, departure_fn, estimate, t_min + estimate)
             travel = departure_fn.minus_identity().scale(-1.0)
             return PathLabel(path, departure_fn, estimate, travel.min_value() + estimate)
 
@@ -262,6 +277,9 @@ class ArrivalIntAllFastestPaths:
         stats.distinct_nodes = len(expanded_nodes)
         stats.max_queue_size = queue.max_size
         stats.page_reads = getattr(self._network, "page_reads", 0) - io_before
+        stats.breakpoints_allocated, stats.envelope_merges = (
+            kernel.COUNTERS.delta(kernel_before)
+        )
 
         if first_source_label is None:
             raise NoPathError(source, target)

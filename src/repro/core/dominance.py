@@ -15,6 +15,15 @@ a strictly faster path for any ``l`` and may be dropped.  (It could at most
 tie — the allFP answer keeps one fastest path per sub-interval, so ties are
 free to break.)
 
+The per-node envelope needs no piece provenance, so it is stored as raw
+breakpoint arrays and maintained with the kernel's fused min-merge
+(:func:`repro.func.kernel.merge_min`) — one merge sweep per fold instead of
+the annotated-envelope rebuild.  Both checks are exact: the stored envelope
+carries the crossing breakpoints ``merge_min`` inserts, so the difference
+``arrival - env`` is linear between union abscissae and
+:func:`repro.func.kernel.lt_somewhere` deciding at those abscissae decides
+the whole interval.
+
 Pruning is on by default and applied to *both* estimators in the Figure 9
 experiments, keeping the naiveLB/bdLB comparison like-for-like.  Pass
 ``prune=False`` to :class:`~repro.core.engine.IntAllFastestPaths` for the
@@ -23,7 +32,7 @@ paper's literal algorithm (see the E-A4 ablation for the cost).
 
 from __future__ import annotations
 
-from ..func.envelope import AnnotatedEnvelope
+from ..func import kernel
 from ..func.monotone import MonotonePiecewiseLinear
 from ..func.piecewise import XTOL
 
@@ -39,37 +48,40 @@ class DominanceStore:
     def __init__(self, lo: float, hi: float) -> None:
         self._lo = lo
         self._hi = hi
-        self._envelopes: dict[int, AnnotatedEnvelope] = {}
+        # node -> (xs, ys) breakpoint arrays of the node's lower envelope.
+        self._envelopes: dict[int, tuple[list[float], list[float]]] = {}
+
+    def _clamped(
+        self, arrival: MonotonePiecewiseLinear
+    ) -> tuple[list[float] | tuple[float, ...], list[float] | tuple[float, ...]]:
+        """Arrival breakpoints restricted to the store's domain."""
+        xs, ys = arrival._xs, arrival._ys
+        if xs[0] < self._lo - XTOL or xs[-1] > self._hi + XTOL:
+            return kernel.restrict(
+                xs,
+                ys,
+                max(xs[0], self._lo),
+                min(xs[-1], self._hi),
+            )
+        return xs, ys
 
     def is_dominated(self, node: int, arrival: MonotonePiecewiseLinear) -> bool:
         """True when ``arrival`` is nowhere strictly below the node's envelope."""
         env = self._envelopes.get(node)
-        if env is None or env.is_empty:
+        if env is None:
             return False
-        # Both the envelope and the arrival function are piecewise linear on
-        # the same domain, so "strictly below somewhere" can be decided at
-        # the union of their breakpoints.
-        xs = {self._lo, self._hi}
-        for piece in env.pieces():
-            xs.add(piece.x_start)
-            xs.add(piece.x_end)
-        for x, _y in arrival.breakpoints:
-            if self._lo - XTOL <= x <= self._hi + XTOL:
-                xs.add(min(max(x, self._lo), self._hi))
-        for x in xs:
-            if arrival(min(max(x, arrival.x_min), arrival.x_max)) < (
-                env.value_at(x) - _DOM_TOL
-            ):
-                return False
-        return True
+        xs, ys = self._clamped(arrival)
+        return not kernel.lt_somewhere(xs, ys, env[0], env[1], _DOM_TOL)
 
     def add(self, node: int, arrival: MonotonePiecewiseLinear) -> None:
         """Fold an expanded label's arrival function into the node's envelope."""
+        xs, ys = self._clamped(arrival)
         env = self._envelopes.get(node)
         if env is None:
-            env = AnnotatedEnvelope(self._lo, self._hi)
-            self._envelopes[node] = env
-        env.add(arrival, tag=None)
+            self._envelopes[node] = (list(xs), list(ys))
+        else:
+            kernel.COUNTERS.envelope_merges += 1
+            self._envelopes[node] = kernel.merge_min(env[0], env[1], xs, ys)
 
     def __len__(self) -> int:
         return len(self._envelopes)

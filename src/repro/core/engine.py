@@ -21,11 +21,13 @@ completed border answers the allFP query.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable
 
 from ..estimators.base import LowerBoundEstimator
 from ..estimators.naive import NaiveEstimator
 from ..exceptions import NoPathError, QueryError
+from ..func import kernel
 from ..func.envelope import AnnotatedEnvelope
 from ..func.monotone import MonotonePiecewiseLinear, identity
 from ..patterns.travel_time import edge_arrival_function
@@ -44,6 +46,9 @@ from .results import (
 #: small window growth across labels reuses the cached function.
 _CACHE_SLACK = 180.0
 
+#: Default ceiling on cached edge functions; bounds memory across queries.
+DEFAULT_EDGE_CACHE_SIZE = 4096
+
 
 class SearchBudgetExceeded(QueryError):
     """Raised when a query exceeds ``max_pops`` (see the pruning ablation)."""
@@ -60,13 +65,28 @@ class _EdgeFunctionCache:
     not on the query, so repeated expansions (and repeated queries against
     the same engine) reuse them.  Keyed by ``(source, target)`` because the
     disk-backed accessor materialises fresh ``Edge`` objects per call.
+
+    The cache is LRU-bounded: cross-query reuse keeps hot edges resident
+    while cold edges are evicted once ``max_entries`` is reached, so a
+    long-lived engine's memory stays proportional to its working set rather
+    than to every edge it has ever touched.  ``hits`` / ``misses`` feed the
+    ``edge_cache_*`` fields of :class:`~repro.core.results.SearchStats`.
     """
 
-    __slots__ = ("_calendar", "_cache")
+    __slots__ = ("_calendar", "_cache", "_max_entries", "hits", "misses")
 
-    def __init__(self, calendar) -> None:
+    def __init__(
+        self, calendar, max_entries: int = DEFAULT_EDGE_CACHE_SIZE
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._calendar = calendar
-        self._cache: dict[tuple[int, int], MonotonePiecewiseLinear] = {}
+        self._cache: OrderedDict[
+            tuple[int, int], MonotonePiecewiseLinear
+        ] = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
 
     def arrival(self, edge, lo: float, hi: float) -> MonotonePiecewiseLinear:
         provider = getattr(edge, "arrival_function", None)
@@ -76,8 +96,12 @@ class _EdgeFunctionCache:
             return provider(lo, hi)
         key = (edge.source, edge.target)
         cached = self._cache.get(key)
-        if cached is not None and cached.x_min <= lo and cached.x_max >= hi:
-            return cached
+        if cached is not None:
+            self._cache.move_to_end(key)
+            if cached.x_min <= lo and cached.x_max >= hi:
+                self.hits += 1
+                return cached
+        self.misses += 1
         new_lo = min(lo, cached.x_min) if cached is not None else lo
         new_hi = max(hi, cached.x_max) if cached is not None else hi
         # Grow geometrically (capped at a day) so a sequence of slightly
@@ -91,6 +115,9 @@ class _EdgeFunctionCache:
             new_hi + slack,
         )
         self._cache[key] = fn
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
         return fn
 
     def __len__(self) -> int:
@@ -114,6 +141,9 @@ class IntAllFastestPaths:
     max_pops:
         Safety budget on queue pops; exceeded raises
         :class:`SearchBudgetExceeded`.
+    edge_cache_size:
+        Maximum number of edge arrival functions kept in the LRU-bounded
+        cross-query cache.
     """
 
     def __init__(
@@ -122,12 +152,13 @@ class IntAllFastestPaths:
         estimator: LowerBoundEstimator | None = None,
         prune: bool = True,
         max_pops: int | None = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
     ) -> None:
         self._network = network
         self._estimator = estimator or NaiveEstimator(network)
         self._prune = prune
         self._max_pops = max_pops
-        self._edge_cache = _EdgeFunctionCache(network.calendar)
+        self._edge_cache = _EdgeFunctionCache(network.calendar, edge_cache_size)
 
     @property
     def estimator(self) -> LowerBoundEstimator:
@@ -176,6 +207,19 @@ class IntAllFastestPaths:
         lo, hi = interval.start, interval.end
         stats = SearchStats()
         io_before = getattr(self._network, "page_reads", 0)
+        kernel_before = kernel.COUNTERS.snapshot()
+        cache_hits_before = self._edge_cache.hits
+        cache_misses_before = self._edge_cache.misses
+
+        def finalize_counters() -> None:
+            bp, merges = kernel.COUNTERS.delta(kernel_before)
+            stats.breakpoints_allocated = bp
+            stats.envelope_merges = merges
+            stats.edge_cache_hits = self._edge_cache.hits - cache_hits_before
+            stats.edge_cache_misses = (
+                self._edge_cache.misses - cache_misses_before
+            )
+
         queue = LabelQueue()
         dominance = DominanceStore(lo, hi)
         border = AnnotatedEnvelope(lo, hi)
@@ -207,6 +251,7 @@ class IntAllFastestPaths:
             if self._max_pops is not None and stats.expanded_paths > self._max_pops:
                 stats.distinct_nodes = len(expanded_nodes)
                 stats.max_queue_size = queue.max_size
+                finalize_counters()
                 raise SearchBudgetExceeded(self._max_pops, stats)
 
             arr_lo, arr_hi = label.arrival.value_range
@@ -232,6 +277,7 @@ class IntAllFastestPaths:
         stats.distinct_nodes = len(expanded_nodes)
         stats.max_queue_size = queue.max_size
         stats.page_reads = getattr(self._network, "page_reads", 0) - io_before
+        finalize_counters()
 
         if first_target_label is None:
             raise NoPathError(source, target)

@@ -16,6 +16,12 @@ class SearchStats:
     number of priority-queue pops whose entry was expanded (each pop expands
     one node's adjacency list).  ``distinct_nodes`` counts how many different
     nodes those expansions touched.
+
+    The kernel counters describe function-algebra work done by the query:
+    ``breakpoints_allocated`` (output breakpoints written by kernel
+    operators), ``envelope_merges`` (fused envelope/dominance folds), and
+    ``edge_cache_hits`` / ``edge_cache_misses`` for the engine's cross-query
+    edge-function cache.  All four stay 0 when the kernel is disabled.
     """
 
     expanded_paths: int = 0
@@ -25,6 +31,10 @@ class SearchStats:
     pruned_bound: int = 0
     max_queue_size: int = 0
     page_reads: int = 0
+    breakpoints_allocated: int = 0
+    envelope_merges: int = 0
+    edge_cache_hits: int = 0
+    edge_cache_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -35,6 +45,10 @@ class SearchStats:
             "pruned_bound": self.pruned_bound,
             "max_queue_size": self.max_queue_size,
             "page_reads": self.page_reads,
+            "breakpoints_allocated": self.breakpoints_allocated,
+            "envelope_merges": self.envelope_merges,
+            "edge_cache_hits": self.edge_cache_hits,
+            "edge_cache_misses": self.edge_cache_misses,
         }
 
 

@@ -5,6 +5,12 @@ travel-time functions are folded into a running pointwise minimum.  Each
 linear piece of the envelope remembers *which* path produced it, so the final
 envelope directly yields the allFP answer: a partition of the query interval
 into sub-intervals, each labelled with its fastest path.
+
+Internally the envelope is stored kernel-style: a flat boundary array plus
+per-piece slope/intercept/tag arrays, so each fold is one fused merge sweep
+(:func:`repro.func.kernel.envelope_fold`) instead of a rebuild that rescans
+every piece per elementary interval.  :class:`EnvelopePiece` objects are
+materialised lazily for callers that want the piece view.
 """
 
 from __future__ import annotations
@@ -12,9 +18,10 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
 from ..exceptions import FunctionDomainError
+from . import kernel
 from .piecewise import XTOL, YTOL, LinearPiece, PiecewiseLinearFunction
 
 
@@ -50,29 +57,40 @@ class AnnotatedEnvelope:
     Every function added must span the whole domain.
     """
 
-    __slots__ = ("_lo", "_hi", "_pieces", "_ends", "_max_cache", "_min_cache")
+    __slots__ = (
+        "_lo",
+        "_hi",
+        "_bx",
+        "_slope",
+        "_icept",
+        "_tags",
+        "_view",
+        "_max_cache",
+        "_min_cache",
+    )
 
     def __init__(self, lo: float, hi: float) -> None:
         if hi < lo - XTOL:
             raise FunctionDomainError(f"empty envelope domain [{lo}, {hi}]")
         self._lo = float(lo)
         self._hi = float(hi)
-        self._pieces: list[EnvelopePiece] = []
-        self._ends: list[float] | None = None  # bisect index over piece ends
+        self._bx: list[float] = []  # piece boundaries, len = pieces + 1
+        self._slope: list[float] = []
+        self._icept: list[float] = []
+        self._tags: list[Hashable] = []
+        self._view: tuple[EnvelopePiece, ...] | None = None
         self._max_cache: float | None = None
         self._min_cache: float | None = None
 
     def _invalidate(self) -> None:
-        self._ends = None
+        self._view = None
         self._max_cache = None
         self._min_cache = None
 
     def _piece_index(self, x: float) -> int:
         """Index of the piece covering ``x`` (pieces tile the domain)."""
-        if self._ends is None:
-            self._ends = [p.x_end for p in self._pieces]
-        i = bisect.bisect_left(self._ends, x - XTOL)
-        return min(i, len(self._pieces) - 1)
+        i = bisect.bisect_left(self._bx, x - XTOL, 1) - 1
+        return min(i, len(self._slope) - 1)
 
     # ------------------------------------------------------------------
     @property
@@ -82,19 +100,30 @@ class AnnotatedEnvelope:
     @property
     def is_empty(self) -> bool:
         """True before the first function has been added."""
-        return not self._pieces
+        return not self._slope
 
     def pieces(self) -> tuple[EnvelopePiece, ...]:
         """The envelope's linear pieces, left to right."""
-        return tuple(self._pieces)
+        if self._view is None:
+            self._view = tuple(
+                EnvelopePiece(
+                    self._bx[i],
+                    self._bx[i + 1],
+                    self._slope[i],
+                    self._icept[i],
+                    self._tags[i],
+                )
+                for i in range(len(self._slope))
+            )
+        return self._view
 
     def tags(self) -> list[Hashable]:
         """Distinct tags appearing on the envelope, in left-to-right order."""
         seen: list[Hashable] = []
-        for piece in self._pieces:
-            if not seen or seen[-1] != piece.tag:
-                if piece.tag not in seen:
-                    seen.append(piece.tag)
+        for tag in self._tags:
+            if not seen or seen[-1] != tag:
+                if tag not in seen:
+                    seen.append(tag)
         return seen
 
     # ------------------------------------------------------------------
@@ -104,15 +133,16 @@ class AnnotatedEnvelope:
             raise FunctionDomainError(
                 f"x={x} outside envelope domain [{self._lo}, {self._hi}]"
             )
-        if not self._pieces:
+        if not self._slope:
             return math.inf
-        return self._pieces[self._piece_index(x)].value_at(x)
+        i = self._piece_index(x)
+        return self._slope[i] * x + self._icept[i]
 
     def tag_at(self, x: float) -> Hashable:
         """Tag of the piece covering ``x`` (ties go to the earlier piece)."""
-        if not self._pieces:
+        if not self._slope:
             raise FunctionDomainError("envelope is empty")
-        return self._pieces[self._piece_index(x)].tag
+        return self._tags[self._piece_index(x)]
 
     def max_value(self) -> float:
         """Maximum of the envelope over the domain (``inf`` when empty).
@@ -122,30 +152,68 @@ class AnnotatedEnvelope:
         sub-interval of the answer.  Cached between mutations — the engine
         consults it on every pop.
         """
-        if not self._pieces:
+        if not self._slope:
             return math.inf
         if self._max_cache is None:
+            bx, sl, ic = self._bx, self._slope, self._icept
             self._max_cache = max(
-                max(p.y_start, p.y_end) for p in self._pieces
+                max(sl[i] * bx[i] + ic[i], sl[i] * bx[i + 1] + ic[i])
+                for i in range(len(sl))
             )
         return self._max_cache
 
     def min_value(self) -> float:
         """Minimum of the envelope over the domain (``inf`` when empty)."""
-        if not self._pieces:
+        if not self._slope:
             return math.inf
         if self._min_cache is None:
+            bx, sl, ic = self._bx, self._slope, self._icept
             self._min_cache = min(
-                min(p.y_start, p.y_end) for p in self._pieces
+                min(sl[i] * bx[i] + ic[i], sl[i] * bx[i + 1] + ic[i])
+                for i in range(len(sl))
             )
         return self._min_cache
 
     # ------------------------------------------------------------------
+    def add(self, fn: PiecewiseLinearFunction, tag: Hashable) -> bool:
+        """Fold ``fn`` into the envelope; return True when it improved anywhere.
+
+        ``fn`` must span the envelope's full domain.  Ties (equal value) keep
+        the incumbent piece, matching the paper's convention that the first
+        identified fastest path owns its sub-interval.
+        """
+        if fn.x_min > self._lo + 1e-6 or fn.x_max < self._hi - 1e-6:
+            raise FunctionDomainError(
+                f"function domain {fn.domain} does not cover "
+                f"envelope domain [{self._lo}, {self._hi}]"
+            )
+        if kernel.KERNEL_ENABLED:
+            bx, slope, icept, tags, improved = kernel.envelope_fold(
+                self._bx,
+                self._slope,
+                self._icept,
+                self._tags,
+                fn._xs,
+                fn._ys,
+                tag,
+                self._lo,
+                self._hi,
+            )
+            self._bx, self._slope, self._icept, self._tags = (
+                bx,
+                slope,
+                icept,
+                tags,
+            )
+        else:
+            improved = self._add_legacy(fn, tag)
+        self._invalidate()
+        return improved
+
+    # -- legacy rebuild (kept callable for the kernel A/B benchmarks) ---
     def _boundaries(self, fn: PiecewiseLinearFunction) -> list[float]:
         xs = {self._lo, self._hi}
-        for piece in self._pieces:
-            xs.add(piece.x_start)
-            xs.add(piece.x_end)
+        xs.update(self._bx)
         for x, _y in fn.breakpoints:
             if self._lo - XTOL <= x <= self._hi + XTOL:
                 xs.add(min(max(x, self._lo), self._hi))
@@ -160,27 +228,15 @@ class AnnotatedEnvelope:
 
     def _line_of_env(self, x0: float, x1: float) -> LinearPiece | None:
         """Current envelope line covering the elementary interval [x0, x1]."""
-        if not self._pieces:
+        if not self._slope:
             return None
         mid = 0.5 * (x0 + x1)
-        for piece in self._pieces:
+        for piece in self.pieces():
             if mid <= piece.x_end + XTOL:
                 return LinearPiece(x0, x1, piece.slope, piece.intercept)
-        last = self._pieces[-1]
-        return LinearPiece(x0, x1, last.slope, last.intercept)
+        return LinearPiece(x0, x1, self._slope[-1], self._icept[-1])
 
-    def add(self, fn: PiecewiseLinearFunction, tag: Hashable) -> bool:
-        """Fold ``fn`` into the envelope; return True when it improved anywhere.
-
-        ``fn`` must span the envelope's full domain.  Ties (equal value) keep
-        the incumbent piece, matching the paper's convention that the first
-        identified fastest path owns its sub-interval.
-        """
-        if fn.x_min > self._lo + 1e-6 or fn.x_max < self._hi - 1e-6:
-            raise FunctionDomainError(
-                f"function domain {fn.domain} does not cover "
-                f"envelope domain [{self._lo}, {self._hi}]"
-            )
+    def _add_legacy(self, fn: PiecewiseLinearFunction, tag: Hashable) -> bool:
         boundaries = self._boundaries(fn)
         new_pieces: list[EnvelopePiece] = []
         improved = False
@@ -248,14 +304,21 @@ class AnnotatedEnvelope:
             if new_val < old_val - YTOL:
                 new_pieces = [EnvelopePiece(x, x, 0.0, new_val, tag)]
                 improved = True
-            elif not self._pieces:
+            elif not self._slope:
                 new_pieces = [EnvelopePiece(x, x, 0.0, new_val, tag)]
                 improved = True
             else:
-                new_pieces = list(self._pieces)
-        self._pieces = new_pieces
-        self._invalidate()
+                new_pieces = list(self.pieces())
+        self._set_pieces(new_pieces)
         return improved
+
+    def _set_pieces(self, pieces: Sequence[EnvelopePiece]) -> None:
+        self._bx = (
+            [pieces[0].x_start] + [p.x_end for p in pieces] if pieces else []
+        )
+        self._slope = [p.slope for p in pieces]
+        self._icept = [p.intercept for p in pieces]
+        self._tags = [p.tag for p in pieces]
 
     def _tag_for_interval(self, x0: float, x1: float) -> Hashable:
         mid = 0.5 * (x0 + x1)
@@ -264,13 +327,14 @@ class AnnotatedEnvelope:
     # ------------------------------------------------------------------
     def as_function(self) -> PiecewiseLinearFunction:
         """The envelope as a plain piecewise-linear function."""
-        if not self._pieces:
+        if not self._slope:
             raise FunctionDomainError("envelope is empty")
         pts: list[tuple[float, float]] = []
-        for piece in self._pieces:
-            if not pts or piece.x_start > pts[-1][0] + XTOL:
-                pts.append((piece.x_start, piece.y_start))
-            pts.append((piece.x_end, piece.y_end))
+        bx, sl, ic = self._bx, self._slope, self._icept
+        for i in range(len(sl)):
+            if not pts or bx[i] > pts[-1][0] + XTOL:
+                pts.append((bx[i], sl[i] * bx[i] + ic[i]))
+            pts.append((bx[i + 1], sl[i] * bx[i + 1] + ic[i]))
         return PiecewiseLinearFunction(pts)
 
     def partition(self) -> list[tuple[float, float, Hashable]]:
@@ -279,14 +343,14 @@ class AnnotatedEnvelope:
         Adjacent pieces owned by the same tag are merged; zero-width runs are
         dropped (except for a degenerate single-instant domain).
         """
-        if not self._pieces:
+        if not self._slope:
             return []
         runs: list[tuple[float, float, Hashable]] = []
-        for piece in self._pieces:
-            if runs and runs[-1][2] == piece.tag:
-                runs[-1] = (runs[-1][0], piece.x_end, piece.tag)
+        for i, tag in enumerate(self._tags):
+            if runs and runs[-1][2] == tag:
+                runs[-1] = (runs[-1][0], self._bx[i + 1], tag)
             else:
-                runs.append((piece.x_start, piece.x_end, piece.tag))
+                runs.append((self._bx[i], self._bx[i + 1], tag))
         if len(runs) > 1:
             runs = [r for r in runs if r[1] - r[0] > XTOL]
         return runs
@@ -294,10 +358,5 @@ class AnnotatedEnvelope:
     def merge_tags(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
         """Rewrite tags (old -> new); used to canonicalise path labels."""
         mapping = dict(pairs)
-        self._pieces = [
-            EnvelopePiece(
-                p.x_start, p.x_end, p.slope, p.intercept, mapping.get(p.tag, p.tag)
-            )
-            for p in self._pieces
-        ]
+        self._tags = [mapping.get(t, t) for t in self._tags]
         self._invalidate()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..exceptions import FunctionDomainError, NotMonotoneError
+from . import kernel
 from .piecewise import XTOL, PiecewiseLinearFunction
 
 #: How much local decrease we forgive as floating-point noise.
@@ -51,6 +52,19 @@ class MonotonePiecewiseLinear(PiecewiseLinearFunction):
                 y = fixed[-1][1]
             fixed.append((x, y))
         super().__init__(fixed)
+
+    @classmethod
+    def _trusted_monotone(
+        cls, xs: list[float], ys: list[float]
+    ) -> "MonotonePiecewiseLinear":
+        """Wrap kernel output: snap float-noise decreases, skip revalidation.
+
+        Kernel operators preserve the class invariants structurally (sorted
+        deduped abscissae, finite values); only the monotone snap of the
+        constructor still applies.
+        """
+        kernel.snap_monotone(ys, _MONOTONE_TOL)
+        return cls._trusted(tuple(xs), tuple(ys))
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +129,9 @@ class MonotonePiecewiseLinear(PiecewiseLinearFunction):
         increasing, so the inverse is well defined; a flat segment would make
         the inverse discontinuous and raises.
         """
+        if kernel.KERNEL_ENABLED:
+            xs, ys = kernel.inverse(self._xs, self._ys)
+            return MonotonePiecewiseLinear._trusted_monotone(xs, ys)
         for i in range(len(self._xs) - 1):
             if self._ys[i + 1] - self._ys[i] <= XTOL and (
                 self._xs[i + 1] - self._xs[i] > XTOL
@@ -138,7 +155,10 @@ class MonotonePiecewiseLinear(PiecewiseLinearFunction):
             raise FunctionDomainError(
                 f"inner range [{lo}, {hi}] not within outer domain {self.domain}"
             )
-        xs: list[float] = list(inner._xs)
+        if kernel.KERNEL_ENABLED:
+            xs, ys = kernel.compose(self._xs, self._ys, inner._xs, inner._ys)
+            return MonotonePiecewiseLinear._trusted_monotone(xs, ys)
+        xs = list(inner._xs)
         for by, _bx in zip(self._xs, self._ys):
             # by is a breakpoint abscissa of the outer function; find the
             # departure times at which the prefix path delivers us there.
@@ -162,13 +182,24 @@ class MonotonePiecewiseLinear(PiecewiseLinearFunction):
     # ------------------------------------------------------------------
     def restrict(self, lo: float, hi: float) -> "MonotonePiecewiseLinear":
         base = super().restrict(lo, hi)
+        if kernel.KERNEL_ENABLED:
+            return MonotonePiecewiseLinear._trusted_monotone(
+                list(base._xs), list(base._ys)
+            )
         return MonotonePiecewiseLinear(base.breakpoints)
 
     def simplify(self, tol: float = 1e-9) -> "MonotonePiecewiseLinear":
         base = super().simplify(tol)
+        if kernel.KERNEL_ENABLED:
+            # Simplify keeps a subset of already-monotone values.
+            return MonotonePiecewiseLinear._trusted(base._xs, base._ys)
         return MonotonePiecewiseLinear(base.breakpoints)
 
     def shift_x(self, dx: float) -> "MonotonePiecewiseLinear":
+        if kernel.KERNEL_ENABLED:
+            return MonotonePiecewiseLinear._trusted(
+                tuple(x + dx for x in self._xs), self._ys
+            )
         return MonotonePiecewiseLinear(
             [(x + dx, y) for x, y in self.breakpoints]
         )

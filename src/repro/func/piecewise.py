@@ -25,11 +25,20 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from ..exceptions import FunctionDomainError, FunctionShapeError
+from . import kernel
 
 #: Tolerance for comparing abscissae (times, in minutes).
 XTOL = 1e-9
 #: Tolerance for comparing ordinates (travel times, in minutes).
 YTOL = 1e-9
+#: Tolerance for deciding that two breakpoints sharing (nearly) the same
+#: abscissa describe the *same* point rather than a jump discontinuity.
+#: Deliberately looser than :data:`YTOL`: merged breakpoints come from
+#: independently-computed operations whose values agree only up to
+#: accumulated rounding, whereas YTOL compares values produced by one
+#: computation.  The kernel and the legacy paths both use this constant, so
+#: the two implementations agree on equality.
+CONTINUITY_TOL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -63,7 +72,7 @@ def _dedupe_points(points: Sequence[tuple[float, float]]) -> list[tuple[float, f
     cleaned: list[tuple[float, float]] = []
     for x, y in points:
         if cleaned and x <= cleaned[-1][0] + XTOL:
-            if abs(y - cleaned[-1][1]) > 1e-6:
+            if abs(y - cleaned[-1][1]) > CONTINUITY_TOL:
                 raise FunctionShapeError(
                     f"discontinuity at x={x}: y={cleaned[-1][1]} vs y={y}"
                 )
@@ -112,10 +121,11 @@ class PiecewiseLinearFunction:
         """Bypass validation for breakpoints already known to be well formed.
 
         Internal fast path for element-wise operations (adding a scalar,
-        subtracting the identity, ...) that provably preserve the invariants
-        of an already-validated function.
+        subtracting the identity, ...) and for kernel outputs, which are well
+        formed by construction.  Instantiates ``cls``, so monotone subclasses
+        can reuse it once their own invariant is established.
         """
-        obj = object.__new__(PiecewiseLinearFunction)
+        obj = object.__new__(cls)
         obj._xs = xs
         obj._ys = ys
         return obj
@@ -308,6 +318,12 @@ class PiecewiseLinearFunction:
                 self._xs, tuple(y + other for y in self._ys)
             )
         self._check_same_domain(other)
+        if kernel.KERNEL_ENABLED:
+            xs, ys = kernel.merge_add(self._xs, self._ys, other._xs, other._ys)
+            return PiecewiseLinearFunction._trusted(tuple(xs), tuple(ys))
+        return self._add_legacy(other)
+
+    def _add_legacy(self, other: "PiecewiseLinearFunction") -> "PiecewiseLinearFunction":
         xs = self._merged_xs(other)
         xs[0] = max(xs[0], self.x_min, other.x_min)
         xs[-1] = min(xs[-1], self.x_max, other.x_max)
@@ -331,7 +347,9 @@ class PiecewiseLinearFunction:
 
     def shift_x(self, dx: float) -> "PiecewiseLinearFunction":
         """Translate the domain: ``g(x) = f(x - dx)``."""
-        return PiecewiseLinearFunction([(x + dx, y) for x, y in self.breakpoints])
+        return PiecewiseLinearFunction._trusted(
+            tuple(x + dx for x in self._xs), self._ys
+        )
 
     def minus_identity(self) -> "PiecewiseLinearFunction":
         """Return ``f(x) - x`` — converts an arrival function to travel time."""
@@ -341,7 +359,9 @@ class PiecewiseLinearFunction:
 
     def plus_identity(self) -> "PiecewiseLinearFunction":
         """Return ``f(x) + x`` — converts travel time to an arrival function."""
-        return PiecewiseLinearFunction([(x, y + x) for x, y in self.breakpoints])
+        return PiecewiseLinearFunction._trusted(
+            self._xs, tuple(y + x for x, y in zip(self._xs, self._ys))
+        )
 
     # ------------------------------------------------------------------
     # Restriction / simplification / comparison
@@ -356,6 +376,9 @@ class PiecewiseLinearFunction:
         hi = min(hi, self.x_max)
         if hi < lo - XTOL:
             raise FunctionDomainError(f"empty restriction [{lo}, {hi}]")
+        if kernel.KERNEL_ENABLED:
+            xs, ys = kernel.restrict(self._xs, self._ys, lo, hi)
+            return PiecewiseLinearFunction._trusted(tuple(xs), tuple(ys))
         if hi - lo <= XTOL:
             return PiecewiseLinearFunction([(lo, self(lo))])
         pts: list[tuple[float, float]] = [(lo, self(lo))]
@@ -369,6 +392,9 @@ class PiecewiseLinearFunction:
         """Drop interior breakpoints that lie on the line through their neighbours."""
         if len(self._xs) <= 2:
             return self
+        if kernel.KERNEL_ENABLED:
+            xs, ys = kernel.simplify(self._xs, self._ys, tol)
+            return PiecewiseLinearFunction._trusted(tuple(xs), tuple(ys))
         pts: list[tuple[float, float]] = [(self._xs[0], self._ys[0])]
         for i in range(1, len(self._xs) - 1):
             x0, y0 = pts[-1]
@@ -406,6 +432,10 @@ class PiecewiseLinearFunction:
         Used for the label-dominance pruning described in DESIGN.md.
         """
         self._check_same_domain(other)
+        if kernel.KERNEL_ENABLED:
+            return kernel.le_everywhere(
+                self._xs, self._ys, other._xs, other._ys, tol
+            )
         for x in self._merged_xs(other):
             x_c = min(max(x, self.x_min, other.x_min), self.x_max, other.x_max)
             if self(x_c) > other(x_c) + tol:
@@ -423,6 +453,9 @@ def pointwise_minimum(
     the result back into a monotone function.
     """
     a._check_same_domain(b)
+    if kernel.KERNEL_ENABLED:
+        xs, ys = kernel.merge_min(a._xs, a._ys, b._xs, b._ys)
+        return PiecewiseLinearFunction._trusted(tuple(xs), tuple(ys))
     xs = a._merged_xs(b)
 
     def val(fn: PiecewiseLinearFunction, x: float) -> float:

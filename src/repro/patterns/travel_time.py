@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..exceptions import PatternError
+from ..func import kernel
 from ..func.monotone import MonotonePiecewiseLinear
 from ..func.piecewise import XTOL, PiecewiseLinearFunction
 from ..timeutil import MINUTES_PER_DAY
@@ -87,6 +88,30 @@ def traverse(
     raise PatternError("unreachable")  # pragma: no cover
 
 
+def _cumulative_arrays(
+    pattern: CapeCodPattern,
+    calendar: Calendar,
+    t_lo: float,
+    t_hi: float,
+    extra_distance: float,
+) -> tuple[list[float], list[float]]:
+    """Breakpoint arrays of ``S`` (see :func:`cumulative_distance_function`)."""
+    xs: list[float] = [t_lo]
+    ys: list[float] = [0.0]
+    s_at_hi: float | None = None
+    for seg_start, seg_end, speed in _speed_segments(pattern, calendar, t_lo):
+        prev_t, prev_s = xs[-1], ys[-1]
+        # Record S at t_hi the moment we pass it (it need not be a breakpoint).
+        if s_at_hi is None and seg_end >= t_hi - XTOL:
+            s_at_hi = prev_s + (t_hi - prev_t) * speed
+        s_end = prev_s + (seg_end - prev_t) * speed
+        xs.append(seg_end)
+        ys.append(s_end)
+        if s_at_hi is not None and s_end >= s_at_hi + extra_distance - 1e-12:
+            break
+    return xs, ys
+
+
 def cumulative_distance_function(
     pattern: CapeCodPattern,
     calendar: Calendar,
@@ -104,18 +129,10 @@ def cumulative_distance_function(
     """
     if t_hi < t_lo - XTOL:
         raise PatternError(f"bad window [{t_lo}, {t_hi}]")
-    points: list[tuple[float, float]] = [(t_lo, 0.0)]
-    s_at_hi: float | None = None
-    for seg_start, seg_end, speed in _speed_segments(pattern, calendar, t_lo):
-        prev_t, prev_s = points[-1]
-        # Record S at t_hi the moment we pass it (it need not be a breakpoint).
-        if s_at_hi is None and seg_end >= t_hi - XTOL:
-            s_at_hi = prev_s + (t_hi - prev_t) * speed
-        s_end = prev_s + (seg_end - prev_t) * speed
-        points.append((seg_end, s_end))
-        if s_at_hi is not None and s_end >= s_at_hi + extra_distance - 1e-12:
-            break
-    return MonotonePiecewiseLinear(points)
+    xs, ys = _cumulative_arrays(pattern, calendar, t_lo, t_hi, extra_distance)
+    if kernel.KERNEL_ENABLED:
+        return MonotonePiecewiseLinear._trusted_monotone(xs, ys)
+    return MonotonePiecewiseLinear(list(zip(xs, ys)))
 
 
 def edge_arrival_function(
@@ -138,6 +155,22 @@ def edge_arrival_function(
         from ..func.monotone import identity
 
         return identity(depart_lo, depart_hi)
+    if kernel.KERNEL_ENABLED:
+        # Fused pipeline straight over breakpoint arrays: S → S⁻¹, the
+        # shifted window S(t)+d, their composition, simplification — one
+        # MonotonePiecewiseLinear allocated at the very end.
+        sxs, sys_ = _cumulative_arrays(
+            pattern, calendar, depart_lo, depart_hi, distance
+        )
+        inv_xs, inv_ys = kernel.inverse(sxs, sys_)
+        wxs, wys = kernel.restrict(
+            sxs, sys_, depart_lo, min(depart_hi, sxs[-1])
+        )
+        for i in range(len(wys)):
+            wys[i] += distance
+        cxs, cys = kernel.compose(inv_xs, inv_ys, wxs, wys)
+        cxs, cys = kernel.simplify(cxs, cys, 1e-9)
+        return MonotonePiecewiseLinear._trusted_monotone(cxs, cys)
     s = cumulative_distance_function(
         pattern, calendar, depart_lo, depart_hi, distance
     )

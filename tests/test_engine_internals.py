@@ -76,3 +76,37 @@ class TestEdgeFunctionCache:
         fn = cache.arrival(shortcut, 100.0, 200.0)
         assert fn is shortcut.profile
         assert len(cache) == 0
+
+    def test_hit_miss_counters(self, cal, edge):
+        cache = _EdgeFunctionCache(cal)
+        cache.arrival(edge, 400.0, 500.0)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.arrival(edge, 420.0, 480.0)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.arrival(edge, 300.0, 900.0)  # wider: a rebuild, counted as miss
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_lru_eviction_bounds_size(self, cal, edge):
+        cache = _EdgeFunctionCache(cal, max_entries=2)
+        for target in (10, 11, 12, 13):
+            e = Edge(1, target, edge.distance, edge.pattern)
+            cache.arrival(e, 400.0, 500.0)
+        assert len(cache) == 2
+
+    def test_lru_keeps_recently_used(self, cal, edge):
+        cache = _EdgeFunctionCache(cal, max_entries=2)
+        a = Edge(1, 10, edge.distance, edge.pattern)
+        b = Edge(1, 11, edge.distance, edge.pattern)
+        c = Edge(1, 12, edge.distance, edge.pattern)
+        first = cache.arrival(a, 400.0, 500.0)
+        cache.arrival(b, 400.0, 500.0)
+        cache.arrival(a, 410.0, 490.0)  # touch a: b becomes the LRU entry
+        cache.arrival(c, 400.0, 500.0)  # evicts b
+        assert cache.arrival(a, 410.0, 490.0) is first  # still resident
+        misses_before = cache.misses
+        cache.arrival(b, 400.0, 500.0)  # must rebuild
+        assert cache.misses == misses_before + 1
+
+    def test_rejects_nonpositive_capacity(self, cal):
+        with pytest.raises(ValueError):
+            _EdgeFunctionCache(cal, max_entries=0)

@@ -1,0 +1,343 @@
+"""Property-based cross-checks of the array kernel.
+
+Every kernel operator is verified three ways on randomized piecewise-linear
+functions:
+
+* against a **dense-sampling oracle** (the mathematical definition evaluated
+  pointwise),
+* against the **legacy implementation** (kernel disabled via
+  :func:`repro.func.kernel.set_kernel_enabled`),
+* on **degenerate inputs** — single-point domains and near-duplicate
+  abscissae — that historically hide off-by-one sweeps.
+
+Plus direct tests of the configuration surface: the MAX_BREAKPOINTS guard
+(triggered through repeated composition) and the named continuity tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FunctionShapeError
+from repro.func import kernel
+from repro.func.envelope import AnnotatedEnvelope
+from repro.func.monotone import MonotonePiecewiseLinear
+from repro.func.piecewise import (
+    CONTINUITY_TOL,
+    XTOL,
+    YTOL,
+    PiecewiseLinearFunction,
+    pointwise_minimum,
+)
+
+LO, HI = 0.0, 10.0
+#: Dense oracle grid over the shared domain.
+GRID = [LO + i * (HI - LO) / 97 for i in range(98)]
+
+
+@pytest.fixture
+def legacy_mode():
+    """Run the wrapped code with the kernel disabled; restore afterwards."""
+    previous = kernel.set_kernel_enabled(False)
+    yield
+    kernel.set_kernel_enabled(previous)
+
+
+def _with_kernel(flag: bool, fn):
+    previous = kernel.set_kernel_enabled(flag)
+    try:
+        return fn()
+    finally:
+        kernel.set_kernel_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Strategies.
+# ----------------------------------------------------------------------
+
+_Y = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+# Interior abscissae include values snapped onto near-duplicate positions.
+_X = st.floats(min_value=LO, max_value=HI, allow_nan=False)
+
+
+@st.composite
+def plf(draw) -> PiecewiseLinearFunction:
+    """A random PLF on [LO, HI], occasionally with near-duplicate abscissae."""
+    interior = draw(st.lists(_X, max_size=6))
+    raw = [LO, *sorted(interior), HI]
+    xs = [raw[0]]
+    for x in raw[1:]:
+        if x > xs[-1] + 2 * XTOL:
+            xs.append(x)
+    ys = [draw(_Y) for _ in xs]
+    pts = list(zip(xs, ys))
+    if draw(st.booleans()) and len(xs) > 2:
+        # Shadow one interior point at distance ~XTOL/2 with a
+        # continuity-compatible ordinate: dedupe territory.
+        wiggle = draw(
+            st.floats(min_value=-5e-7, max_value=5e-7, allow_nan=False)
+        )
+        pts.append((xs[1] + 4e-10, ys[1] + wiggle))
+        pts.sort()
+    return PiecewiseLinearFunction(pts)
+
+
+@st.composite
+def monotone(draw, lo: float = LO, hi: float = HI) -> MonotonePiecewiseLinear:
+    """A strictly increasing PLF on [lo, hi] (invertible)."""
+    interior = draw(st.lists(_X, max_size=6))
+    span = hi - lo
+    raw = sorted({lo, hi, *[lo + (x - LO) / (HI - LO) * span for x in interior]})
+    xs = [raw[0]]
+    for x in raw[1:]:
+        if x > xs[-1] + XTOL:
+            xs.append(x)
+    deltas = [
+        draw(st.floats(min_value=0.05, max_value=3.0, allow_nan=False))
+        for _ in xs
+    ]
+    y = draw(st.floats(min_value=-20.0, max_value=20.0, allow_nan=False))
+    pts = []
+    for x, d in zip(xs, deltas):
+        pts.append((x, y))
+        y += d
+    return MonotonePiecewiseLinear(pts)
+
+
+# ----------------------------------------------------------------------
+# Binary operators: add / min / dominates.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(plf(), plf())
+def test_add_matches_oracle_and_legacy(a, b):
+    fused = _with_kernel(True, lambda: a + b)
+    legacy = _with_kernel(False, lambda: a + b)
+    for t in GRID:
+        want = a(t) + b(t)
+        assert fused(t) == pytest.approx(want, abs=1e-6)
+        assert legacy(t) == pytest.approx(fused(t), abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(plf(), plf())
+def test_min_matches_oracle_and_legacy(a, b):
+    fused = _with_kernel(True, lambda: pointwise_minimum(a, b))
+    legacy = _with_kernel(False, lambda: pointwise_minimum(a, b))
+    for t in GRID:
+        want = min(a(t), b(t))
+        assert fused(t) == pytest.approx(want, abs=1e-6)
+        assert legacy(t) == pytest.approx(fused(t), abs=1e-6)
+    # min never exceeds either input anywhere (including crossing points).
+    for x, y in fused.breakpoints:
+        assert y <= a(x) + 1e-6
+        assert y <= b(x) + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(plf(), plf())
+def test_dominates_matches_legacy(a, b):
+    fused = _with_kernel(True, lambda: a.dominates(b))
+    legacy = _with_kernel(False, lambda: a.dominates(b))
+    assert fused == legacy
+    # Self-dominance always holds (the tie case).
+    assert _with_kernel(True, lambda: a.dominates(a))
+
+
+# ----------------------------------------------------------------------
+# Monotone operators: compose / inverse.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_compose_matches_oracle_and_legacy(data):
+    inner = data.draw(monotone())
+    lo, hi = inner.value_range
+    outer = data.draw(monotone(lo - 1.0, hi + 1.0))
+    fused = _with_kernel(True, lambda: outer.compose(inner))
+    legacy = _with_kernel(False, lambda: outer.compose(inner))
+    assert fused.x_min == pytest.approx(inner.x_min)
+    assert fused.x_max == pytest.approx(inner.x_max)
+    for t in GRID:
+        want = outer(min(max(inner(t), outer.x_min), outer.x_max))
+        assert fused(t) == pytest.approx(want, abs=1e-6)
+        assert legacy(t) == pytest.approx(fused(t), abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(monotone())
+def test_inverse_roundtrip_and_legacy(f):
+    fused = _with_kernel(True, f.inverse)
+    legacy = _with_kernel(False, f.inverse)
+    for t in GRID:
+        y = f(t)
+        assert fused(y) == pytest.approx(t, abs=1e-6)
+        assert legacy(y) == pytest.approx(fused(y), abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Reshaping: simplify / restrict.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(plf())
+def test_simplify_preserves_values(f):
+    fused = _with_kernel(True, lambda: f.simplify(1e-9))
+    legacy = _with_kernel(False, lambda: f.simplify(1e-9))
+    assert fused.breakpoints == legacy.breakpoints
+    for t in GRID:
+        assert fused(t) == pytest.approx(f(t), abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(plf(), st.floats(min_value=LO, max_value=HI), st.floats(min_value=LO, max_value=HI))
+def test_restrict_matches_legacy(f, p, q):
+    lo, hi = min(p, q), max(p, q)
+    fused = _with_kernel(True, lambda: f.restrict(lo, hi))
+    legacy = _with_kernel(False, lambda: f.restrict(lo, hi))
+    assert fused.x_min == pytest.approx(legacy.x_min)
+    assert fused.x_max == pytest.approx(legacy.x_max)
+    steps = 20
+    for i in range(steps + 1):
+        t = lo + (hi - lo) * i / steps
+        assert fused(t) == pytest.approx(f(t), abs=1e-6)
+        assert legacy(t) == pytest.approx(fused(t), abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Envelope fold.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(plf(), min_size=1, max_size=5))
+def test_envelope_fold_matches_oracle_and_legacy(fns):
+    def build():
+        env = AnnotatedEnvelope(LO, HI)
+        flags = [env.add(fn, tag=k) for k, fn in enumerate(fns)]
+        return env, flags
+
+    fused_env, fused_flags = _with_kernel(True, build)
+    legacy_env, legacy_flags = _with_kernel(False, build)
+    assert fused_flags == legacy_flags
+    # The first fold always improves an empty envelope.
+    assert fused_flags[0] is True
+    for t in GRID:
+        want = min(fn(t) for fn in fns)
+        assert fused_env.value_at(t) == pytest.approx(want, abs=1e-6)
+        assert legacy_env.value_at(t) == pytest.approx(
+            fused_env.value_at(t), abs=1e-6
+        )
+
+
+def test_envelope_fold_instant_domain():
+    env = AnnotatedEnvelope(5.0, 5.0)
+    assert env.add(PiecewiseLinearFunction([(5.0, 3.0)]), tag="a")
+    assert not env.add(PiecewiseLinearFunction([(5.0, 3.0)]), tag="b")
+    assert env.add(PiecewiseLinearFunction([(5.0, 1.0)]), tag="c")
+    assert env.tag_at(5.0) == "c"
+    assert env.value_at(5.0) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Degenerate single-point domains.
+# ----------------------------------------------------------------------
+
+def test_single_point_add_and_min():
+    a = PiecewiseLinearFunction([(5.0, 2.0)])
+    b = PiecewiseLinearFunction([(5.0, 7.0)])
+    assert (a + b)(5.0) == pytest.approx(9.0)
+    assert pointwise_minimum(a, b)(5.0) == pytest.approx(2.0)
+    assert a.dominates(b)
+    assert not b.dominates(a)
+
+
+def test_single_point_compose():
+    inner = MonotonePiecewiseLinear([(5.0, 3.0)])
+    outer = MonotonePiecewiseLinear([(2.0, 0.0), (4.0, 8.0)])
+    out = outer.compose(inner)
+    assert out(5.0) == pytest.approx(4.0)
+
+
+# ----------------------------------------------------------------------
+# Guard and configuration surface.
+# ----------------------------------------------------------------------
+
+def test_max_breakpoints_guard_via_repeated_composition():
+    """Repeated composition fattens a function until the guard trips."""
+    n = 60
+    step = (HI - LO) / (n - 1)
+    pts = []
+    y = 0.0
+    for i in range(n):
+        pts.append((LO + i * step, y))
+        y += 0.11 if i % 2 == 0 else 0.25
+    f = MonotonePiecewiseLinear(pts)
+    # An identity-like outer spanning f's range, equally fat.
+    lo, hi = f.value_range
+    ostep = (hi - lo) / (n - 1)
+    outer = MonotonePiecewiseLinear(
+        [(lo + i * ostep, lo + i * ostep) for i in range(n)]
+    )
+    previous = kernel.set_max_breakpoints(100)
+    prev_mode = kernel.set_kernel_enabled(True)  # the guard is a kernel feature
+    try:
+        with pytest.raises(FunctionShapeError, match="MAX_BREAKPOINTS"):
+            g = f
+            for _ in range(50):
+                g = outer.compose(g)  # breakpoints accumulate each round
+    finally:
+        kernel.set_max_breakpoints(previous)
+        kernel.set_kernel_enabled(prev_mode)
+
+
+def test_set_max_breakpoints_validates():
+    with pytest.raises(ValueError):
+        kernel.set_max_breakpoints(1)
+    previous = kernel.set_max_breakpoints(500)
+    assert kernel.get_max_breakpoints() == 500
+    assert kernel.set_max_breakpoints(previous) == 500
+
+
+def test_set_kernel_enabled_returns_previous():
+    first = kernel.set_kernel_enabled(False)
+    try:
+        assert kernel.KERNEL_ENABLED is False
+        assert kernel.set_kernel_enabled(first) is False
+    finally:
+        kernel.set_kernel_enabled(first)
+
+
+def test_counters_delta():
+    snap = kernel.COUNTERS.snapshot()
+    _with_kernel(
+        True,
+        lambda: PiecewiseLinearFunction([(0.0, 1.0), (1.0, 2.0)])
+        + PiecewiseLinearFunction([(0.0, 1.0), (1.0, 0.0)]),
+    )
+    bp, _merges = kernel.COUNTERS.delta(snap)
+    assert bp >= 2
+
+
+def test_continuity_tolerance_is_named_and_consistent():
+    """Satellite fix: the dedupe tolerance is one named constant (1e-6)."""
+    assert CONTINUITY_TOL == 1e-6
+    # Just-inside the tolerance: duplicate abscissae merge fine.
+    f = PiecewiseLinearFunction(
+        [(0.0, 1.0), (5.0, 2.0), (5.0 + 1e-10, 2.0 + 5e-7), (10.0, 3.0)]
+    )
+    assert len(f.breakpoints) == 3
+    # Beyond it: a genuine discontinuity is rejected.
+    with pytest.raises(Exception):
+        PiecewiseLinearFunction(
+            [(0.0, 1.0), (5.0, 2.0), (5.0 + 1e-10, 2.1), (10.0, 3.0)]
+        )
+
+
+def test_legacy_mode_fixture_round_trips(legacy_mode):
+    """With the kernel off, class ops still work (A/B baseline path)."""
+    a = PiecewiseLinearFunction([(0.0, 1.0), (10.0, 3.0)])
+    b = PiecewiseLinearFunction([(0.0, 2.0), (10.0, 2.0)])
+    assert (a + b)(5.0) == pytest.approx(4.0)
+    assert pointwise_minimum(a, b)(0.0) == pytest.approx(1.0)

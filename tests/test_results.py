@@ -57,7 +57,9 @@ class TestSearchStats:
         d = stats.as_dict()
         assert d["expanded_paths"] == 10
         assert d["page_reads"] == 4
-        assert len(d) == 7
+        assert d["breakpoints_allocated"] == 0
+        assert d["edge_cache_hits"] == 0
+        assert len(d) == 11
 
     def test_default_zeroed(self):
         assert SearchStats().expanded_paths == 0
