@@ -1,0 +1,150 @@
+"""Service throughput/tail-latency benchmark — writes ``BENCH_serve.json``.
+
+Replays one fixed fig9-style request stream (distance-banded random
+queries over the morning-rush interval, each unique query repeated a few
+times, seeded shuffle — popular queries repeat, as online traffic does)
+against two service configurations:
+
+* ``cold``    — result cache off, coalescing off, fresh edge cache: every
+  request pays a full engine run (the single-flight-off baseline).
+* ``warm``    — coalescing + result cache on, caches pre-warmed with one
+  pass over the unique queries: repeats are served from the cache and
+  concurrent duplicates share one computation.
+
+Each configuration runs closed-loop at 1/4/16 concurrent clients and
+reports throughput and p50/p95/p99 latency; ``meta.speedup_warm_vs_cold``
+is the headline ratio at the highest client count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from emit_json import emit_bench_json
+
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.serve import (
+    AllFPService,
+    InProcessClient,
+    ServiceConfig,
+    run_closed_loop,
+)
+from repro.workloads.queries import distance_band_queries, morning_rush_interval
+
+
+def build_request_stream(network, bands, per_band, repeats, seed):
+    """Unique fig9-band queries, each repeated ``repeats`` times, shuffled."""
+    interval = morning_rush_interval(2.0)
+    by_band = distance_band_queries(network, bands, per_band, interval, seed=seed)
+    unique = [spec for specs in by_band.values() for spec in specs]
+    stream = unique * repeats
+    random.Random(seed + 1).shuffle(stream)
+    return unique, stream
+
+
+def run_config(network, stream, unique, clients, warm):
+    config = ServiceConfig(
+        workers=max(2, clients),
+        max_pending=max(64, clients * 4),
+        coalesce=warm,
+        cache_results=warm,
+        default_deadline=None,
+    )
+    service = AllFPService(network, config=config)
+    client = InProcessClient(service)
+    try:
+        if warm:
+            for spec in unique:  # one warmup pass fills both caches
+                client.query(spec)
+        report = run_closed_loop(lambda s: client.query(s), stream, clients)
+        stats = service.stats()
+        summary = report.as_dict()
+        if summary["errors"]:
+            raise RuntimeError(f"load run had errors: {summary['errors']}")
+        return {
+            "name": f"{'warm' if warm else 'cold'}_clients{clients}",
+            "clients": clients,
+            "requests": summary["requests"],
+            "throughput_qps": summary["throughput_qps"],
+            "p50_ms": summary["p50_ms"],
+            "p95_ms": summary["p95_ms"],
+            "p99_ms": summary["p99_ms"],
+            "engine_runs": int(stats["engine_runs"]),
+            "coalesced": stats["single_flight"]["coalesced"],
+            "result_cache_hits": stats["result_cache"]["hits"],
+            "edge_cache_hits": stats["edge_cache"]["hits"],
+        }
+    finally:
+        service.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        net_cfg = MetroConfig(width=12, height=12, seed=9)
+        bands = [(0.5, 1.5)]
+        per_band, repeats = 3, 3
+        client_counts = (1, 4)
+    else:
+        net_cfg = MetroConfig(width=20, height=20, seed=9)
+        bands = [(1.0, 2.0), (2.0, 3.0)]
+        per_band, repeats = 5, 4
+        client_counts = (1, 4, 16)
+
+    network = make_metro_network(net_cfg)
+    unique, stream = build_request_stream(network, bands, per_band, repeats, seed=42)
+    print(
+        f"network: {network.node_count} nodes; stream: {len(stream)} requests "
+        f"({len(unique)} unique x {repeats})"
+    )
+
+    results = []
+    for clients in client_counts:
+        for warm in (False, True):
+            row = run_config(network, stream, unique, clients, warm)
+            results.append(row)
+            print(
+                f"  {row['name']:>16}: {row['throughput_qps']:8.1f} qps  "
+                f"p50 {row['p50_ms']:7.2f} ms  p99 {row['p99_ms']:7.2f} ms  "
+                f"engine runs {row['engine_runs']}"
+            )
+
+    top = client_counts[-1]
+    cold = next(r for r in results if r["name"] == f"cold_clients{top}")
+    warm = next(r for r in results if r["name"] == f"warm_clients{top}")
+    speedup = warm["throughput_qps"] / cold["throughput_qps"]
+    print(f"warm vs cold at {top} clients: {speedup:.1f}x throughput")
+
+    path = emit_bench_json(
+        "serve",
+        results,
+        scale="quick" if args.quick else "small",
+        quick=args.quick,
+        meta={
+            "nodes": network.node_count,
+            "unique_queries": len(unique),
+            "stream_requests": len(stream),
+            "repeats": repeats,
+            "speedup_warm_vs_cold": speedup,
+            "speedup_at_clients": top,
+        },
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,7 +103,9 @@ from .workloads import (
     evening_rush_interval,
     random_queries,
     distance_band_queries,
+    poisson_arrivals,
 )
+from .serve import AllFPService, ServiceConfig, QueryRequest, QueryResponse
 
 __version__ = "1.0.0"
 
@@ -178,4 +180,10 @@ __all__ = [
     "evening_rush_interval",
     "random_queries",
     "distance_band_queries",
+    "poisson_arrivals",
+    # service
+    "AllFPService",
+    "ServiceConfig",
+    "QueryRequest",
+    "QueryResponse",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: generate networks, build CCAM databases, query.
+"""Command-line interface: generate networks, build CCAM databases, query, serve.
 
 Installed as ``repro-allfp``::
 
@@ -7,6 +7,11 @@ Installed as ``repro-allfp``::
     repro-allfp query --network metro.json --source 0 --target 2303 \\
         --from 7:00 --to 9:00 --mode allfp
     repro-allfp info --network metro.json
+    repro-allfp serve --network metro.json --port 8080
+    repro-allfp bench-load --network metro.json --clients 4 --queries 50
+
+Deliberate failures (missing files, unknown nodes, malformed clock strings)
+exit non-zero with one clean ``error:`` line on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from .core.arrival import ArrivalIntAllFastestPaths, reverse_boundary_estimator
 from .core.engine import IntAllFastestPaths
 from .estimators.boundary import BoundaryNodeEstimator
 from .estimators.naive import NaiveEstimator
+from .exceptions import ReproError
 from .network.generator import MetroConfig, make_metro_network
 from .network.io import load_network, save_network
 from .storage.ccam import CCAMStore
@@ -122,6 +128,106 @@ def _print_kernel_stats(stats) -> None:
     )
 
 
+def _build_service(args: argparse.Namespace):
+    """Shared by ``serve`` and ``bench-load``: network + estimator + service."""
+    from .serve import AllFPService, ServiceConfig
+
+    network = _open_network(args.network)
+    estimator = None
+    if args.estimator == "boundary":
+        if isinstance(network, CCAMStore):
+            print(
+                "note: boundary estimator precomputation needs the full graph; "
+                "falling back to naive on a .ccam input",
+                file=sys.stderr,
+            )
+        else:
+            estimator = BoundaryNodeEstimator(network, args.grid, args.grid)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_deadline=args.deadline if args.deadline > 0 else None,
+        coalesce=not args.no_coalesce,
+        cache_results=not args.no_result_cache,
+        result_cache_size=args.result_cache_size,
+        result_cache_ttl=args.result_cache_ttl,
+    )
+    return AllFPService(network, estimator, config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import make_server
+
+    service = _build_service(args)
+    server = make_server(service, args.host, args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(f"repro-allfp serving on http://{host}:{port}")
+    print("endpoints: POST /v1/allfp, POST /v1/singlefp, GET /healthz, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        service.close()
+    return 0
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    from .serve import InProcessClient, run_closed_loop, run_open_loop
+    from .workloads.queries import (
+        morning_rush_interval,
+        poisson_arrivals,
+        random_queries,
+    )
+
+    service = _build_service(args)
+    interval = morning_rush_interval(args.interval_hours)
+    queries = random_queries(
+        service.network,
+        args.queries,
+        interval,
+        seed=args.seed,
+        min_distance=args.min_distance,
+        max_distance=args.max_distance,
+    )
+    client = InProcessClient(service)
+    query_fn = lambda spec: client.query(spec, mode=args.mode)  # noqa: E731
+    if args.arrivals == "poisson":
+        schedule = poisson_arrivals(args.rate, args.duration, seed=args.seed)
+        print(
+            f"open-loop: {len(schedule)} arrivals at {args.rate:g} qps "
+            f"over {args.duration:g}s"
+        )
+        report = run_open_loop(query_fn, queries, schedule)
+    else:
+        print(f"closed-loop: {len(queries)} queries, {args.clients} client(s)")
+        report = run_closed_loop(query_fn, queries, clients=args.clients)
+    service.close()
+    summary = report.as_dict()
+    print(
+        f"requests: {summary['requests']}  ok: {summary['successes']}  "
+        f"errors: {summary['errors'] or 'none'}"
+    )
+    print(
+        f"throughput: {summary['throughput_qps']:.1f} qps over "
+        f"{summary['wall_seconds']:.2f}s"
+    )
+    if report.latencies_s:
+        print(
+            f"latency ms: p50={summary['p50_ms']:.2f} "
+            f"p95={summary['p95_ms']:.2f} p99={summary['p99_ms']:.2f}"
+        )
+    stats = service.stats()
+    print(
+        f"engine runs: {stats['engine_runs']:.0f}  "
+        f"result cache: {stats['result_cache']['hits']} hits / "
+        f"{stats['result_cache']['misses']} misses  "
+        f"coalesced: {stats['single_flight']['coalesced']}"
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     network = _open_network(args.network)
     if isinstance(network, CCAMStore):
@@ -189,6 +295,74 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--grid", type=int, default=6, help="boundary grid size")
     query.set_defaults(func=_cmd_query)
 
+    def add_service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--network", required=True, help=".json or .ccam input")
+        p.add_argument(
+            "--estimator", choices=("naive", "boundary"), default="naive"
+        )
+        p.add_argument("--grid", type=int, default=6, help="boundary grid size")
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument(
+            "--max-pending",
+            type=int,
+            default=64,
+            help="admission limit before 503 fast-fail",
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=30.0,
+            help="per-query wall-clock budget in seconds (0 disables)",
+        )
+        p.add_argument(
+            "--no-coalesce",
+            action="store_true",
+            help="disable single-flight deduplication of identical in-flight queries",
+        )
+        p.add_argument(
+            "--no-result-cache",
+            action="store_true",
+            help="disable the TTL+LRU result cache",
+        )
+        p.add_argument("--result-cache-size", type=int, default=1024)
+        p.add_argument(
+            "--result-cache-ttl", type=float, default=300.0, help="seconds"
+        )
+
+    serve = sub.add_parser("serve", help="run the HTTP query service")
+    add_service_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 auto-assigns")
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "bench-load", help="load-generate against an in-process service"
+    )
+    add_service_flags(bench)
+    bench.add_argument(
+        "--arrivals",
+        choices=("closed", "poisson"),
+        default="closed",
+        help="closed-loop clients or an open-loop Poisson schedule",
+    )
+    bench.add_argument("--clients", type=int, default=4, help="closed-loop only")
+    bench.add_argument(
+        "--rate", type=float, default=50.0, help="poisson arrivals per second"
+    )
+    bench.add_argument(
+        "--duration", type=float, default=2.0, help="poisson schedule seconds"
+    )
+    bench.add_argument("--queries", type=int, default=50)
+    bench.add_argument("--mode", choices=("allfp", "singlefp"), default="allfp")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--min-distance", type=float, default=0.0)
+    bench.add_argument("--max-distance", type=float, default=float("inf"))
+    bench.add_argument("--interval-hours", type=float, default=3.0)
+    bench.set_defaults(func=_cmd_bench_load)
+
     info = sub.add_parser("info", help="describe a network or database file")
     info.add_argument("--network", required=True)
     info.set_defaults(func=_cmd_info)
@@ -197,7 +371,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, ValueError) as exc:
+        # Deliberate failure modes (bad inputs, missing files, unknown
+        # nodes, malformed clock strings): one clean line, non-zero exit.
+        message = str(exc) or type(exc).__name__
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ completed border answers the allFP query.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable
 
@@ -55,6 +56,24 @@ class SearchBudgetExceeded(QueryError):
 
     def __init__(self, max_pops: int, stats: SearchStats) -> None:
         super().__init__(f"search exceeded max_pops={max_pops}")
+        self.stats = stats
+
+
+class QueryTimeout(QueryError):
+    """Raised when a query exceeds its wall-clock ``deadline``.
+
+    The deadline is checked on the same branch as the ``max_pops`` pop
+    counter, so enabling it adds one clock read per expansion and nothing
+    on any other path.  ``stats`` carries the partial counters (with
+    ``timed_out`` set) so callers can report how far the search got.
+    """
+
+    def __init__(self, deadline: float, stats: SearchStats) -> None:
+        super().__init__(
+            f"query exceeded deadline of {deadline:.3f}s "
+            f"after {stats.expanded_paths} expansions"
+        )
+        self.deadline = deadline
         self.stats = stats
 
 
@@ -123,6 +142,20 @@ class _EdgeFunctionCache:
     def __len__(self) -> int:
         return len(self._cache)
 
+    def snapshot(self) -> dict[str, int]:
+        """A point-in-time view of the cache counters (for services/metrics)."""
+        return {
+            "entries": len(self._cache),
+            "max_entries": self._max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: Public alias — long-lived callers (e.g. :mod:`repro.serve`) build one
+#: shared warm cache and hand it to every engine they construct.
+EdgeFunctionCache = _EdgeFunctionCache
+
 
 class IntAllFastestPaths:
     """The paper's query engine for allFP and singleFP queries.
@@ -144,6 +177,14 @@ class IntAllFastestPaths:
     edge_cache_size:
         Maximum number of edge arrival functions kept in the LRU-bounded
         cross-query cache.
+    edge_cache:
+        An existing :class:`EdgeFunctionCache` to share (e.g. one warm
+        process-wide cache across a service's worker engines); overrides
+        ``edge_cache_size``.
+    deadline:
+        Default wall-clock budget **in seconds** applied to every query;
+        exceeded raises :class:`QueryTimeout`.  Each query method also
+        accepts a per-call ``deadline`` override.
     """
 
     def __init__(
@@ -153,31 +194,54 @@ class IntAllFastestPaths:
         prune: bool = True,
         max_pops: int | None = None,
         edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
+        edge_cache: _EdgeFunctionCache | None = None,
+        deadline: float | None = None,
     ) -> None:
         self._network = network
         self._estimator = estimator or NaiveEstimator(network)
         self._prune = prune
         self._max_pops = max_pops
-        self._edge_cache = _EdgeFunctionCache(network.calendar, edge_cache_size)
+        self._edge_cache = (
+            edge_cache
+            if edge_cache is not None
+            else _EdgeFunctionCache(network.calendar, edge_cache_size)
+        )
+        self._deadline = deadline
 
     @property
     def estimator(self) -> LowerBoundEstimator:
         return self._estimator
 
+    @property
+    def edge_cache(self) -> _EdgeFunctionCache:
+        return self._edge_cache
+
     # ------------------------------------------------------------------
     def all_fastest_paths(
-        self, source: int, target: int, interval: TimeInterval
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
     ) -> AllFPResult:
         """Answer the allFP query: every fastest path, one per sub-interval."""
-        _single, all_fp = self._run(source, target, interval, single_only=False)
+        _single, all_fp = self._run(
+            source, target, interval, single_only=False, deadline=deadline
+        )
         assert all_fp is not None
         return all_fp
 
     def single_fastest_path(
-        self, source: int, target: int, interval: TimeInterval
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
     ) -> SingleFPResult:
         """Answer the singleFP query: the best leaving instant and its path."""
-        single, _all = self._run(source, target, interval, single_only=True)
+        single, _all = self._run(
+            source, target, interval, single_only=True, deadline=deadline
+        )
         return single
 
     # ------------------------------------------------------------------
@@ -187,6 +251,7 @@ class IntAllFastestPaths:
         target: int,
         interval: TimeInterval,
         single_only: bool,
+        deadline: float | None = None,
     ) -> tuple[SingleFPResult, AllFPResult | None]:
         self._network.location(source)
         self._network.location(target)
@@ -210,6 +275,10 @@ class IntAllFastestPaths:
         kernel_before = kernel.COUNTERS.snapshot()
         cache_hits_before = self._edge_cache.hits
         cache_misses_before = self._edge_cache.misses
+        if deadline is None:
+            deadline = self._deadline
+        started = time.monotonic()
+        deadline_at = None if deadline is None else started + max(deadline, 0.0)
 
         def finalize_counters() -> None:
             bp, merges = kernel.COUNTERS.delta(kernel_before)
@@ -219,6 +288,7 @@ class IntAllFastestPaths:
             stats.edge_cache_misses = (
                 self._edge_cache.misses - cache_misses_before
             )
+            stats.elapsed_seconds = time.monotonic() - started
 
         queue = LabelQueue()
         dominance = DominanceStore(lo, hi)
@@ -253,6 +323,12 @@ class IntAllFastestPaths:
                 stats.max_queue_size = queue.max_size
                 finalize_counters()
                 raise SearchBudgetExceeded(self._max_pops, stats)
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                stats.distinct_nodes = len(expanded_nodes)
+                stats.max_queue_size = queue.max_size
+                stats.timed_out = True
+                finalize_counters()
+                raise QueryTimeout(deadline, stats)
 
             arr_lo, arr_hi = label.arrival.value_range
             for edge in self._network.outgoing(label.end):

@@ -22,6 +22,10 @@ class SearchStats:
     operators), ``envelope_merges`` (fused envelope/dominance folds), and
     ``edge_cache_hits`` / ``edge_cache_misses`` for the engine's cross-query
     edge-function cache.  All four stay 0 when the kernel is disabled.
+
+    ``elapsed_seconds`` is the wall-clock time the search took;
+    ``timed_out`` is set when the search was cut short by a query deadline
+    (see :class:`~repro.core.engine.QueryTimeout`).
     """
 
     expanded_paths: int = 0
@@ -35,8 +39,10 @@ class SearchStats:
     envelope_merges: int = 0
     edge_cache_hits: int = 0
     edge_cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float | bool]:
         return {
             "expanded_paths": self.expanded_paths,
             "distinct_nodes": self.distinct_nodes,
@@ -49,6 +55,8 @@ class SearchStats:
             "envelope_merges": self.envelope_merges,
             "edge_cache_hits": self.edge_cache_hits,
             "edge_cache_misses": self.edge_cache_misses,
+            "elapsed_seconds": self.elapsed_seconds,
+            "timed_out": self.timed_out,
         }
 
 

@@ -72,3 +72,28 @@ class PageOverflowError(StorageError):
 
 class EstimatorError(ReproError):
     """A lower-bound estimator was queried before being built, or misconfigured."""
+
+
+class ServiceError(ReproError):
+    """The query service (:mod:`repro.serve`) rejected or failed a request."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected a request: the pending-queue is full.
+
+    Maps to HTTP 503; ``retry_after`` is a coarse client backoff hint in
+    seconds.
+    """
+
+    def __init__(self, pending: int, max_pending: int, retry_after: float = 0.05):
+        super().__init__(
+            f"service overloaded: {pending} requests pending "
+            f"(max_pending={max_pending})"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+
+
+class ServiceClosed(ServiceError):
+    """A request arrived after the service was shut down."""

@@ -1,0 +1,51 @@
+"""repro.serve — the concurrent allFP query service (system S13).
+
+Wraps :class:`~repro.core.engine.IntAllFastestPaths` in a production-shaped
+service: a bounded worker pool over one warm shared edge-function cache,
+request coalescing and TTL+LRU result caching, admission control with
+deadlines, a Prometheus-style ``/metrics`` endpoint, and a stdlib-only
+JSON/HTTP API.  See ``docs/serving.md``.
+"""
+
+from .admission import AdmissionController, Deadline
+from .batching import ResultCache, SingleFlight
+from .client import (
+    HTTPClient,
+    InProcessClient,
+    LoadReport,
+    percentile,
+    run_closed_loop,
+    run_open_loop,
+)
+from .http import ServeServer, make_server, start_in_thread
+from .metrics import MetricsRegistry, parse_metrics
+from .service import (
+    AllFPService,
+    QueryRequest,
+    QueryResponse,
+    ServiceConfig,
+    clone_estimator,
+)
+
+__all__ = [
+    "AllFPService",
+    "ServiceConfig",
+    "QueryRequest",
+    "QueryResponse",
+    "clone_estimator",
+    "AdmissionController",
+    "Deadline",
+    "ResultCache",
+    "SingleFlight",
+    "MetricsRegistry",
+    "parse_metrics",
+    "ServeServer",
+    "make_server",
+    "start_in_thread",
+    "InProcessClient",
+    "HTTPClient",
+    "LoadReport",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,244 @@
+"""Stdlib-only JSON/HTTP front-end for :class:`~repro.serve.service.AllFPService`.
+
+Endpoints
+---------
+``POST /v1/allfp`` and ``POST /v1/singlefp``
+    JSON body::
+
+        {"source": 0, "target": 99,
+         "from": "7:00", "to": "9:00", "day": 0,     # clock strings, or
+         "start": 420.0, "end": 540.0,               # absolute minutes
+         "deadline": 5.0}                            # optional, seconds
+
+    200 response: ``{"result": <result.as_dict()>, "cached": bool,
+    "coalesced": bool, "elapsed_ms": float}``.
+
+``GET /healthz``
+    ``{"status": "ok", "version": <stamp>, "nodes": N}`` — cheap liveness.
+
+``GET /metrics``
+    Prometheus text exposition from the service's metrics registry.
+
+Error mapping: malformed input → 400, unknown node → 404, no path → 404,
+admission rejection → 503 (with ``Retry-After``), deadline → 504.  Every
+error body is ``{"error": <class>, "message": <str>}``.
+
+Built on :class:`http.server.ThreadingHTTPServer`: one thread per
+connection, so slow queries never block ``/healthz`` or ``/metrics`` —
+actual compute concurrency stays bounded by the service's worker pool and
+admission control, not by socket count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.engine import QueryTimeout
+from ..exceptions import (
+    NetworkError,
+    NoPathError,
+    QueryError,
+    ReproError,
+    ServiceOverloaded,
+)
+from ..timeutil import TimeInterval, parse_clock
+from .service import AllFPService, QueryRequest
+
+#: Maximum accepted request body, bytes — queries are tiny.
+MAX_BODY_BYTES = 64 * 1024
+
+
+class BadRequest(ValueError):
+    """The request body failed validation (maps to HTTP 400)."""
+
+
+def parse_interval(body: dict) -> TimeInterval:
+    """Build the leaving interval from clock strings or absolute minutes."""
+    if "from" in body or "to" in body:
+        if not ("from" in body and "to" in body):
+            raise BadRequest("'from' and 'to' must be supplied together")
+        day = body.get("day", 0)
+        if not isinstance(day, int):
+            raise BadRequest(f"'day' must be an integer, got {day!r}")
+        try:
+            return TimeInterval(
+                parse_clock(str(body["from"]), day),
+                parse_clock(str(body["to"]), day),
+            )
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+    if "start" in body and "end" in body:
+        try:
+            return TimeInterval(float(body["start"]), float(body["end"]))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(
+                f"'start'/'end' must be numbers: {exc}"
+            ) from exc
+    raise BadRequest(
+        "interval missing: supply 'from'/'to' clock strings or "
+        "'start'/'end' minutes"
+    )
+
+
+def parse_request(body: dict, mode: str) -> QueryRequest:
+    for field in ("source", "target"):
+        if field not in body:
+            raise BadRequest(f"missing required field {field!r}")
+        if not isinstance(body[field], int) or isinstance(body[field], bool):
+            raise BadRequest(
+                f"{field!r} must be an integer node id, got {body[field]!r}"
+            )
+    deadline = body.get("deadline")
+    if deadline is not None:
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"'deadline' must be a number: {exc}") from exc
+        if deadline <= 0:
+            raise BadRequest("'deadline' must be positive")
+    try:
+        return QueryRequest(
+            source=body["source"],
+            target=body["target"],
+            interval=parse_interval(body),
+            mode=mode,
+            deadline=deadline,
+        )
+    except QueryError as exc:
+        raise BadRequest(str(exc)) from exc
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The server object carries the service (see ServeServer below).
+    @property
+    def service(self) -> AllFPService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict | None = None
+    ) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(
+        self, status: int, exc: BaseException, extra_headers: dict | None = None
+    ) -> None:
+        self._send_json(
+            status,
+            {"error": type(exc).__name__, "message": str(exc)},
+            extra_headers,
+        )
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            network = self.service.network
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": self.service.version,
+                    "nodes": network.node_count,
+                },
+            )
+        elif self.path == "/metrics":
+            data = self.service.render_metrics().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        else:
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        routes = {"/v1/allfp": "allfp", "/v1/singlefp": "singlefp"}
+        mode = routes.get(self.path)
+        if mode is None:
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > MAX_BODY_BYTES:
+                raise BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise BadRequest(f"invalid JSON body: {exc}") from exc
+            if not isinstance(body, dict):
+                raise BadRequest("JSON body must be an object")
+            request = parse_request(body, mode)
+            response = self.service.query(request)
+        except BadRequest as exc:
+            self._send_error_json(400, exc)
+        except ServiceOverloaded as exc:
+            self._send_error_json(
+                503, exc, {"Retry-After": f"{exc.retry_after:.3f}"}
+            )
+        except QueryTimeout as exc:
+            self._send_error_json(504, exc)
+        except (NoPathError, NetworkError) as exc:
+            # Unknown node ids surface as NodeNotFoundError (a NetworkError).
+            self._send_error_json(404, exc)
+        except (QueryError, ValueError) as exc:
+            self._send_error_json(400, exc)
+        except ReproError as exc:
+            self._send_error_json(500, exc)
+        else:
+            self._send_json(
+                200,
+                {
+                    "result": response.result.as_dict(),
+                    "cached": response.cached,
+                    "coalesced": response.coalesced,
+                    "elapsed_ms": response.elapsed_seconds * 1e3,
+                },
+            )
+
+
+class ServeServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to one :class:`AllFPService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: AllFPService, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+def make_server(
+    service: AllFPService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> ServeServer:
+    """Bind (but do not start) the HTTP front-end; ``port=0`` auto-assigns."""
+    return ServeServer((host, port), service, quiet=quiet)
+
+
+def start_in_thread(server: ServeServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests, smoke scripts)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,216 @@
+"""Prometheus-style metrics registry for the query service.
+
+A tiny, dependency-free subset of the Prometheus data model: monotonically
+increasing **counters**, point-in-time **gauges** (static values or zero-arg
+callables sampled at render time), and fixed-bucket **histograms**.  All
+three support key/value labels, and :meth:`MetricsRegistry.render` emits
+the text exposition format served on ``GET /metrics``.
+
+Everything is guarded by one registry lock — metric updates are a few
+dict operations, so a single lock is cheaper than per-metric locks and
+makes ``render`` a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping, Sequence
+
+#: Default latency buckets (seconds) — tuned for sub-second pure-Python
+#: queries with a tail into tens of seconds.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: Labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Histogram:
+    __slots__ = ("bounds", "buckets", "total", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # last bucket is +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        self.total += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with Prometheus text rendering."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self._namespace = namespace
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[Labels, float]] = {}
+        self._gauges: dict[str, float | Callable[[], float]] = {}
+        self._histograms: dict[str, dict[Labels, _Histogram]] = {}
+        self._histogram_bounds: dict[str, tuple[float, ...]] = {}
+        self._help: dict[str, str] = {}
+
+    def _describe(self, name: str, help_text: str | None) -> None:
+        if help_text and name not in self._help:
+            self._help[name] = help_text
+
+    # ------------------------------------------------------------------
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Mapping[str, str] | None = None,
+        help: str | None = None,
+    ) -> None:
+        """Increment counter ``name`` (created on first use)."""
+        key = _labels_key(labels)
+        with self._lock:
+            self._describe(name, help)
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + amount
+
+    def counter_value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        """Current value of one counter series (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, {}).get(_labels_key(labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    # ------------------------------------------------------------------
+    def set_gauge(
+        self,
+        name: str,
+        value: float | Callable[[], float],
+        help: str | None = None,
+    ) -> None:
+        """Set a gauge to a value, or register a callable sampled at render."""
+        with self._lock:
+            self._describe(name, help)
+            self._gauges[name] = value
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            value = self._gauges[name]
+        return float(value() if callable(value) else value)
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, str] | None = None,
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+        help: str | None = None,
+    ) -> None:
+        """Record one observation into histogram ``name``."""
+        key = _labels_key(labels)
+        with self._lock:
+            self._describe(name, help)
+            self._histogram_bounds.setdefault(name, tuple(buckets))
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(self._histogram_bounds[name])
+            hist.observe(value)
+
+    def histogram_count(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> int:
+        with self._lock:
+            hist = self._histograms.get(name, {}).get(_labels_key(labels))
+            return hist.count if hist else 0
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        with self._lock:
+            lines: list[str] = []
+            ns = self._namespace
+
+            def emit_header(name: str, kind: str) -> None:
+                help_text = self._help.get(name)
+                if help_text:
+                    lines.append(f"# HELP {ns}_{name} {help_text}")
+                lines.append(f"# TYPE {ns}_{name} {kind}")
+
+            for name in sorted(self._counters):
+                emit_header(name, "counter")
+                for labels, value in sorted(self._counters[name].items()):
+                    lines.append(
+                        f"{ns}_{name}{_format_labels(labels)} "
+                        f"{_format_value(value)}"
+                    )
+            for name in sorted(self._gauges):
+                emit_header(name, "gauge")
+                value = self._gauges[name]
+                sampled = float(value() if callable(value) else value)
+                lines.append(f"{ns}_{name} {_format_value(sampled)}")
+            for name in sorted(self._histograms):
+                emit_header(name, "histogram")
+                for labels, hist in sorted(self._histograms[name].items()):
+                    cumulative = 0
+                    for bound, count in zip(
+                        hist.bounds + (float("inf"),), hist.buckets
+                    ):
+                        cumulative += count
+                        le = _format_labels(
+                            labels, f'le="{_format_value(bound)}"'
+                        )
+                        lines.append(f"{ns}_{name}_bucket{le} {cumulative}")
+                    suffix = _format_labels(labels)
+                    lines.append(
+                        f"{ns}_{name}_sum{suffix} {repr(hist.total)}"
+                    )
+                    lines.append(f"{ns}_{name}_count{suffix} {hist.count}")
+            return "\n".join(lines) + "\n"
+
+
+def parse_metrics(text: str) -> dict[str, float]:
+    """Parse a rendered exposition back into ``{sample_name: value}``.
+
+    Sample names keep their label block verbatim (sorted at render time, so
+    lookups are deterministic).  Used by the smoke scripts and tests to
+    reconcile scraped counters with client-side observations.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float("inf") if value == "+Inf" else float(value)
+    return samples

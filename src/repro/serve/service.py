@@ -1,0 +1,469 @@
+"""`AllFPService` — the embeddable concurrent query service.
+
+Turns :class:`~repro.core.engine.IntAllFastestPaths` from a library call
+into a system component:
+
+* one preloaded network and one **shared warm edge-function cache** across
+  every worker (the dominant per-query cost is materialising edge arrival
+  functions; sharing the cache means any worker's work warms all workers),
+* a bounded **thread worker pool** — each worker owns its own engine and a
+  cheap clone of the estimator (estimator ``prepare(target)`` mutates
+  per-query state, so the heavy precomputed tables are shared while the
+  mutable cursor is per-worker),
+* **request coalescing** (single-flight) and a **TTL+LRU result cache**
+  keyed on the query plus the service's version stamp,
+* **admission control** with fast-fail rejection and wall-clock deadlines
+  threaded into the engine's pop loop,
+* a :class:`~repro.serve.metrics.MetricsRegistry` that every layer reports
+  into, rendered by ``GET /metrics``.
+
+The engine is pure-Python compute, so the pool does not add CPU
+parallelism under the GIL — it exists so the HTTP layer never blocks, so
+slow queries don't head-of-line-block fast ones, and so coalescing has
+concurrent duplicates to merge.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..core.engine import (
+    DEFAULT_EDGE_CACHE_SIZE,
+    EdgeFunctionCache,
+    IntAllFastestPaths,
+    QueryTimeout,
+)
+from ..core.results import AllFPResult, SearchStats, SingleFPResult
+from ..estimators.base import LowerBoundEstimator
+from ..exceptions import (
+    NoPathError,
+    QueryError,
+    ReproError,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from ..timeutil import TimeInterval
+from .admission import AdmissionController, Deadline
+from .batching import ResultCache, SingleFlight
+from .metrics import MetricsRegistry
+
+MODES = ("allfp", "singlefp")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One service request.
+
+    ``deadline`` (seconds, optional) overrides the service default; it is
+    deliberately **not** part of the coalescing/cache key — two callers
+    asking the same question with different patience share one answer.
+    """
+
+    source: int
+    target: int
+    interval: TimeInterval
+    mode: str = "allfp"
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise QueryError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+
+    def key(self, version: int) -> tuple:
+        return (
+            self.source,
+            self.target,
+            self.interval.start,
+            self.interval.end,
+            self.mode,
+            version,
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """A result plus how the service produced it."""
+
+    result: AllFPResult | SingleFPResult
+    cached: bool = False
+    coalesced: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`AllFPService` (see ``docs/serving.md``)."""
+
+    workers: int = 4
+    max_pending: int = 64
+    default_deadline: float | None = 30.0
+    coalesce: bool = True
+    cache_results: bool = True
+    result_cache_size: int = 1024
+    result_cache_ttl: float = 300.0
+    edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE
+    prune: bool = True
+    max_pops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+
+
+class _SharedEdgeFunctionCache(EdgeFunctionCache):
+    """The engine's edge cache with a lock, safe to share across workers.
+
+    Holding the lock across the (occasionally slow) function build is
+    deliberate: it guarantees concurrent workers never build the same edge
+    function twice, which is the point of sharing the cache.
+    """
+
+    __slots__ = ("_shared_lock",)
+
+    def __init__(self, calendar, max_entries: int) -> None:
+        super().__init__(calendar, max_entries)
+        self._shared_lock = threading.Lock()
+
+    def arrival(self, edge, lo, hi):
+        with self._shared_lock:
+            return super().arrival(edge, lo, hi)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._shared_lock:
+            return super().snapshot()
+
+
+def clone_estimator(estimator: LowerBoundEstimator) -> LowerBoundEstimator:
+    """A per-worker clone sharing the heavy precomputed state.
+
+    Estimators are re-targeted per query via ``prepare(target)``, which
+    mutates a small cursor (target id/location/cell) — sharing one instance
+    across concurrent queries would race.  A shallow copy duplicates that
+    cursor while aliasing the read-only precomputed tables (grid, cell-pair
+    matrix, boundary distances).  Estimators owning a nested estimator in
+    ``_naive`` (e.g. the boundary estimator) get that nested cursor copied
+    too.  An estimator may override this wholesale with a
+    ``clone_for_worker()`` method.
+    """
+    custom = getattr(estimator, "clone_for_worker", None)
+    if callable(custom):
+        return custom()
+    clone = copy.copy(estimator)
+    nested = getattr(clone, "_naive", None)
+    if isinstance(nested, LowerBoundEstimator):
+        clone._naive = copy.copy(nested)
+    return clone
+
+
+class AllFPService:
+    """Concurrent allFP/singleFP query service over one network.
+
+    Parameters
+    ----------
+    network:
+        Anything with the engine's accessor surface (in-memory network or
+        CCAM store).  Loaded once, shared by every worker.
+    estimator:
+        The (possibly precomputed) estimator to clone per worker; defaults
+        to the engine's naive estimator.
+    config:
+        A :class:`ServiceConfig`; defaults are sized for tests and small
+        deployments.
+    """
+
+    def __init__(
+        self,
+        network,
+        estimator: LowerBoundEstimator | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._network = network
+        self._estimator = estimator
+        self._edge_cache = _SharedEdgeFunctionCache(
+            network.calendar, self.config.edge_cache_size
+        )
+        self._admission = AdmissionController(self.config.max_pending)
+        self._single_flight = SingleFlight()
+        self._result_cache = ResultCache(
+            self.config.result_cache_size, self.config.result_cache_ttl
+        )
+        self.metrics = MetricsRegistry()
+        self._version = 0
+        self._closed = False
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve-worker",
+        )
+        self.metrics.set_gauge(
+            "pending_requests",
+            lambda: self._admission.pending,
+            help="Requests admitted and not yet answered",
+        )
+        self.metrics.set_gauge(
+            "edge_cache_entries",
+            self._edge_cache.__len__,
+            help="Edge arrival functions resident in the shared cache",
+        )
+        self.metrics.set_gauge(
+            "result_cache_entries",
+            self._result_cache.__len__,
+            help="Entries resident in the TTL+LRU result cache",
+        )
+        self.metrics.set_gauge(
+            "service_version",
+            lambda: float(self._version),
+            help="Network/pattern version stamp keyed into the result cache",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self):
+        return self._network
+
+    @property
+    def version(self) -> int:
+        """The network/pattern version stamp baked into cache keys."""
+        return self._version
+
+    def invalidate(self) -> int:
+        """Bump the version stamp and drop every cached result.
+
+        Call after mutating the network or its speed patterns (e.g. a live
+        traffic update); in-flight queries finish against the old data,
+        new queries miss the cache and recompute.
+        """
+        self._version += 1
+        dropped = self._result_cache.clear()
+        self.metrics.inc(
+            "invalidations_total",
+            help="Version bumps (network/pattern updates)",
+        )
+        return dropped
+
+    # ------------------------------------------------------------------
+    def all_fastest_paths(
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        return self.query(
+            QueryRequest(source, target, interval, "allfp", deadline)
+        )
+
+    def single_fastest_path(
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        return self.query(
+            QueryRequest(source, target, interval, "singlefp", deadline)
+        )
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one request through admission, cache, and coalescing.
+
+        Raises :class:`~repro.exceptions.ServiceOverloaded` on fast-fail,
+        :class:`~repro.core.engine.QueryTimeout` past the deadline, and
+        the engine's usual errors (``NoPathError``, ``QueryError``) —
+        all of which leave the worker pool healthy.
+        """
+        started = time.monotonic()
+        labels = {"mode": request.mode}
+        self.metrics.inc(
+            "requests_total", labels=labels, help="Requests received"
+        )
+        if self._closed:
+            self._finish(request, started, "closed")
+            raise ServiceClosed("service is shut down")
+        try:
+            self._admission.try_acquire()
+        except ServiceOverloaded:
+            self._finish(request, started, "rejected")
+            raise
+        try:
+            response = self._admitted(request, started)
+        except QueryTimeout:
+            self._finish(request, started, "timeout")
+            raise
+        except NoPathError:
+            self._finish(request, started, "no_path")
+            raise
+        except ReproError:
+            self._finish(request, started, "error")
+            raise
+        finally:
+            self._admission.release()
+        self._finish(request, started, "ok")
+        return QueryResponse(
+            result=response.result,
+            cached=response.cached,
+            coalesced=response.coalesced,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(self, request: QueryRequest, started: float, status: str) -> None:
+        self.metrics.inc(
+            "responses_total",
+            labels={"mode": request.mode, "status": status},
+            help="Responses by outcome",
+        )
+        self.metrics.observe(
+            "request_latency_seconds",
+            time.monotonic() - started,
+            labels={"mode": request.mode},
+            help="End-to-end request latency",
+        )
+
+    def _admitted(self, request: QueryRequest, started: float) -> QueryResponse:
+        budget = (
+            request.deadline
+            if request.deadline is not None
+            else self.config.default_deadline
+        )
+        deadline = None if budget is None else Deadline.after(budget)
+        key = request.key(self._version)
+
+        if self.config.cache_results:
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                self.metrics.inc("result_cache_hits_total", help="Result cache hits")
+                return QueryResponse(result=hit, cached=True)
+            self.metrics.inc("result_cache_misses_total", help="Result cache misses")
+
+        def compute():
+            return self._pool.submit(self._run_engine, request, deadline).result()
+
+        if self.config.coalesce:
+            result, leader = self._single_flight.do(key, compute)
+            if not leader:
+                self.metrics.inc(
+                    "coalesced_total",
+                    help="Requests that shared another request's computation",
+                )
+        else:
+            result, leader = compute(), True
+        if leader and self.config.cache_results:
+            self._result_cache.put(key, result)
+        return QueryResponse(result=result, coalesced=not leader)
+
+    def _engine(self) -> IntAllFastestPaths:
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            estimator = (
+                clone_estimator(self._estimator)
+                if self._estimator is not None
+                else None
+            )
+            engine = IntAllFastestPaths(
+                self._network,
+                estimator,
+                prune=self.config.prune,
+                max_pops=self.config.max_pops,
+                edge_cache=self._edge_cache,
+            )
+            self._local.engine = engine
+        return engine
+
+    def _run_engine(self, request: QueryRequest, deadline: Deadline | None):
+        """Executed on a worker thread; enforces the remaining deadline."""
+        remaining = None
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0.0:
+                # The request aged out while queued for a worker.
+                stats = SearchStats(timed_out=True)
+                self.metrics.inc(
+                    "queue_timeouts_total",
+                    help="Requests whose deadline expired before a worker picked them up",
+                )
+                raise QueryTimeout(deadline.budget, stats)
+        engine = self._engine()
+        self.metrics.inc("engine_runs_total", help="Actual engine executions")
+        run_started = time.monotonic()
+        try:
+            if request.mode == "allfp":
+                result = engine.all_fastest_paths(
+                    request.source, request.target, request.interval,
+                    deadline=remaining,
+                )
+            else:
+                result = engine.single_fastest_path(
+                    request.source, request.target, request.interval,
+                    deadline=remaining,
+                )
+        except QueryTimeout as exc:
+            self._record_engine_stats(exc.stats, run_started)
+            raise
+        self._record_engine_stats(result.stats, run_started)
+        return result
+
+    def _record_engine_stats(self, stats: SearchStats, run_started: float) -> None:
+        self.metrics.observe(
+            "engine_seconds",
+            time.monotonic() - run_started,
+            help="Wall-clock time per engine execution",
+        )
+        self.metrics.inc(
+            "engine_expanded_paths_total",
+            stats.expanded_paths,
+            help="SearchStats.expanded_paths summed over runs",
+        )
+        self.metrics.inc(
+            "engine_labels_generated_total",
+            stats.labels_generated,
+            help="SearchStats.labels_generated summed over runs",
+        )
+        self.metrics.inc(
+            "engine_pruned_total",
+            stats.pruned_dominated + stats.pruned_bound,
+            help="Dominance- and bound-pruned labels summed over runs",
+        )
+        self.metrics.inc(
+            "engine_page_reads_total",
+            stats.page_reads,
+            help="Storage page reads summed over runs",
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """A structured snapshot of every layer (for logs and tests)."""
+        return {
+            "version": self._version,
+            "admission": self._admission.snapshot(),
+            "single_flight": self._single_flight.snapshot(),
+            "result_cache": self._result_cache.snapshot(),
+            "edge_cache": self._edge_cache.snapshot(),
+            "engine_runs": self.metrics.counter_total("engine_runs_total"),
+        }
+
+    def render_metrics(self) -> str:
+        return self.metrics.render()
+
+    def close(self) -> None:
+        """Stop accepting requests and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AllFPService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

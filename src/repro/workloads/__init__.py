@@ -7,6 +7,7 @@ from .queries import (
     random_query,
     random_queries,
     distance_band_queries,
+    poisson_arrivals,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "random_query",
     "random_queries",
     "distance_band_queries",
+    "poisson_arrivals",
 ]

@@ -209,3 +209,138 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestErrorPaths:
+    """Deliberate failures exit non-zero with one clean message, no traceback."""
+
+    def _assert_clean_error(self, code, captured, fragment):
+        assert code != 0
+        assert captured.err.startswith("error:")
+        assert fragment in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_node_id(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "123456",
+            ]
+        )
+        self._assert_clean_error(code, capsys.readouterr(), "not found")
+
+    def test_malformed_clock_string(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "99",
+                "--from",
+                "7h30",
+                "--to",
+                "9:00",
+            ]
+        )
+        self._assert_clean_error(
+            code, capsys.readouterr(), "cannot parse clock string"
+        )
+
+    def test_clock_minutes_out_of_range(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "99",
+                "--from",
+                "7:99",
+                "--to",
+                "9:00",
+            ]
+        )
+        self._assert_clean_error(code, capsys.readouterr(), "out of range")
+
+    def test_nonexistent_network_file(self, tmp_path, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(tmp_path / "does-not-exist.json"),
+                "--source",
+                "0",
+                "--target",
+                "99",
+            ]
+        )
+        self._assert_clean_error(code, capsys.readouterr(), "does-not-exist")
+
+    def test_equal_source_and_target(self, network_json, capsys):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "5",
+                "--target",
+                "5",
+            ]
+        )
+        self._assert_clean_error(code, capsys.readouterr(), "differ")
+
+
+class TestBenchLoad:
+    def test_closed_loop_reports(self, network_json, capsys):
+        code = main(
+            [
+                "bench-load",
+                "--network",
+                str(network_json),
+                "--queries",
+                "6",
+                "--clients",
+                "2",
+                "--interval-hours",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "p50=" in out
+        assert "engine runs:" in out
+
+    def test_poisson_arrivals(self, network_json, capsys):
+        code = main(
+            [
+                "bench-load",
+                "--network",
+                str(network_json),
+                "--queries",
+                "4",
+                "--arrivals",
+                "poisson",
+                "--rate",
+                "200",
+                "--duration",
+                "0.05",
+                "--interval-hours",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop" in out
+        assert "requests:" in out

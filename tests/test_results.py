@@ -59,7 +59,8 @@ class TestSearchStats:
         assert d["page_reads"] == 4
         assert d["breakpoints_allocated"] == 0
         assert d["edge_cache_hits"] == 0
-        assert len(d) == 11
+        assert d["timed_out"] is False
+        assert len(d) == 13
 
     def test_default_zeroed(self):
         assert SearchStats().expanded_paths == 0

@@ -1,0 +1,581 @@
+"""Tests for the repro.serve query service (coalescing, admission, HTTP)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.engine import IntAllFastestPaths, QueryTimeout
+from repro.exceptions import (
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.serve import (
+    AdmissionController,
+    AllFPService,
+    HTTPClient,
+    MetricsRegistry,
+    QueryRequest,
+    ResultCache,
+    ServiceConfig,
+    SingleFlight,
+    make_server,
+    parse_metrics,
+    percentile,
+    run_closed_loop,
+    start_in_thread,
+)
+from repro.timeutil import TimeInterval
+from repro.workloads.queries import morning_rush_interval, random_queries
+
+
+def wait_until(predicate, timeout=5.0, interval=0.002):
+    """Poll until ``predicate()`` is truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    pytest.fail("condition not reached within timeout")
+
+
+class GatedNetwork:
+    """Delegating wrapper whose ``outgoing`` blocks while the gate is closed.
+
+    Lets tests hold an engine run mid-search so concurrent duplicates are
+    deterministically in flight together.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.gate = threading.Event()
+        self.gate.set()
+
+    def outgoing(self, node_id):
+        assert self.gate.wait(timeout=30.0), "gate never opened"
+        return self._inner.outgoing(node_id)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@pytest.fixture
+def interval():
+    return TimeInterval.from_clock("7:00", "8:00")
+
+
+@pytest.fixture
+def service(metro_tiny):
+    svc = AllFPService(metro_tiny, config=ServiceConfig(workers=2))
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# Unit layers
+# ----------------------------------------------------------------------
+
+class TestResultCache:
+    def test_put_get(self):
+        cache = ResultCache(max_entries=4, ttl=60.0)
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.snapshot()["hits"] == 1
+
+    def test_ttl_expiry_with_fake_clock(self):
+        now = [0.0]
+        cache = ResultCache(max_entries=4, ttl=10.0, clock=lambda: now[0])
+        cache.put("k", 1)
+        now[0] = 9.9
+        assert cache.get("k") == 1
+        now[0] = 10.0
+        assert cache.get("k") is None
+        assert cache.snapshot()["expirations"] == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2, ttl=60.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.snapshot()["evictions"] == 1
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        assert cache.clear() == 1
+        assert cache.get("a") is None
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0)
+
+
+class TestSingleFlight:
+    def test_sequential_calls_both_lead(self):
+        sf = SingleFlight()
+        assert sf.do("k", lambda: 1) == (1, True)
+        assert sf.do("k", lambda: 2) == (2, True)
+        assert sf.coalesced == 0
+
+    def test_concurrent_duplicates_share_one_run(self):
+        sf = SingleFlight()
+        gate = threading.Event()
+        runs = []
+
+        def compute():
+            gate.wait(timeout=10.0)
+            runs.append(1)
+            return "answer"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(sf.do("k", compute)))
+            for _ in range(5)
+        ]
+        for t in threads:
+            t.start()
+        wait_until(lambda: sf.coalesced == 4)
+        gate.set()
+        for t in threads:
+            t.join()
+        assert len(runs) == 1
+        assert sorted(leader for _, leader in results) == [False] * 4 + [True]
+        assert all(value == "answer" for value, _ in results)
+        assert sf.inflight() == 0
+
+    def test_leader_exception_propagates_to_followers(self):
+        sf = SingleFlight()
+        gate = threading.Event()
+        errors = []
+
+        def boom():
+            gate.wait(timeout=10.0)
+            raise RuntimeError("leader failed")
+
+        def call():
+            try:
+                sf.do("k", boom)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for t in threads:
+            t.start()
+        wait_until(lambda: sf.coalesced == 2)
+        gate.set()
+        for t in threads:
+            t.join()
+        assert errors == ["leader failed"] * 3
+
+
+class TestAdmissionController:
+    def test_rejects_beyond_capacity(self):
+        gate = AdmissionController(max_pending=2)
+        gate.try_acquire()
+        gate.try_acquire()
+        with pytest.raises(ServiceOverloaded) as exc_info:
+            gate.try_acquire()
+        assert exc_info.value.max_pending == 2
+        assert gate.snapshot()["rejected"] == 1
+        gate.release()
+        gate.try_acquire()  # capacity freed
+
+    def test_release_underflow(self):
+        gate = AdmissionController()
+        with pytest.raises(RuntimeError):
+            gate.release()
+
+
+class TestMetricsRegistry:
+    def test_counter_labels_and_render(self):
+        m = MetricsRegistry()
+        m.inc("requests_total", labels={"mode": "allfp"})
+        m.inc("requests_total", labels={"mode": "allfp"})
+        m.inc("requests_total", labels={"mode": "singlefp"})
+        text = m.render()
+        samples = parse_metrics(text)
+        assert samples['repro_requests_total{mode="allfp"}'] == 2
+        assert samples['repro_requests_total{mode="singlefp"}'] == 1
+        assert "# TYPE repro_requests_total counter" in text
+        assert m.counter_total("requests_total") == 3
+
+    def test_histogram_buckets_cumulative(self):
+        m = MetricsRegistry()
+        for v in (0.0005, 0.002, 0.002, 5.0):
+            m.observe("latency_seconds", v, buckets=(0.001, 0.01, 1.0))
+        samples = parse_metrics(m.render())
+        assert samples['repro_latency_seconds_bucket{le="0.001"}'] == 1
+        assert samples['repro_latency_seconds_bucket{le="0.01"}'] == 3
+        assert samples['repro_latency_seconds_bucket{le="1"}'] == 3
+        assert samples['repro_latency_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["repro_latency_seconds_count"] == 4
+
+    def test_gauge_callable_sampled_at_render(self):
+        m = MetricsRegistry()
+        depth = [3]
+        m.set_gauge("queue_depth", lambda: depth[0])
+        assert parse_metrics(m.render())["repro_queue_depth"] == 3
+        depth[0] = 7
+        assert parse_metrics(m.render())["repro_queue_depth"] == 7
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# Service behaviour
+# ----------------------------------------------------------------------
+
+class TestServiceBasics:
+    def test_allfp_matches_direct_engine(self, metro_tiny, service, interval):
+        direct = IntAllFastestPaths(metro_tiny).all_fastest_paths(0, 99, interval)
+        served = service.all_fastest_paths(0, 99, interval)
+        assert [e.path for e in served.result.entries] == [
+            e.path for e in direct.entries
+        ]
+        assert not served.cached and not served.coalesced
+
+    def test_repeat_is_cached(self, service, interval):
+        first = service.all_fastest_paths(0, 99, interval)
+        second = service.all_fastest_paths(0, 99, interval)
+        assert not first.cached
+        assert second.cached
+        assert second.result is first.result
+        assert service.stats()["engine_runs"] == 1
+
+    def test_invalidate_bumps_version_and_recomputes(self, service, interval):
+        service.all_fastest_paths(0, 99, interval)
+        assert service.invalidate() == 1
+        assert service.version == 1
+        again = service.all_fastest_paths(0, 99, interval)
+        assert not again.cached
+        assert service.stats()["engine_runs"] == 2
+
+    def test_singlefp_mode(self, service, interval):
+        response = service.single_fastest_path(0, 99, interval)
+        assert response.result.optimal_travel_time > 0
+
+    def test_bad_mode_rejected(self, interval):
+        with pytest.raises(Exception):
+            QueryRequest(0, 99, interval, mode="frobnicate")
+
+    def test_closed_service_raises(self, metro_tiny, interval):
+        svc = AllFPService(metro_tiny, config=ServiceConfig(workers=1))
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.all_fastest_paths(0, 99, interval)
+
+
+class TestCoalescing:
+    def test_n_identical_concurrent_requests_one_engine_run(
+        self, metro_tiny, interval
+    ):
+        gated = GatedNetwork(metro_tiny)
+        svc = AllFPService(
+            gated,
+            config=ServiceConfig(workers=2, cache_results=False),
+        )
+        try:
+            gated.gate.clear()
+            n = 5
+            responses = []
+            errors = []
+
+            def call():
+                try:
+                    responses.append(svc.all_fastest_paths(0, 99, interval))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=call) for _ in range(n)]
+            for t in threads:
+                t.start()
+            # Followers register in the single-flight map before blocking.
+            wait_until(
+                lambda: svc.stats()["single_flight"]["coalesced"] == n - 1
+            )
+            gated.gate.set()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert svc.stats()["engine_runs"] == 1
+            assert svc.metrics.counter_total("coalesced_total") == n - 1
+            leaders = [r for r in responses if not r.coalesced]
+            assert len(leaders) == 1
+            entries = {tuple(e.path for e in r.result.entries) for r in responses}
+            assert len(entries) == 1  # everyone got the same answer
+        finally:
+            gated.gate.set()
+            svc.close()
+
+    def test_coalescing_off_runs_engine_per_request(self, metro_tiny, interval):
+        svc = AllFPService(
+            metro_tiny,
+            config=ServiceConfig(
+                workers=2, coalesce=False, cache_results=False
+            ),
+        )
+        try:
+            svc.all_fastest_paths(0, 99, interval)
+            svc.all_fastest_paths(0, 99, interval)
+            assert svc.stats()["engine_runs"] == 2
+        finally:
+            svc.close()
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_raises_and_worker_survives(
+        self, service, interval
+    ):
+        with pytest.raises(QueryTimeout) as exc_info:
+            service.all_fastest_paths(0, 99, interval, deadline=1e-9)
+        assert exc_info.value.stats.timed_out
+        # The pool is healthy: the same query now succeeds.
+        ok = service.all_fastest_paths(0, 99, interval)
+        assert ok.result.entries
+        assert (
+            service.metrics.counter_value(
+                "responses_total", {"mode": "allfp", "status": "timeout"}
+            )
+            == 1
+        )
+
+    def test_engine_deadline_directly(self, metro_tiny, interval):
+        engine = IntAllFastestPaths(metro_tiny, deadline=0.0)
+        with pytest.raises(QueryTimeout):
+            engine.all_fastest_paths(0, 99, interval)
+        # Per-call override beats the constructor default.
+        result = engine.all_fastest_paths(0, 99, interval, deadline=60.0)
+        assert result.stats.elapsed_seconds > 0
+        assert not result.stats.timed_out
+
+    def test_timeout_error_not_cached(self, service, interval):
+        with pytest.raises(QueryTimeout):
+            service.all_fastest_paths(0, 99, interval, deadline=1e-9)
+        response = service.all_fastest_paths(0, 99, interval)
+        assert not response.cached
+
+
+class TestAdmissionIntegration:
+    def test_over_capacity_requests_fast_fail(self, metro_tiny, interval):
+        gated = GatedNetwork(metro_tiny)
+        svc = AllFPService(
+            gated,
+            config=ServiceConfig(
+                workers=1,
+                max_pending=2,
+                coalesce=False,
+                cache_results=False,
+            ),
+        )
+        try:
+            gated.gate.clear()
+            outcomes = []
+
+            def call(target):
+                try:
+                    outcomes.append(svc.all_fastest_paths(0, target, interval))
+                except Exception as exc:  # noqa: BLE001
+                    outcomes.append(exc)
+
+            t1 = threading.Thread(target=call, args=(99,))
+            t2 = threading.Thread(target=call, args=(55,))
+            t1.start()
+            t2.start()
+            wait_until(lambda: svc.stats()["admission"]["pending"] == 2)
+            started = time.monotonic()
+            with pytest.raises(ServiceOverloaded):
+                svc.all_fastest_paths(0, 33, interval)
+            rejection_seconds = time.monotonic() - started
+            assert rejection_seconds < 0.5  # fast-fail, not queued
+            gated.gate.set()
+            t1.join()
+            t2.join()
+            assert svc.stats()["admission"]["rejected"] == 1
+            assert all(not isinstance(o, Exception) for o in outcomes)
+        finally:
+            gated.gate.set()
+            svc.close()
+
+
+class TestEngineHooks:
+    def test_edge_cache_snapshot(self, metro_tiny, interval):
+        engine = IntAllFastestPaths(metro_tiny)
+        engine.all_fastest_paths(0, 99, interval)
+        snap = engine.edge_cache.snapshot()
+        assert snap["misses"] > 0
+        assert snap["entries"] > 0
+        assert set(snap) == {"entries", "max_entries", "hits", "misses"}
+
+    def test_shared_edge_cache_across_engines(self, metro_tiny, interval):
+        first = IntAllFastestPaths(metro_tiny)
+        first.all_fastest_paths(0, 99, interval)
+        second = IntAllFastestPaths(metro_tiny, edge_cache=first.edge_cache)
+        result = second.all_fastest_paths(0, 99, interval)
+        assert result.stats.edge_cache_hits > 0
+        assert result.stats.edge_cache_misses == 0
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def http_service(metro_tiny):
+    svc = AllFPService(metro_tiny, config=ServiceConfig(workers=2))
+    server = make_server(svc, port=0)
+    start_in_thread(server)
+    host, port = server.server_address[:2]
+    client = HTTPClient(f"http://{host}:{port}")
+    yield svc, client
+    server.shutdown()
+    svc.close()
+
+
+class TestHTTP:
+    def test_healthz(self, http_service):
+        _, client = http_service
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["nodes"] == 100
+
+    def test_allfp_roundtrip(self, http_service, interval):
+        _, client = http_service
+        status, body = client.query(0, 99, interval)
+        assert status == 200
+        assert body["result"]["entries"]
+        assert body["cached"] is False
+        status, body = client.query(0, 99, interval)
+        assert body["cached"] is True
+
+    def test_clock_string_interval(self, http_service):
+        _, client = http_service
+        status, body = client.post(
+            "/v1/singlefp",
+            {"source": 0, "target": 99, "from": "7:00", "to": "8:00"},
+        )
+        assert status == 200
+        assert body["result"]["optimal_travel_time"] > 0
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ({"target": 99, "from": "7:00", "to": "8:00"}, "source"),
+            ({"source": 0, "target": 99}, "interval missing"),
+            ({"source": 0, "target": 99, "from": "7:00"}, "together"),
+            (
+                {"source": 0, "target": 99, "from": "nope", "to": "8:00"},
+                "clock string",
+            ),
+            (
+                {"source": "zero", "target": 99, "from": "7:00", "to": "8:00"},
+                "integer",
+            ),
+            (
+                {"source": 0, "target": 99, "start": 420.0, "end": 480.0,
+                 "deadline": -1},
+                "positive",
+            ),
+        ],
+    )
+    def test_bad_requests_are_400(self, http_service, body, fragment):
+        _, client = http_service
+        status, payload = client.post("/v1/allfp", body)
+        assert status == 400
+        assert fragment in payload["message"]
+
+    def test_invalid_json_is_400(self, http_service):
+        _, client = http_service
+        req = urllib.request.Request(
+            client.base_url + "/v1/allfp", data=b"{not json", method="POST"
+        )
+        try:
+            urllib.request.urlopen(req, timeout=10)
+            pytest.fail("expected HTTPError")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+
+    def test_unknown_node_is_404(self, http_service, interval):
+        _, client = http_service
+        status, payload = client.query(0, 123456, interval)
+        assert status == 404
+        assert payload["error"] == "NodeNotFoundError"
+
+    def test_unknown_route_is_404(self, http_service):
+        _, client = http_service
+        status, _ = client.post("/v1/frobnicate", {})
+        assert status == 404
+
+    def test_deadline_maps_to_504(self, http_service, interval):
+        _, client = http_service
+        status, payload = client.query(0, 99, interval, deadline=1e-9)
+        assert status == 504
+        assert payload["error"] == "QueryTimeout"
+
+    def test_metrics_reconcile_with_client_counts(self, http_service, interval):
+        svc, client = http_service
+        ok = 0
+        for target in (99, 55, 99, 42, 99):
+            status, _ = client.query(0, target, interval)
+            assert status == 200
+            ok += 1
+        samples = parse_metrics(client.metrics_text())
+        assert samples['repro_requests_total{mode="allfp"}'] == ok
+        assert (
+            samples['repro_responses_total{mode="allfp",status="ok"}'] == ok
+        )
+        # Two of the five were repeats served from the result cache.
+        assert samples["repro_result_cache_hits_total"] == 2
+        assert samples["repro_engine_runs_total"] == 3
+        assert samples["repro_pending_requests"] == 0
+        count_key = 'repro_request_latency_seconds_count{mode="allfp"}'
+        assert samples[count_key] == ok
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+
+class TestLoadGeneration:
+    def test_closed_loop_reports(self, metro_tiny, service):
+        queries = random_queries(
+            metro_tiny, 8, morning_rush_interval(1.0), seed=11
+        )
+        from repro.serve import InProcessClient
+
+        client = InProcessClient(service)
+        report = run_closed_loop(
+            lambda spec: client.query(spec), queries, clients=4
+        )
+        assert report.requests == 8
+        assert report.successes == 8
+        assert report.throughput_qps > 0
+        summary = report.as_dict()
+        assert summary["p50_ms"] <= summary["p99_ms"]
+
+    def test_closed_loop_records_errors(self, service):
+        bad = random_queries(
+            service.network, 2, morning_rush_interval(1.0), seed=11
+        )
+
+        def explode(spec):
+            raise RuntimeError("boom")
+
+        report = run_closed_loop(explode, bad, clients=2)
+        assert report.successes == 0
+        assert report.errors == {"RuntimeError": 2}
