@@ -36,6 +36,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SCHEMA_VERSION = 1
 
+#: The tracked benchmark trajectory: every driver that emits a
+#: ``BENCH_<name>.json`` artifact at the repo root registers its name here,
+#: so ``python benchmarks/emit_json.py`` (no arguments) validates the whole
+#: set and CI catches a driver that silently stopped emitting.
+KNOWN_BENCHMARKS = ("kernel", "func_ops", "serve", "precompute")
+
 _REQUIRED_TOP_KEYS = ("benchmark", "schema_version", "python", "results")
 
 
@@ -103,7 +109,41 @@ def check_file(path: Path) -> None:
     validate_payload(json.loads(path.read_text()))
 
 
+def trajectory(root: Path = REPO_ROOT) -> dict[str, dict]:
+    """Load every known ``BENCH_*.json`` present at ``root``, validated.
+
+    Returns ``{benchmark_name: payload}`` for the artifacts that exist —
+    the tracked benchmark trajectory in one structure.
+    """
+    found: dict[str, dict] = {}
+    for name in KNOWN_BENCHMARKS:
+        path = root / f"BENCH_{name}.json"
+        if path.exists():
+            payload = json.loads(path.read_text())
+            validate_payload(payload)
+            found[name] = payload
+    return found
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        for arg in argv:
+            check_file(Path(arg))
+            print(f"{arg}: ok")
+        return 0
+    found = trajectory()
+    for name, payload in found.items():
+        print(
+            f"BENCH_{name}.json: ok "
+            f"({len(payload['results'])} results, "
+            f"quick={payload.get('quick', False)})"
+        )
+    missing = [n for n in KNOWN_BENCHMARKS if n not in found]
+    if missing:
+        print(f"missing artifacts: {', '.join(sorted(missing))}")
+        return 1
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
-    for arg in sys.argv[1:]:
-        check_file(Path(arg))
-        print(f"{arg}: ok")
+    sys.exit(main(sys.argv[1:]))

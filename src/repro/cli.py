@@ -4,10 +4,13 @@ Installed as ``repro-allfp``::
 
     repro-allfp generate --out metro.json --width 48 --height 48
     repro-allfp build-ccam --network metro.json --out metro.ccam
+    repro-allfp precompute --network metro.json --out metro.est --workers 4
     repro-allfp query --network metro.json --source 0 --target 2303 \\
-        --from 7:00 --to 9:00 --mode allfp
+        --from 7:00 --to 9:00 --mode allfp \\
+        --estimator boundary --estimator-cache metro.est
     repro-allfp info --network metro.json
-    repro-allfp serve --network metro.json --port 8080
+    repro-allfp serve --network metro.json --port 8080 \\
+        --estimator boundary --estimator-cache metro.est
     repro-allfp bench-load --network metro.json --clients 4 --queries 50
 
 Deliberate failures (missing files, unknown nodes, malformed clock strings)
@@ -69,6 +72,62 @@ def _open_network(path: str):
     return load_network(path)
 
 
+def _boundary_estimator(network, args: argparse.Namespace):
+    """Build the §5 estimator, honoring ``--estimator-cache`` when given.
+
+    * cache file exists  → warm-start from it (a fingerprint mismatch is a
+      hard :class:`~repro.exceptions.EstimatorError` → exit 2, one line);
+    * cache file missing → precompute (``--precompute-workers`` processes)
+      and write the snapshot for the next boot.
+    """
+    cache = getattr(args, "estimator_cache", None)
+    workers = getattr(args, "precompute_workers", 1)
+    grid = args.grid
+    if cache and Path(cache).exists():
+        estimator = BoundaryNodeEstimator.from_snapshot(network, cache)
+        print(
+            f"estimator cache hit: {cache} "
+            f"({estimator.grid.shape[0]}x{estimator.grid.shape[1]} grid, "
+            f"{estimator.metric} metric)",
+            file=sys.stderr,
+        )
+        return estimator
+    estimator = BoundaryNodeEstimator(network, grid, grid, workers=workers)
+    if cache:
+        estimator.save_snapshot(cache)
+        print(
+            f"estimator cache miss: precomputed in "
+            f"{estimator.precompute_seconds:.2f}s and wrote {cache}",
+            file=sys.stderr,
+        )
+    return estimator
+
+
+def _cmd_precompute(args: argparse.Namespace) -> int:
+    network = _open_network(args.network)
+    if isinstance(network, CCAMStore):
+        raise ReproError(
+            "boundary estimator precomputation needs the full graph; "
+            "pass the .json network instead of a .ccam database"
+        )
+    estimator = BoundaryNodeEstimator(
+        network,
+        args.grid,
+        args.grid,
+        metric=args.metric,
+        workers=args.workers,
+    )
+    path = estimator.save_snapshot(args.out)
+    size = path.stat().st_size
+    print(
+        f"wrote {path}: {args.grid}x{args.grid} grid, {args.metric} metric, "
+        f"{network.node_count} nodes, {size} bytes "
+        f"(precompute {estimator.precompute_seconds:.2f}s, "
+        f"{args.workers} worker(s))"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     network = _open_network(args.network)
     interval = TimeInterval(
@@ -84,9 +143,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             )
             estimator = NaiveEstimator(network)
         elif backward:
+            if args.estimator_cache:
+                print(
+                    "note: --estimator-cache is ignored with "
+                    "--constraint arrival (the backward estimator is built "
+                    "on the reversed network)",
+                    file=sys.stderr,
+                )
             estimator = reverse_boundary_estimator(network, args.grid, args.grid)
         else:
-            estimator = BoundaryNodeEstimator(network, args.grid, args.grid)
+            estimator = _boundary_estimator(network, args)
     else:
         estimator = NaiveEstimator(network)
     if backward:
@@ -142,7 +208,7 @@ def _build_service(args: argparse.Namespace):
                 file=sys.stderr,
             )
         else:
-            estimator = BoundaryNodeEstimator(network, args.grid, args.grid)
+            estimator = _boundary_estimator(network, args)
     config = ServiceConfig(
         workers=args.workers,
         max_pending=args.max_pending,
@@ -274,6 +340,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.set_defaults(func=_cmd_build_ccam)
 
+    def add_estimator_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--estimator-cache",
+            default=None,
+            metavar="PATH",
+            help="boundary-estimator snapshot: load it when present "
+            "(fingerprint-checked), precompute and write it when missing",
+        )
+        p.add_argument(
+            "--precompute-workers",
+            type=int,
+            default=1,
+            help="process count for the boundary-estimator precompute",
+        )
+
+    prep = sub.add_parser(
+        "precompute",
+        help="precompute the boundary estimator and write a snapshot",
+    )
+    prep.add_argument("--network", required=True, help="input .json network")
+    prep.add_argument("--out", required=True, help="output snapshot path")
+    prep.add_argument("--grid", type=int, default=6, help="boundary grid size")
+    prep.add_argument("--metric", choices=("time", "distance"), default="time")
+    prep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the per-cell Dijkstra fan-out",
+    )
+    prep.set_defaults(func=_cmd_precompute)
+
     query = sub.add_parser("query", help="run an allFP or singleFP query")
     query.add_argument("--network", required=True, help=".json or .ccam input")
     query.add_argument("--source", type=int, required=True)
@@ -293,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimator", choices=("naive", "boundary"), default="naive"
     )
     query.add_argument("--grid", type=int, default=6, help="boundary grid size")
+    add_estimator_cache_flags(query)
     query.set_defaults(func=_cmd_query)
 
     def add_service_flags(p: argparse.ArgumentParser) -> None:
@@ -301,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--estimator", choices=("naive", "boundary"), default="naive"
         )
         p.add_argument("--grid", type=int, default=6, help="boundary grid size")
+        add_estimator_cache_flags(p)
         p.add_argument("--workers", type=int, default=4)
         p.add_argument(
             "--max-pending",

@@ -198,6 +198,7 @@ class ArrivalIntAllFastestPaths:
             if value is None:
                 value = estimator.bound(node)
                 bounds[node] = value
+                stats.bound_evaluations += 1
             return value
 
         lo, hi = arrival_interval.start, arrival_interval.end

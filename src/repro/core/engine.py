@@ -267,6 +267,7 @@ class IntAllFastestPaths:
             if cached is None:
                 cached = estimator.bound(node)
                 bounds[node] = cached
+                stats.bound_evaluations += 1
             return cached
 
         lo, hi = interval.start, interval.end

@@ -23,6 +23,10 @@ class SearchStats:
     ``edge_cache_hits`` / ``edge_cache_misses`` for the engine's cross-query
     edge-function cache.  All four stay 0 when the kernel is disabled.
 
+    ``bound_evaluations`` counts calls into the estimator's ``bound()``
+    (the engines memoize per node, so this equals the number of distinct
+    nodes the estimator was consulted for).
+
     ``elapsed_seconds`` is the wall-clock time the search took;
     ``timed_out`` is set when the search was cut short by a query deadline
     (see :class:`~repro.core.engine.QueryTimeout`).
@@ -39,6 +43,7 @@ class SearchStats:
     envelope_merges: int = 0
     edge_cache_hits: int = 0
     edge_cache_misses: int = 0
+    bound_evaluations: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
 
@@ -55,6 +60,7 @@ class SearchStats:
             "envelope_merges": self.envelope_merges,
             "edge_cache_hits": self.edge_cache_hits,
             "edge_cache_misses": self.edge_cache_misses,
+            "bound_evaluations": self.bound_evaluations,
             "elapsed_seconds": self.elapsed_seconds,
             "timed_out": self.timed_out,
         }

@@ -17,6 +17,8 @@ from .base import LowerBoundEstimator
 from .naive import NaiveEstimator, ZeroEstimator
 from .grid import GridPartition
 from .boundary import BoundaryNodeEstimator
+from .precompute import EstimatorTables, compute_tables
+from .snapshot import load_tables, network_fingerprint, save_tables
 
 __all__ = [
     "LowerBoundEstimator",
@@ -24,4 +26,9 @@ __all__ = [
     "ZeroEstimator",
     "GridPartition",
     "BoundaryNodeEstimator",
+    "EstimatorTables",
+    "compute_tables",
+    "network_fingerprint",
+    "save_tables",
+    "load_tables",
 ]

@@ -1,0 +1,296 @@
+"""Parallel, array-backed precomputation for the §5 boundary estimator.
+
+The boundary-node estimator's startup cost is one forward plus one reverse
+multi-source Dijkstra per non-empty grid cell, and the full cell-pair table
+``D(C1, C2)``.  This module treats that precomputation the way the
+contraction-hierarchies / CRP literature treats preprocessing — as a
+first-class artifact that is
+
+* **indexed**: the network is re-labelled with dense node indices so the
+  Dijkstras run over ``list``-based adjacency and distance arrays instead of
+  dict-of-dict lookups,
+* **parallel**: independent per-cell Dijkstras fan out across a
+  ``multiprocessing`` pool (chunked by cell; workers share the immutable
+  weighted adjacency via the pool initializer), with a graceful serial
+  fallback when ``workers <= 1`` or no pool can be created, and
+* **flat**: the results land in :class:`EstimatorTables` — contiguous
+  ``array``-module stores keyed by dense cell and node indices, so the hot
+  ``bound()`` path does no per-lookup hashing (the same trick as the PR 1
+  function kernel).
+
+:mod:`repro.estimators.snapshot` persists :class:`EstimatorTables` to a
+versioned binary file so later processes can skip the Dijkstras entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from array import array
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..exceptions import EstimatorError
+from .grid import GridPartition
+
+INF = float("inf")
+
+#: typecodes of the flat stores (documented here, enforced by the snapshot)
+NODE_ID_TYPECODE = "q"  # signed 64-bit node ids
+CELL_TYPECODE = "i"  # cell index per node
+WEIGHT_TYPECODE = "d"  # IEEE double weights
+
+
+@dataclass
+class EstimatorTables:
+    """Flat precomputed stores of the boundary estimator.
+
+    All per-node stores are indexed by the *dense node index* (position of
+    the node id in the sorted ``node_ids`` array); ``cell_pair`` is a
+    row-major ``cell_count × cell_count`` matrix flattened into one array.
+    When node ids are exactly ``0 .. n-1`` (``dense`` is true) the id *is*
+    the index and lookups skip the id→index map entirely.
+    """
+
+    nx: int
+    ny: int
+    metric: str
+    v_max: float
+    node_ids: array  # typecode 'q', sorted ascending
+    node_cell: array  # typecode 'i', cell index per dense node index
+    to_boundary: array  # typecode 'd', weight to own cell's nearest boundary
+    from_boundary: array  # typecode 'd', weight from own cell's boundary
+    cell_pair: array  # typecode 'd', flat row-major D(C1, C2)
+    precompute_seconds: float = 0.0
+    workers_used: int = 1
+    loaded_from_snapshot: bool = False
+    _index_of: dict[int, int] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.node_ids)
+        self.dense = bool(
+            n == 0 or (self.node_ids[0] == 0 and self.node_ids[n - 1] == n - 1)
+        )
+        if not self.dense:
+            self._index_of = {nid: i for i, nid in enumerate(self.node_ids)}
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def cell_count(self) -> int:
+        return self.nx * self.ny
+
+    def index(self, node_id: int) -> int:
+        """Dense index of a node id (:class:`EstimatorError` when unknown)."""
+        if self.dense:
+            if 0 <= node_id < len(self.node_ids):
+                return node_id
+            raise EstimatorError(f"node {node_id} not in precomputed tables")
+        try:
+            return self._index_of[node_id]  # type: ignore[index]
+        except KeyError:
+            raise EstimatorError(
+                f"node {node_id} not in precomputed tables"
+            ) from None
+
+
+def build_weighted_adjacency(
+    network, metric: str
+) -> tuple[list[int], list[list[tuple[int, float]]], list[list[tuple[int, float]]]]:
+    """Dense-index forward and backward adjacency with estimator weights.
+
+    The weight of an edge is ``distance`` under the ``"distance"`` metric and
+    the optimistic per-edge travel time ``distance / max_speed`` under
+    ``"time"`` — identical arithmetic to the legacy dict precompute, so the
+    resulting tables are bitwise-equal.
+    """
+    node_ids = sorted(network.node_ids())
+    index_of = {nid: i for i, nid in enumerate(node_ids)}
+    n = len(node_ids)
+    fwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    bwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for edge in network.edges():
+        w = (
+            edge.distance
+            if metric == "distance"
+            else edge.distance / edge.pattern.max_speed()
+        )
+        u = index_of[edge.source]
+        v = index_of[edge.target]
+        fwd[u].append((v, w))
+        bwd[v].append((u, w))
+    return node_ids, fwd, bwd
+
+
+def multi_source_dijkstra_indexed(
+    adjacency: Sequence[Sequence[tuple[int, float]]],
+    sources: Iterable[int],
+    n: int,
+) -> list[float]:
+    """Shortest weight from the source *set* to every dense index.
+
+    Stale heap entries (popped after a cheaper one settled the node) are
+    skipped before any neighbor relaxation, so decrease-key-by-reinsert
+    never triggers redundant edge scans.
+    """
+    dist = [INF] * n
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heap.append((0.0, s))
+    heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue  # stale entry: u was settled by a cheaper path
+        for v, w in adjacency[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                push(heap, (nd, v))
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Per-cell task, shared by the serial loop and the worker processes.
+# ----------------------------------------------------------------------
+
+#: worker-process state installed by :func:`_init_worker` (inherited on
+#: fork, pickled once per worker under spawn — never per task)
+_WORKER_STATE: dict | None = None
+
+
+def _init_worker(state: dict) -> None:  # pragma: no cover - worker process
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _cell_job(
+    state: dict, cell_index: int, boundary: Sequence[int], members: Sequence[int]
+) -> tuple[int, list[tuple[int, float, float]], list[float]]:
+    """One cell's Dijkstras: member distances plus the cell-pair row."""
+    fwd = state["fwd"]
+    bwd = state["bwd"]
+    node_cell = state["node_cell"]
+    is_boundary = state["is_boundary"]
+    n_cells = state["cell_count"]
+    n = len(fwd)
+    dist_from = multi_source_dijkstra_indexed(fwd, boundary, n)
+    dist_to = multi_source_dijkstra_indexed(bwd, boundary, n)
+    member_rows = [(m, dist_from[m], dist_to[m]) for m in members]
+    row = [INF] * n_cells
+    for u in range(n):
+        d = dist_from[u]
+        if d < INF and is_boundary[u]:
+            c = node_cell[u]
+            if c != cell_index and d < row[c]:
+                row[c] = d
+    return cell_index, member_rows, row
+
+
+def _cell_task(args):  # pragma: no cover - executed in worker processes
+    cell_index, boundary, members = args
+    assert _WORKER_STATE is not None, "pool initializer did not run"
+    return _cell_job(_WORKER_STATE, cell_index, boundary, members)
+
+
+def _make_pool(workers: int, state: dict):
+    """A fork-preferring multiprocessing pool, or ``None`` when unavailable."""
+    try:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        return ctx.Pool(
+            processes=workers, initializer=_init_worker, initargs=(state,)
+        )
+    except Exception:
+        return None
+
+
+def compute_tables(
+    network,
+    grid: GridPartition,
+    metric: str,
+    workers: int = 1,
+) -> EstimatorTables:
+    """Run the §5 precomputation and return flat :class:`EstimatorTables`.
+
+    ``workers > 1`` fans the per-cell Dijkstras out across a process pool;
+    any failure to create the pool degrades silently to the serial path
+    (the results are identical either way).
+    """
+    started = time.perf_counter()
+    node_ids, fwd, bwd = build_weighted_adjacency(network, metric)
+    index_of = {nid: i for i, nid in enumerate(node_ids)}
+    n = len(node_ids)
+    n_cells = grid.cell_count
+
+    node_cell = array(CELL_TYPECODE, (grid.cell_of_node(nid) for nid in node_ids))
+    is_boundary = bytearray(n)
+    tasks: list[tuple[int, list[int], list[int]]] = []
+    for cell in grid.cells():
+        if not cell.members or not cell.boundary:
+            # A cell with members but no boundary can only occur in a
+            # disconnected network; its stores stay at infinity.
+            continue
+        boundary = sorted(index_of[b] for b in cell.boundary)
+        members = sorted(index_of[m] for m in cell.members)
+        for b in boundary:
+            is_boundary[b] = 1
+        tasks.append((cell.index, boundary, members))
+
+    to_boundary = array(WEIGHT_TYPECODE, [INF]) * n
+    from_boundary = array(WEIGHT_TYPECODE, [INF]) * n
+    cell_pair = array(WEIGHT_TYPECODE, [INF]) * (n_cells * n_cells)
+
+    state = {
+        "fwd": fwd,
+        "bwd": bwd,
+        "node_cell": node_cell,
+        "is_boundary": bytes(is_boundary),
+        "cell_count": n_cells,
+    }
+
+    workers_used = 1
+    results: Iterable[tuple[int, list[tuple[int, float, float]], list[float]]]
+    pool = _make_pool(workers, state) if workers > 1 and len(tasks) > 1 else None
+    if pool is not None:
+        workers_used = workers
+        chunksize = max(1, len(tasks) // (workers * 4))
+        try:
+            results = pool.map(_cell_task, tasks, chunksize=chunksize)
+        finally:
+            pool.close()
+            pool.join()
+    else:
+        results = (_cell_job(state, *task) for task in tasks)
+
+    for cell_index, member_rows, row in results:
+        for m, d_from, d_to in member_rows:
+            from_boundary[m] = d_from
+            to_boundary[m] = d_to
+        base = cell_index * n_cells
+        for c2, w in enumerate(row):
+            if w < INF:
+                cell_pair[base + c2] = w
+
+    nx, ny = grid.shape
+    return EstimatorTables(
+        nx=nx,
+        ny=ny,
+        metric=metric,
+        v_max=network.max_speed(),
+        node_ids=array(NODE_ID_TYPECODE, node_ids),
+        node_cell=node_cell,
+        to_boundary=to_boundary,
+        from_boundary=from_boundary,
+        cell_pair=cell_pair,
+        precompute_seconds=time.perf_counter() - started,
+        workers_used=workers_used,
+    )

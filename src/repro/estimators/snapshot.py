@@ -1,0 +1,242 @@
+"""Versioned binary snapshots of the boundary estimator's precompute.
+
+Layout (all integers little-endian, fixed-width, written with ``struct`` —
+**no pickle anywhere**, so loading an untrusted file can at worst raise
+:class:`~repro.exceptions.EstimatorError`):
+
+.. code-block:: text
+
+    magic        8 bytes   b"RPRESNAP"
+    version      u16       SNAPSHOT_VERSION
+    byteorder    u8        0 = little, 1 = big (array payloads are native)
+    metric       u8        0 = "time", 1 = "distance"
+    nx, ny       u16 u16   grid resolution
+    node_count   u32
+    cell_count   u32
+    v_max        f64       network-wide maximum speed (mpm)
+    prep_secs    f64       wall-clock seconds the original precompute took
+    fingerprint  32 bytes  sha256 of the network's canonical serialization
+    5 × array    each:     typecode u8 | itemsize u8 | count u64 | payload
+
+The arrays appear in the fixed order ``node_ids, node_cell, to_boundary,
+from_boundary, cell_pair``.  The fingerprint pins a snapshot to one exact
+network (nodes, edges, distances, speed patterns, calendar); loading against
+anything else refuses with a clear error instead of silently serving bounds
+that may no longer be admissible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+
+from ..exceptions import EstimatorError
+from .precompute import (
+    CELL_TYPECODE,
+    NODE_ID_TYPECODE,
+    WEIGHT_TYPECODE,
+    EstimatorTables,
+)
+
+MAGIC = b"RPRESNAP"
+SNAPSHOT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHBBHHIIdd32s")
+_ARRAY_HEADER = struct.Struct("<BBQ")
+
+_METRIC_CODES = {"time": 0, "distance": 1}
+_METRIC_NAMES = {code: name for name, code in _METRIC_CODES.items()}
+
+#: How many calendar days the fingerprint samples (matches network IO).
+_CALENDAR_SAMPLE_DAYS = 366
+
+
+def network_fingerprint(network) -> bytes:
+    """sha256 digest of the network's canonical serialization.
+
+    Covers everything the estimator tables depend on — node locations, edge
+    distances, per-edge speed patterns — plus the calendar, so a snapshot is
+    pinned to one exact network version.
+    """
+    h = hashlib.sha256()
+    calendar = network.calendar
+    doc = {
+        "categories": list(calendar.categories.names),
+        "calendar_days": [
+            calendar.category_for_day(d) for d in range(_CALENDAR_SAMPLE_DAYS)
+        ],
+    }
+    h.update(json.dumps(doc, sort_keys=True).encode())
+    for node in sorted(network.nodes(), key=lambda n: n.id):
+        h.update(struct.pack("<qdd", node.id, node.x, node.y))
+    # Networks share a handful of distinct pattern objects across thousands
+    # of edges; digest each object once and splice the cached digest in.
+    pattern_digests: dict[int, bytes] = {}
+    pack_edge = struct.Struct("<qqd").pack
+    pack_piece = struct.Struct("<dd").pack
+    for edge in sorted(network.edges(), key=lambda e: (e.source, e.target)):
+        h.update(pack_edge(edge.source, edge.target, edge.distance))
+        pattern = edge.pattern
+        digest = pattern_digests.get(id(pattern))
+        if digest is None:
+            ph = hashlib.sha256()
+            for category in pattern.categories:
+                ph.update(category.encode())
+                for start, speed in pattern.daily(category).pieces:
+                    ph.update(pack_piece(start, speed))
+            digest = ph.digest()
+            pattern_digests[id(pattern)] = digest
+        h.update(digest)
+    return h.digest()
+
+
+def _write_array(out, arr: array) -> None:
+    out.write(
+        _ARRAY_HEADER.pack(ord(arr.typecode), arr.itemsize, len(arr))
+    )
+    out.write(arr.tobytes())
+
+
+def save_tables(
+    tables: EstimatorTables, path: str | Path, fingerprint: bytes
+) -> None:
+    """Write ``tables`` to ``path`` in the versioned binary format."""
+    if len(fingerprint) != 32:
+        raise EstimatorError("network fingerprint must be a 32-byte sha256")
+    path = Path(path)
+    with open(path, "wb") as out:
+        out.write(
+            _HEADER.pack(
+                MAGIC,
+                SNAPSHOT_VERSION,
+                0 if sys.byteorder == "little" else 1,
+                _METRIC_CODES[tables.metric],
+                tables.nx,
+                tables.ny,
+                tables.node_count,
+                tables.cell_count,
+                tables.v_max,
+                tables.precompute_seconds,
+                fingerprint,
+            )
+        )
+        _write_array(out, tables.node_ids)
+        _write_array(out, tables.node_cell)
+        _write_array(out, tables.to_boundary)
+        _write_array(out, tables.from_boundary)
+        _write_array(out, tables.cell_pair)
+
+
+def _read_exact(f, count: int, path: Path, what: str) -> bytes:
+    data = f.read(count)
+    if len(data) != count:
+        raise EstimatorError(
+            f"{path}: truncated estimator snapshot (while reading {what})"
+        )
+    return data
+
+
+def _read_array(
+    f, path: Path, expected_typecode: str, swap: bool, what: str
+) -> array:
+    typecode_byte, itemsize, count = _ARRAY_HEADER.unpack(
+        _read_exact(f, _ARRAY_HEADER.size, path, f"{what} header")
+    )
+    typecode = chr(typecode_byte)
+    if typecode != expected_typecode:
+        raise EstimatorError(
+            f"{path}: corrupt snapshot: {what} has typecode {typecode!r}, "
+            f"expected {expected_typecode!r}"
+        )
+    arr = array(typecode)
+    if itemsize != arr.itemsize:
+        raise EstimatorError(
+            f"{path}: snapshot written with {itemsize}-byte {typecode!r} "
+            f"items; this platform uses {arr.itemsize}"
+        )
+    arr.frombytes(_read_exact(f, itemsize * count, path, what))
+    if swap:
+        arr.byteswap()
+    return arr
+
+
+def load_tables(path: str | Path, fingerprint: bytes) -> EstimatorTables:
+    """Read a snapshot, verifying format and the network fingerprint.
+
+    Raises :class:`EstimatorError` — never an unpickling error or a raw
+    ``struct.error`` — on any of: missing file, wrong magic, unsupported
+    version, truncation, corrupt array headers, or a fingerprint that does
+    not match ``fingerprint`` (the current network's hash).
+    """
+    path = Path(path)
+    try:
+        f = open(path, "rb")
+    except OSError as exc:
+        raise EstimatorError(f"cannot open estimator snapshot: {exc}") from None
+    with f:
+        header = _read_exact(f, _HEADER.size, path, "header")
+        (
+            magic,
+            version,
+            byteorder,
+            metric_code,
+            nx,
+            ny,
+            node_count,
+            cell_count,
+            v_max,
+            prep_secs,
+            stored_fingerprint,
+        ) = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise EstimatorError(f"{path}: not an estimator snapshot")
+        if version != SNAPSHOT_VERSION:
+            raise EstimatorError(
+                f"{path}: unsupported snapshot version {version} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        metric = _METRIC_NAMES.get(metric_code)
+        if metric is None:
+            raise EstimatorError(
+                f"{path}: corrupt snapshot: unknown metric code {metric_code}"
+            )
+        if stored_fingerprint != fingerprint:
+            raise EstimatorError(
+                f"{path}: snapshot was built for a different network "
+                "(fingerprint mismatch); re-run `repro-allfp precompute`"
+            )
+        swap = (byteorder == 1) != (sys.byteorder == "big")
+        node_ids = _read_array(f, path, NODE_ID_TYPECODE, swap, "node_ids")
+        node_cell = _read_array(f, path, CELL_TYPECODE, swap, "node_cell")
+        to_boundary = _read_array(f, path, WEIGHT_TYPECODE, swap, "to_boundary")
+        from_boundary = _read_array(
+            f, path, WEIGHT_TYPECODE, swap, "from_boundary"
+        )
+        cell_pair = _read_array(f, path, WEIGHT_TYPECODE, swap, "cell_pair")
+    if (
+        len(node_ids) != node_count
+        or len(node_cell) != node_count
+        or len(to_boundary) != node_count
+        or len(from_boundary) != node_count
+        or len(cell_pair) != cell_count * cell_count
+        or cell_count != nx * ny
+    ):
+        raise EstimatorError(f"{path}: corrupt snapshot: array sizes disagree")
+    return EstimatorTables(
+        nx=nx,
+        ny=ny,
+        metric=metric,
+        v_max=v_max,
+        node_ids=node_ids,
+        node_cell=node_cell,
+        to_boundary=to_boundary,
+        from_boundary=from_boundary,
+        cell_pair=cell_pair,
+        precompute_seconds=prep_secs,
+        workers_used=1,
+        loaded_from_snapshot=True,
+    )

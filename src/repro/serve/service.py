@@ -201,6 +201,7 @@ class AllFPService:
         self.metrics = MetricsRegistry()
         self._version = 0
         self._closed = False
+        self._engine_generation = 0
         self._local = threading.local()
         self._stats_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
@@ -227,6 +228,36 @@ class AllFPService:
             lambda: float(self._version),
             help="Network/pattern version stamp keyed into the result cache",
         )
+        self._register_estimator_metrics()
+
+    def _register_estimator_metrics(self) -> None:
+        """Warm-start accounting for precomputed estimators.
+
+        A snapshot-loaded estimator counts as one ``snapshot hit`` (the boot
+        skipped its Dijkstras); an estimator that precomputed in-process
+        counts as a ``miss`` and reports the seconds it spent.  Estimators
+        without precomputation (e.g. naive) register nothing.
+        """
+        estimator = self._estimator
+        if estimator is None or not hasattr(estimator, "precompute_seconds"):
+            return
+        self.metrics.set_gauge(
+            "estimator_precompute_seconds",
+            lambda: float(getattr(estimator, "precompute_seconds", 0.0)),
+            help="Wall-clock seconds the estimator precompute took "
+            "(0 when warm-started from a snapshot)",
+        )
+        warm = bool(getattr(estimator, "loaded_from_snapshot", False))
+        self.metrics.inc(
+            "estimator_snapshot_hits_total",
+            1.0 if warm else 0.0,
+            help="Boots that warm-started the estimator from a snapshot",
+        )
+        self.metrics.inc(
+            "estimator_snapshot_misses_total",
+            0.0 if warm else 1.0,
+            help="Boots that paid the estimator precompute in-process",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -238,12 +269,18 @@ class AllFPService:
         """The network/pattern version stamp baked into cache keys."""
         return self._version
 
-    def invalidate(self) -> int:
+    def invalidate(self, refresh_estimator: bool = False) -> int:
         """Bump the version stamp and drop every cached result.
 
         Call after mutating the network or its speed patterns (e.g. a live
         traffic update); in-flight queries finish against the old data,
         new queries miss the cache and recompute.
+
+        With ``refresh_estimator=True`` an estimator exposing ``refresh()``
+        (the boundary estimator) recomputes its tables against the updated
+        network, and every worker's engine is rebuilt so the fresh tables
+        take effect — a snapshot loaded for the old network version is
+        considered invalid from here on.
         """
         self._version += 1
         dropped = self._result_cache.clear()
@@ -251,6 +288,16 @@ class AllFPService:
             "invalidations_total",
             help="Version bumps (network/pattern updates)",
         )
+        if refresh_estimator and self._estimator is not None:
+            refresh = getattr(self._estimator, "refresh", None)
+            if callable(refresh):
+                refresh()
+                self.metrics.inc(
+                    "estimator_refreshes_total",
+                    help="Estimator precompute refreshes after invalidation",
+                )
+            # Rebuild per-worker engines lazily so clones see the new tables.
+            self._engine_generation += 1
         return dropped
 
     # ------------------------------------------------------------------
@@ -366,6 +413,9 @@ class AllFPService:
 
     def _engine(self) -> IntAllFastestPaths:
         engine = getattr(self._local, "engine", None)
+        if getattr(self._local, "generation", None) != self._engine_generation:
+            engine = None
+            self._local.generation = self._engine_generation
         if engine is None:
             estimator = (
                 clone_estimator(self._estimator)
@@ -440,6 +490,11 @@ class AllFPService:
             "engine_page_reads_total",
             stats.page_reads,
             help="Storage page reads summed over runs",
+        )
+        self.metrics.inc(
+            "engine_bound_evaluations_total",
+            stats.bound_evaluations,
+            help="Estimator bound() evaluations summed over runs",
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,575 @@
+"""Tests for the parallel, persistent, array-backed estimator precompute.
+
+Covers the PR 3 subsystem end to end: bitwise parity between the array and
+legacy dict backends (property-based over random networks), admissibility
+of the array-backed bounds, snapshot round-trip and corruption handling,
+precompute idempotency, the multiprocessing path, CLI cache flows (hit,
+miss, fingerprint mismatch → exit 2), and serve-layer warm-start metrics.
+
+The ``REPRO_PRECOMPUTE_WORKERS`` environment variable (used by a CI matrix
+leg) forces the worker count used by the default-worker tests, so the
+multiprocessing path runs under pytest on CI runners.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.astar import fixed_departure_query
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.precompute import (
+    EstimatorTables,
+    compute_tables,
+    multi_source_dijkstra_indexed,
+)
+from repro.estimators.snapshot import (
+    MAGIC,
+    network_fingerprint,
+    save_tables,
+)
+from repro.exceptions import EstimatorError, NoPathError
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.network.model import CapeCodNetwork
+from repro.patterns.speed import CapeCodPattern, DailySpeedPattern
+from repro.timeutil import TimeInterval, parse_clock
+
+#: Worker count for the "default" parallel tests; the CI matrix leg sets
+#: REPRO_PRECOMPUTE_WORKERS=2 so the multiprocessing pool runs under pytest.
+ENV_WORKERS = int(os.environ.get("REPRO_PRECOMPUTE_WORKERS", "1"))
+
+
+def _networks_equal_bounds(network, nx, ny, metric, targets, workers=1):
+    """Assert array and dict backends agree bitwise on every node."""
+    arr = BoundaryNodeEstimator(
+        network, nx, ny, metric=metric, workers=workers
+    )
+    legacy = BoundaryNodeEstimator(network, nx, ny, metric=metric, backend="dict")
+    for target in targets:
+        arr.prepare(target)
+        legacy.prepare(target)
+        for node in network.node_ids():
+            a = arr.bound(node)
+            d = legacy.bound(node)
+            assert a == d, (node, target, a, d)
+            assert arr.boundary_bound(node) == legacy.boundary_bound(node)
+
+
+class TestBackendParity:
+    def test_metro_tiny_bitwise(self, metro_tiny):
+        _networks_equal_bounds(
+            metro_tiny, 3, 3, "time", [0, 17, 42], workers=ENV_WORKERS
+        )
+
+    def test_distance_metric_bitwise(self, metro_tiny):
+        _networks_equal_bounds(metro_tiny, 2, 4, "distance", [0, 99])
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        width=st.integers(min_value=4, max_value=8),
+        height=st.integers(min_value=4, max_value=8),
+        nx=st.integers(min_value=1, max_value=4),
+        ny=st.integers(min_value=1, max_value=4),
+        metric=st.sampled_from(["time", "distance"]),
+    )
+    def test_property_random_networks(self, seed, width, height, nx, ny, metric):
+        network = make_metro_network(
+            MetroConfig(width=width, height=height, seed=seed)
+        )
+        rng = random.Random(seed)
+        targets = rng.sample(list(network.node_ids()), k=2)
+        _networks_equal_bounds(network, nx, ny, metric, targets)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        depart=st.floats(min_value=0.0, max_value=1439.0),
+    )
+    def test_property_admissible(self, seed, depart):
+        """Array-backed bounds never exceed the true fastest travel time."""
+        network = make_metro_network(MetroConfig(width=6, height=6, seed=seed))
+        est = BoundaryNodeEstimator(network, 3, 3)
+        rng = random.Random(seed)
+        target = rng.choice(list(network.node_ids()))
+        est.prepare(target)
+        for node in list(network.node_ids())[::3]:
+            if node == target:
+                continue
+            try:
+                actual = fixed_departure_query(
+                    network, node, target, depart
+                ).travel_time
+            except NoPathError:
+                continue
+            assert est.bound(node) <= actual + 1e-9
+
+    def test_non_dense_node_ids(self, single_calendar):
+        """Sparse ids exercise the id→index map instead of direct indexing."""
+        pattern = CapeCodPattern(
+            {
+                single_calendar.categories.names[0]: DailySpeedPattern(
+                    [(0.0, 0.5)]
+                )
+            }
+        )
+        net = CapeCodNetwork.from_elements(
+            single_calendar,
+            [(10, 0.0, 0.0), (20, 1.0, 0.0), (35, 1.0, 1.0), (47, 0.0, 1.0)],
+            [
+                (10, 20, 1.0, pattern),
+                (20, 35, 1.0, pattern),
+                (35, 47, 1.0, pattern),
+                (47, 10, 1.0, pattern),
+            ],
+        )
+        arr = BoundaryNodeEstimator(net, 2, 2)
+        assert not arr.tables.dense
+        legacy = BoundaryNodeEstimator(net, 2, 2, backend="dict")
+        for target in (10, 35):
+            arr.prepare(target)
+            legacy.prepare(target)
+            for node in net.node_ids():
+                assert arr.bound(node) == legacy.bound(node)
+        with pytest.raises(EstimatorError):
+            arr.boundary_bound(11)
+
+    def test_unknown_node_raises(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 2, 2)
+        est.prepare(0)
+        with pytest.raises(EstimatorError):
+            est.boundary_bound(10**9)
+
+    def test_engine_results_identical(self, metro_tiny):
+        """End-to-end: both backends drive the engine to the same answer."""
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("8:00"))
+        results = []
+        for backend in ("array", "dict"):
+            est = BoundaryNodeEstimator(metro_tiny, 3, 3, backend=backend)
+            engine = IntAllFastestPaths(metro_tiny, est)
+            result = engine.all_fastest_paths(0, 77, interval)
+            results.append(result)
+        assert results[0].entries == results[1].entries
+        assert results[0].stats.expanded_paths == results[1].stats.expanded_paths
+
+
+class TestIdempotency:
+    def test_precompute_twice_is_noop(self, metro_tiny, monkeypatch):
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3, defer=True)
+        assert not est.is_precomputed
+        est.precompute()
+        tables = est.tables
+        assert est.is_precomputed
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("precompute ran twice")
+
+        monkeypatch.setattr(
+            "repro.estimators.boundary.compute_tables", boom
+        )
+        est.precompute()
+        est.prepare(0)  # prepare() must not re-run the Dijkstras either
+        assert est.tables is tables
+
+    def test_defer_then_prepare_precomputes(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3, defer=True)
+        est.prepare(5)
+        assert est.is_precomputed
+        assert est.bound(50) > 0.0
+
+    def test_refresh_recomputes(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        first = est.tables
+        est.refresh()
+        assert est.tables is not first
+        est.prepare(0)
+        legacy = BoundaryNodeEstimator(metro_tiny, 3, 3, backend="dict")
+        legacy.prepare(0)
+        assert est.bound(42) == legacy.bound(42)
+
+    def test_rejects_bad_workers(self, metro_tiny):
+        with pytest.raises(EstimatorError):
+            BoundaryNodeEstimator(metro_tiny, 2, 2, workers=0)
+
+    def test_rejects_bad_backend(self, metro_tiny):
+        with pytest.raises(EstimatorError):
+            BoundaryNodeEstimator(metro_tiny, 2, 2, backend="banana")
+
+
+class TestIndexedDijkstra:
+    def test_skips_stale_entries_without_redundant_relaxations(self):
+        # Diamond where the longer edge to node 1 enqueues a stale entry;
+        # counting relaxations via a wrapped adjacency proves the stale pop
+        # never rescans node 1's neighbors.
+        scans: list[int] = []
+
+        class CountingRow(list):
+            def __iter__(inner):
+                scans.append(1)
+                return super().__iter__()
+
+        adjacency = [
+            CountingRow([(1, 10.0), (2, 1.0)]),
+            CountingRow([(3, 1.0)]),
+            CountingRow([(1, 1.0)]),
+            CountingRow([]),
+        ]
+        dist = multi_source_dijkstra_indexed(adjacency, [0], 4)
+        assert dist == [0.0, 2.0, 1.0, 3.0]
+        # Each of the four nodes is expanded exactly once; the stale (10.0, 1)
+        # heap entry is dropped before touching adjacency[1].
+        assert len(scans) == 4
+
+    def test_multiple_sources(self):
+        adjacency = [[(1, 5.0)], [(2, 5.0)], [], []]
+        dist = multi_source_dijkstra_indexed(adjacency, [0, 3], 4)
+        assert dist[0] == 0.0 and dist[3] == 0.0
+        assert dist[1] == 5.0 and dist[2] == 10.0
+
+
+class TestParallelPrecompute:
+    def test_workers2_bitwise_equal_serial(self, metro_tiny):
+        grid = BoundaryNodeEstimator(metro_tiny, 3, 3).grid
+        serial = compute_tables(metro_tiny, grid, "time", workers=1)
+        parallel = compute_tables(metro_tiny, grid, "time", workers=2)
+        assert serial.to_boundary == parallel.to_boundary
+        assert serial.from_boundary == parallel.from_boundary
+        assert serial.cell_pair == parallel.cell_pair
+        assert serial.node_cell == parallel.node_cell
+        assert parallel.workers_used == 2
+
+    def test_pool_failure_falls_back_to_serial(self, metro_tiny, monkeypatch):
+        monkeypatch.setattr(
+            "repro.estimators.precompute._make_pool", lambda *a: None
+        )
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3, workers=4)
+        assert est.tables.workers_used == 1  # degraded gracefully
+        legacy = BoundaryNodeEstimator(metro_tiny, 3, 3, backend="dict")
+        est.prepare(0)
+        legacy.prepare(0)
+        assert est.bound(42) == legacy.bound(42)
+
+
+class TestSnapshot:
+    def test_roundtrip_identical_bounds(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        cold = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        cold.save_snapshot(path)
+        warm = BoundaryNodeEstimator.from_snapshot(metro_tiny, path)
+        assert warm.loaded_from_snapshot
+        assert warm.precompute_seconds == 0.0
+        assert warm.grid.shape == (3, 3)
+        for target in (0, 42):
+            cold.prepare(target)
+            warm.prepare(target)
+            for node in metro_tiny.node_ids():
+                assert cold.bound(node) == warm.bound(node)
+
+    def test_snapshot_has_no_pickle(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        BoundaryNodeEstimator(metro_tiny, 2, 2).save_snapshot(path)
+        blob = path.read_bytes()
+        assert blob.startswith(MAGIC)
+        assert b"pickle" not in blob
+        # PROTO opcode of every modern pickle stream
+        assert not blob.startswith(b"\x80")
+
+    def test_missing_file(self, metro_tiny, tmp_path):
+        with pytest.raises(EstimatorError, match="cannot open"):
+            BoundaryNodeEstimator.from_snapshot(metro_tiny, tmp_path / "no.snap")
+
+    def test_truncated_file(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        BoundaryNodeEstimator(metro_tiny, 2, 2).save_snapshot(path)
+        blob = path.read_bytes()
+        for cut in (0, 10, len(blob) // 2, len(blob) - 3):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(EstimatorError, match="truncated|not an"):
+                BoundaryNodeEstimator.from_snapshot(metro_tiny, path)
+
+    def test_wrong_magic(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        BoundaryNodeEstimator(metro_tiny, 2, 2).save_snapshot(path)
+        blob = path.read_bytes()
+        path.write_bytes(b"NOTASNAP" + blob[8:])
+        with pytest.raises(EstimatorError, match="not an estimator snapshot"):
+            BoundaryNodeEstimator.from_snapshot(metro_tiny, path)
+
+    def test_wrong_version(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        BoundaryNodeEstimator(metro_tiny, 2, 2).save_snapshot(path)
+        blob = bytearray(path.read_bytes())
+        blob[8:10] = struct.pack("<H", 99)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(EstimatorError, match="version 99"):
+            BoundaryNodeEstimator.from_snapshot(metro_tiny, path)
+
+    def test_network_mismatch(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        BoundaryNodeEstimator(metro_tiny, 2, 2).save_snapshot(path)
+        other = make_metro_network(MetroConfig(width=10, height=10, seed=6))
+        with pytest.raises(EstimatorError, match="different network"):
+            BoundaryNodeEstimator.from_snapshot(other, path)
+
+    def test_fingerprint_sensitive_to_patterns(self, metro_tiny):
+        base = network_fingerprint(metro_tiny)
+        assert base == network_fingerprint(metro_tiny)  # deterministic
+        other = make_metro_network(MetroConfig(width=10, height=10, seed=6))
+        assert base != network_fingerprint(other)
+
+    def test_save_requires_array_backend(self, metro_tiny, tmp_path):
+        est = BoundaryNodeEstimator(metro_tiny, 2, 2, backend="dict")
+        with pytest.raises(EstimatorError, match="array"):
+            est.save_snapshot(tmp_path / "est.snap")
+
+    def test_bad_fingerprint_length_rejected(self, metro_tiny, tmp_path):
+        est = BoundaryNodeEstimator(metro_tiny, 2, 2)
+        with pytest.raises(EstimatorError, match="32-byte"):
+            save_tables(est.tables, tmp_path / "x.snap", b"short")
+
+    def test_tables_grid_mismatch_rejected(self, metro_tiny):
+        tables = BoundaryNodeEstimator(metro_tiny, 2, 2).tables
+        with pytest.raises(EstimatorError, match="grid"):
+            BoundaryNodeEstimator(metro_tiny, 3, 3, tables=tables)
+
+
+class TestServeWarmStart:
+    def _service(self, network, estimator):
+        from repro.serve import AllFPService, ServiceConfig
+
+        return AllFPService(
+            network, estimator, ServiceConfig(workers=2, max_pending=8)
+        )
+
+    def test_snapshot_boot_counts_hit(self, metro_tiny, tmp_path):
+        path = tmp_path / "est.snap"
+        BoundaryNodeEstimator(metro_tiny, 3, 3).save_snapshot(path)
+        est = BoundaryNodeEstimator.from_snapshot(metro_tiny, path)
+        with self._service(metro_tiny, est) as service:
+            assert (
+                service.metrics.counter_value("estimator_snapshot_hits_total")
+                == 1.0
+            )
+            assert (
+                service.metrics.counter_value(
+                    "estimator_snapshot_misses_total"
+                )
+                == 0.0
+            )
+            assert (
+                service.metrics.gauge_value("estimator_precompute_seconds")
+                == 0.0
+            )
+
+    def test_cold_boot_counts_miss_and_seconds(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        with self._service(metro_tiny, est) as service:
+            assert (
+                service.metrics.counter_value(
+                    "estimator_snapshot_misses_total"
+                )
+                == 1.0
+            )
+            assert (
+                service.metrics.gauge_value("estimator_precompute_seconds")
+                > 0.0
+            )
+
+    def test_bound_evaluations_metered(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("7:30"))
+        with self._service(metro_tiny, est) as service:
+            response = service.all_fastest_paths(0, 55, interval)
+            assert response.result.stats.bound_evaluations > 0
+            assert service.metrics.counter_total(
+                "engine_bound_evaluations_total"
+            ) == float(response.result.stats.bound_evaluations)
+
+    def test_invalidate_refreshes_estimator(self, metro_tiny):
+        est = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        tables = est.tables
+        interval = TimeInterval(parse_clock("7:00"), parse_clock("7:30"))
+        with self._service(metro_tiny, est) as service:
+            first = service.all_fastest_paths(0, 55, interval)
+            service.invalidate(refresh_estimator=True)
+            assert est.tables is not tables  # precompute re-ran
+            assert (
+                service.metrics.counter_value("estimator_refreshes_total")
+                == 1.0
+            )
+            second = service.all_fastest_paths(0, 55, interval)
+            assert second.result.entries == first.result.entries
+            assert not second.cached  # version bump invalidated the cache
+
+
+class TestCLI:
+    def _generate(self, tmp_path, seed=5):
+        from repro.cli import main
+
+        net_path = tmp_path / "net.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--out",
+                    str(net_path),
+                    "--width",
+                    "8",
+                    "--height",
+                    "8",
+                    "--seed",
+                    str(seed),
+                ]
+            )
+            == 0
+        )
+        return net_path
+
+    def test_precompute_verb_writes_snapshot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        net_path = self._generate(tmp_path)
+        snap = tmp_path / "net.est"
+        code = main(
+            [
+                "precompute",
+                "--network",
+                str(net_path),
+                "--out",
+                str(snap),
+                "--grid",
+                "3",
+                "--workers",
+                str(max(ENV_WORKERS, 1)),
+            ]
+        )
+        assert code == 0
+        assert snap.exists()
+        out = capsys.readouterr().out
+        assert "3x3 grid" in out and "precompute" in out
+
+    def test_query_cache_miss_then_hit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        net_path = self._generate(tmp_path)
+        snap = tmp_path / "net.est"
+        base = [
+            "query",
+            "--network",
+            str(net_path),
+            "--source",
+            "0",
+            "--target",
+            "60",
+            "--estimator",
+            "boundary",
+            "--grid",
+            "3",
+            "--estimator-cache",
+            str(snap),
+        ]
+        assert main(base) == 0
+        captured = capsys.readouterr()
+        assert "estimator cache miss" in captured.err
+        assert snap.exists()
+        assert main(base) == 0
+        captured = capsys.readouterr()
+        assert "estimator cache hit" in captured.err
+
+    def test_query_cache_mismatch_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        net_a = self._generate(tmp_path, seed=5)
+        snap = tmp_path / "net.est"
+        assert (
+            main(
+                [
+                    "precompute",
+                    "--network",
+                    str(net_a),
+                    "--out",
+                    str(snap),
+                    "--grid",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        net_b = tmp_path / "other.json"
+        from repro.cli import main as cli_main
+
+        assert (
+            cli_main(
+                [
+                    "generate",
+                    "--out",
+                    str(net_b),
+                    "--width",
+                    "8",
+                    "--height",
+                    "8",
+                    "--seed",
+                    "6",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = cli_main(
+            [
+                "query",
+                "--network",
+                str(net_b),
+                "--source",
+                "0",
+                "--target",
+                "60",
+                "--estimator",
+                "boundary",
+                "--estimator-cache",
+                str(snap),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        error_lines = [
+            line for line in captured.err.splitlines() if line.strip()
+        ]
+        assert len(error_lines) == 1  # one clean line, no traceback
+        assert error_lines[0].startswith("error: ")
+        assert "different network" in error_lines[0]
+
+    def test_precompute_rejects_ccam(self, tmp_path, capsys):
+        from repro.cli import main
+
+        net_path = self._generate(tmp_path)
+        ccam = tmp_path / "net.ccam"
+        assert (
+            main(
+                ["build-ccam", "--network", str(net_path), "--out", str(ccam)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "precompute",
+                "--network",
+                str(ccam),
+                "--out",
+                str(tmp_path / "x.est"),
+            ]
+        )
+        assert code == 2
+        assert "full graph" in capsys.readouterr().err

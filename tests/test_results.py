@@ -60,7 +60,8 @@ class TestSearchStats:
         assert d["breakpoints_allocated"] == 0
         assert d["edge_cache_hits"] == 0
         assert d["timed_out"] is False
-        assert len(d) == 13
+        assert d["bound_evaluations"] == 0
+        assert len(d) == 14
 
     def test_default_zeroed(self):
         assert SearchStats().expanded_paths == 0
