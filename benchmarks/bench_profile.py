@@ -1,0 +1,224 @@
+"""Profile-search A/B benchmark — writes ``BENCH_profile.json``.
+
+Measures the kernel-native one-to-all profile search (flat-array
+``compose``/``merge_min`` per relaxation, functions materialised once at
+the end) against the retained legacy object path (``compose_with`` /
+``pointwise_minimum`` on function objects), on the two workloads that sit
+on it:
+
+* **profile sweep** — ``profile_search`` from several sources over a
+  leaving-time interval (the allFP building block and the kNN substrate);
+* **shortcut build** — the hierarchy's boundary-to-boundary profile
+  searches (``HierarchicalIndex``), whose build time is dominated by the
+  profile loop.
+
+Before any timing is reported the two implementations' answers are
+compared at sampled leaving instants — a speedup over a wrong answer is
+worthless.  The emitted ``meta`` carries the headline speedups CI gates
+on (>= 2x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from emit_json import emit_bench_json
+
+from repro.core.profile import profile_search
+from repro.func import kernel
+from repro.hierarchy.index import HierarchicalIndex
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.timeutil import TimeInterval
+
+#: Answers must agree to this absolute tolerance at every sampled instant.
+TOL = 1e-6
+
+
+def sample_points(interval: TimeInterval, n: int = 9) -> list[float]:
+    span = interval.end - interval.start
+    return [interval.start + span * i / (n - 1) for i in range(n)]
+
+
+def timed(flag: bool, fn, repeat: int) -> float:
+    """Best-of-``repeat`` seconds for ``fn()`` under the given kernel flag."""
+    previous = kernel.set_kernel_enabled(flag)
+    try:
+        best = float("inf")
+        for _ in range(repeat):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+    finally:
+        kernel.set_kernel_enabled(previous)
+
+
+def check_profiles(fast: dict, slow: dict, points: list[float]) -> int:
+    """Assert both answer sets agree at every sample; return checks done."""
+    assert set(fast) == set(slow), (
+        f"reachable sets differ: {len(fast)} vs {len(slow)} nodes"
+    )
+    checked = 0
+    for node, fn in fast.items():
+        other = slow[node]
+        for t in points:
+            a, b = fn(t), other(t)
+            assert abs(a - b) <= TOL, (node, t, a, b)
+            checked += 1
+    return checked
+
+
+def check_shortcuts(fast: HierarchicalIndex, slow: HierarchicalIndex, points) -> int:
+    assert fast.stats.shortcuts == slow.stats.shortcuts
+    checked = 0
+    for node in fast.network.node_ids():
+        fast_cuts = {s.target: s.profile for s in fast.shortcuts_from(node)}
+        slow_cuts = {s.target: s.profile for s in slow.shortcuts_from(node)}
+        assert set(fast_cuts) == set(slow_cuts)
+        for target, fn in fast_cuts.items():
+            other = slow_cuts[target]
+            for t in points:
+                a, b = fn(t), other(t)
+                assert abs(a - b) <= TOL, (node, target, t, a, b)
+                checked += 1
+    return checked
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        net_cfg = MetroConfig(width=10, height=10, seed=5)
+        sources = (0, 44, 99)
+        hier_cells = 2
+        repeat = 1
+    else:
+        net_cfg = MetroConfig(width=16, height=16, seed=3)
+        sources = (0, 85, 140, 255)
+        hier_cells = 3
+        repeat = 3
+
+    network = make_metro_network(net_cfg)
+    interval = TimeInterval.from_clock("7:00", "9:00")
+    horizon = TimeInterval.from_clock("5:00", "14:00")
+    print(
+        f"network: {network.node_count} nodes, {network.edge_count} edges; "
+        f"sources={list(sources)}, hierarchy {hier_cells}x{hier_cells}"
+    )
+
+    results = []
+
+    # --- profile sweep: answers first, then timings -------------------
+    points = sample_points(interval)
+    checked = 0
+    for source in sources:
+        fast = _run_one(True, network, source, interval)
+        slow = _run_one(False, network, source, interval)
+        checked += check_profiles(fast, slow, points)
+    print(f"profile answers identical: {checked} sampled values compared")
+
+    def sweep() -> None:
+        for source in sources:
+            profile_search(network, source, interval)
+
+    kernel_s = timed(True, sweep, repeat)
+    legacy_s = timed(False, sweep, repeat)
+    profile_speedup = legacy_s / kernel_s
+    results.append(
+        {
+            "name": "profile_sweep_kernel",
+            "sources": len(sources),
+            "seconds": kernel_s,
+            "speedup_vs_legacy": profile_speedup,
+        }
+    )
+    results.append(
+        {"name": "profile_sweep_legacy", "sources": len(sources), "seconds": legacy_s}
+    )
+    print(
+        f"  profile sweep: kernel {kernel_s*1e3:8.1f} ms  "
+        f"legacy {legacy_s*1e3:8.1f} ms ({profile_speedup:.2f}x)"
+    )
+
+    # --- hierarchy shortcut build -------------------------------------
+    fast_index = _build_index(True, network, hier_cells, horizon)
+    slow_index = _build_index(False, network, hier_cells, horizon)
+    checked = check_shortcuts(fast_index, slow_index, sample_points(horizon, 7))
+    print(
+        f"shortcut answers identical: {fast_index.stats.shortcuts} shortcuts, "
+        f"{checked} sampled values compared"
+    )
+
+    build_kernel_s = timed(
+        True, lambda: HierarchicalIndex(network, hier_cells, hier_cells, horizon), repeat
+    )
+    build_legacy_s = timed(
+        False, lambda: HierarchicalIndex(network, hier_cells, hier_cells, horizon), repeat
+    )
+    build_speedup = build_legacy_s / build_kernel_s
+    results.append(
+        {
+            "name": "hierarchy_build_kernel",
+            "cells": hier_cells,
+            "shortcuts": fast_index.stats.shortcuts,
+            "seconds": build_kernel_s,
+            "speedup_vs_legacy": build_speedup,
+        }
+    )
+    results.append(
+        {"name": "hierarchy_build_legacy", "cells": hier_cells, "seconds": build_legacy_s}
+    )
+    print(
+        f"  shortcut build: kernel {build_kernel_s*1e3:8.1f} ms  "
+        f"legacy {build_legacy_s*1e3:8.1f} ms ({build_speedup:.2f}x)"
+    )
+
+    meta = {
+        "nodes": network.node_count,
+        "edges": network.edge_count,
+        "interval_minutes": interval.end - interval.start,
+        "speedup_profile_kernel_vs_legacy": profile_speedup,
+        "speedup_hierarchy_build_kernel_vs_legacy": build_speedup,
+        "answers_checked": True,
+    }
+    path = emit_bench_json(
+        "profile",
+        results,
+        scale="quick" if args.quick else "small",
+        quick=args.quick,
+        meta=meta,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _run_one(flag: bool, network, source: int, interval: TimeInterval) -> dict:
+    previous = kernel.set_kernel_enabled(flag)
+    try:
+        return dict(profile_search(network, source, interval).profiles)
+    finally:
+        kernel.set_kernel_enabled(previous)
+
+
+def _build_index(flag, network, cells, horizon) -> HierarchicalIndex:
+    previous = kernel.set_kernel_enabled(flag)
+    try:
+        return HierarchicalIndex(network, cells, cells, horizon)
+    finally:
+        kernel.set_kernel_enabled(previous)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

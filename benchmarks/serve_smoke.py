@@ -9,7 +9,10 @@ then checks the end-to-end contract the CI job cares about:
    (deterministically: the network is gated so the leader is provably
    still in flight when the duplicates arrive),
 4. ``GET /metrics`` counters reconcile with the client-observed request
-   count.
+   count,
+5. the one-to-many endpoints answer: ``POST /v1/profile`` returns one
+   arrival profile per requested target and ``POST /v1/knn`` a ranked
+   neighbour list, both with search stats attached.
 
 Exits non-zero on the first failed assertion.
 
@@ -129,6 +132,23 @@ def main() -> int:
         assert samples["repro_engine_runs_total"] == 2, samples
         assert samples["repro_pending_requests"] == 0, samples
         print(f"metrics ok: {sent} requests reconciled")
+
+        # 5. one-to-many endpoints: /v1/profile and /v1/knn
+        status, body = client.profile(0, [5, 27, 99], interval)
+        assert status == 200, (status, body)
+        profiles = body["result"]["profiles"]
+        assert set(profiles) == {"5", "27", "99"}, sorted(profiles)
+        assert body["result"]["stats"]["expanded_paths"] > 0, body
+        print(f"profile ok: {len(profiles)} target profile(s)")
+
+        status, body = client.knn(0, [12, 34, 56, 78], 2, interval)
+        assert status == 200, (status, body)
+        neighbors = body["result"]["neighbors"]
+        assert len(neighbors) == 2, body
+        assert (
+            neighbors[0]["min_travel_time"] <= neighbors[1]["min_travel_time"]
+        ), neighbors
+        print(f"knn ok: top-{len(neighbors)} of 4 candidates")
     finally:
         network.gate.set()
         server.shutdown()

@@ -93,8 +93,13 @@ from .core import (
     FixedPathResult,
     SearchStats,
 )
-from .core.profile import arrival_profile
+from .core.profile import ProfileResult, arrival_profile, profile_search
 from .core.knn import interval_knn, nearest_partition
+from .core.runtime import (
+    QueryTimeout,
+    SearchBudgetExceeded,
+    SearchContext,
+)
 from .hierarchy import HierarchicalIndex, HierarchicalEngine, ShortcutEdge
 from .storage import CCAMStore
 from .workloads import (
@@ -167,6 +172,11 @@ __all__ = [
     "SearchStats",
     # hierarchy & profiles
     "arrival_profile",
+    "profile_search",
+    "ProfileResult",
+    "SearchContext",
+    "SearchBudgetExceeded",
+    "QueryTimeout",
     "interval_knn",
     "nearest_partition",
     "HierarchicalIndex",

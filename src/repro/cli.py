@@ -8,6 +8,10 @@ Installed as ``repro-allfp``::
     repro-allfp query --network metro.json --source 0 --target 2303 \\
         --from 7:00 --to 9:00 --mode allfp \\
         --estimator boundary --estimator-cache metro.est
+    repro-allfp profile --network metro.json --source 0 --targets 3,4,5 \\
+        --from 7:00 --to 9:00
+    repro-allfp knn --network metro.json --source 0 --candidates 3,4,5 \\
+        --k 2 --from 7:00 --to 9:00
     repro-allfp info --network metro.json
     repro-allfp serve --network metro.json --port 8080 \\
         --estimator boundary --estimator-cache metro.est
@@ -180,6 +184,73 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_node_list(raw: str, flag: str) -> list[int]:
+    try:
+        nodes = [int(part) for part in raw.split(",") if part.strip() != ""]
+    except ValueError as exc:
+        raise ReproError(
+            f"{flag} must be a comma-separated list of node ids: {exc}"
+        ) from exc
+    if not nodes:
+        raise ReproError(f"{flag} must name at least one node")
+    return nodes
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core.profile import profile_search
+
+    network = _open_network(args.network)
+    interval = TimeInterval(
+        parse_clock(args.leave_from, args.day), parse_clock(args.leave_to, args.day)
+    )
+    targets = (
+        None if args.targets is None else _parse_node_list(args.targets, "--targets")
+    )
+    result = profile_search(network, args.source, interval, targets=targets)
+    for node in sorted(result.profiles):
+        fn = result.profiles[node]
+        travel = fn.minus_identity()
+        print(
+            f"node {node}: best {format_duration(travel.min_value())}, "
+            f"worst {format_duration(travel.max_value())}, "
+            f"{len(fn)} breakpoints"
+        )
+    stats = result.stats
+    print(
+        f"reachable nodes: {len(result.profiles)}; expanded: "
+        f"{stats.expanded_paths}; elapsed: {stats.elapsed_seconds * 1e3:.1f}ms"
+    )
+    _print_kernel_stats(stats)
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    from .core.knn import interval_knn
+
+    network = _open_network(args.network)
+    interval = TimeInterval(
+        parse_clock(args.leave_from, args.day), parse_clock(args.leave_to, args.day)
+    )
+    candidates = _parse_node_list(args.candidates, "--candidates")
+    result = interval_knn(network, args.source, candidates, args.k, interval)
+    for neighbor in result.neighbors:
+        windows = ", ".join(
+            f"[{lo:.1f}, {hi:.1f}]" for lo, hi in neighbor.optimal_intervals
+        )
+        print(
+            f"#{neighbor.rank} node {neighbor.node}: "
+            f"{format_duration(neighbor.min_travel_time)} at {windows}"
+        )
+    stats = result.stats
+    print(
+        f"reachable candidates: {result.reachable_candidates}/{len(set(candidates))}; "
+        f"expanded: {stats.expanded_paths}; "
+        f"elapsed: {stats.elapsed_seconds * 1e3:.1f}ms"
+    )
+    _print_kernel_stats(stats)
+    return 0
+
+
 def _print_kernel_stats(stats) -> None:
     """One line of kernel-work counters (silent when the kernel was off)."""
     lookups = stats.edge_cache_hits + stats.edge_cache_misses
@@ -228,7 +299,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
     print(f"repro-allfp serving on http://{host}:{port}")
-    print("endpoints: POST /v1/allfp, POST /v1/singlefp, GET /healthz, GET /metrics")
+    print(
+        "endpoints: POST /v1/allfp, POST /v1/singlefp, POST /v1/profile, "
+        "POST /v1/knn, GET /healthz, GET /metrics"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -392,6 +466,38 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--grid", type=int, default=6, help="boundary grid size")
     add_estimator_cache_flags(query)
     query.set_defaults(func=_cmd_query)
+
+    profile = sub.add_parser(
+        "profile",
+        help="one-to-all earliest-arrival profile search from a source",
+    )
+    profile.add_argument("--network", required=True, help=".json or .ccam input")
+    profile.add_argument("--source", type=int, required=True)
+    profile.add_argument(
+        "--targets",
+        default=None,
+        help="comma-separated node ids to report (default: every reachable node)",
+    )
+    profile.add_argument("--from", dest="leave_from", default="7:00")
+    profile.add_argument("--to", dest="leave_to", default="9:00")
+    profile.add_argument("--day", type=int, default=0, help="0 = Monday")
+    profile.set_defaults(func=_cmd_profile)
+
+    knn = sub.add_parser(
+        "knn", help="time-interval k-nearest-neighbour query"
+    )
+    knn.add_argument("--network", required=True, help=".json or .ccam input")
+    knn.add_argument("--source", type=int, required=True)
+    knn.add_argument(
+        "--candidates",
+        required=True,
+        help="comma-separated candidate node ids",
+    )
+    knn.add_argument("--k", type=int, default=1)
+    knn.add_argument("--from", dest="leave_from", default="7:00")
+    knn.add_argument("--to", dest="leave_to", default="9:00")
+    knn.add_argument("--day", type=int, default=0, help="0 = Monday")
+    knn.set_defaults(func=_cmd_knn)
 
     def add_service_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--network", required=True, help=".json or .ccam input")

@@ -26,10 +26,24 @@ from .arrival import (
     ArrivalAllFPResult,
     reverse_boundary_estimator,
 )
-from .profile import arrival_profile, travel_time_profile
+from .profile import ProfileResult, arrival_profile, profile_search, travel_time_profile
 from .knn import interval_knn, nearest_partition, KnnResult, KnnNeighbor, NearestEntry
+from .runtime import (
+    DEFAULT_EDGE_CACHE_SIZE,
+    EdgeFunctionCache,
+    QueryTimeout,
+    SearchBudgetExceeded,
+    SearchContext,
+)
 
 __all__ = [
+    "SearchContext",
+    "EdgeFunctionCache",
+    "SearchBudgetExceeded",
+    "QueryTimeout",
+    "DEFAULT_EDGE_CACHE_SIZE",
+    "ProfileResult",
+    "profile_search",
     "SearchStats",
     "FixedPathResult",
     "SingleFPResult",

@@ -47,6 +47,7 @@ from ..patterns.travel_time import edge_arrival_function
 from ..timeutil import EPS, TimeInterval
 from .labels import LabelQueue, PathLabel
 from .results import AllFPEntry, AllFPResult, SearchStats, SingleFPResult, merge_adjacent_entries
+from .runtime import SearchContext
 
 
 def reverse_boundary_estimator(
@@ -123,12 +124,20 @@ class ArrivalIntAllFastestPaths:
         estimator: LowerBoundEstimator | None = None,
         prune: bool = True,
         max_pops: int | None = None,
+        deadline: float | None = None,
+        context: SearchContext | None = None,
     ) -> None:
         self._network = network
         self._estimator = estimator or NaiveEstimator(network)
         self._prune = prune
-        self._max_pops = max_pops
+        self._context = context or SearchContext(
+            network, max_pops=max_pops, deadline=deadline
+        )
         self._incoming_cache: dict[int, list] = {}
+
+    @property
+    def context(self) -> SearchContext:
+        return self._context
 
     # ------------------------------------------------------------------
     def _incoming(self, node: int) -> list:
@@ -163,18 +172,30 @@ class ArrivalIntAllFastestPaths:
 
     # ------------------------------------------------------------------
     def all_fastest_paths(
-        self, source: int, target: int, arrival_interval: TimeInterval
+        self,
+        source: int,
+        target: int,
+        arrival_interval: TimeInterval,
+        deadline: float | None = None,
     ) -> "ArrivalAllFPResult":
         """Every fastest path, one per sub-interval of the arrival window."""
-        _single, result = self._run(source, target, arrival_interval, False)
+        _single, result = self._run(
+            source, target, arrival_interval, False, deadline=deadline
+        )
         assert result is not None
         return result
 
     def single_fastest_path(
-        self, source: int, target: int, arrival_interval: TimeInterval
+        self,
+        source: int,
+        target: int,
+        arrival_interval: TimeInterval,
+        deadline: float | None = None,
     ) -> SingleFPResult:
         """The best arrival instant in the window and its fastest path."""
-        single, _result = self._run(source, target, arrival_interval, True)
+        single, _result = self._run(
+            source, target, arrival_interval, True, deadline=deadline
+        )
         return single
 
     # ------------------------------------------------------------------
@@ -184,6 +205,7 @@ class ArrivalIntAllFastestPaths:
         target: int,
         arrival_interval: TimeInterval,
         single_only: bool,
+        deadline: float | None = None,
     ):
         self._network.location(source)
         self._network.location(target)
@@ -202,15 +224,24 @@ class ArrivalIntAllFastestPaths:
             return value
 
         lo, hi = arrival_interval.start, arrival_interval.end
-        stats = SearchStats()
-        io_before = getattr(self._network, "page_reads", 0)
-        kernel_before = kernel.COUNTERS.snapshot()
+        run = (
+            self._context.begin()
+            if deadline is None
+            else self._context.begin(deadline=deadline)
+        )
+        stats = run.stats
         queue = LabelQueue()
         dominance = _LatestDepartureStore(lo, hi)
         border = AnnotatedEnvelope(lo, hi)
         departures: dict[Hashable, PiecewiseLinearFunction] = {}
         expanded_nodes: set[int] = set()
         first_source_label: PathLabel | None = None
+
+        def exit_hook(s: SearchStats) -> None:
+            s.distinct_nodes = len(expanded_nodes)
+            s.max_queue_size = queue.max_size
+
+        run.exit_hook = exit_hook
 
         # A backward label reuses PathLabel with ``arrival`` holding the
         # departure function D(a): travel = a − D(a) = −(D − identity), so
@@ -251,10 +282,7 @@ class ArrivalIntAllFastestPaths:
 
             stats.expanded_paths += 1
             expanded_nodes.add(head)
-            if self._max_pops is not None and stats.expanded_paths > self._max_pops:
-                raise QueryError(
-                    f"arrival search exceeded max_pops={self._max_pops}"
-                )
+            run.tick()
             dep_lo, dep_hi = label.arrival.y_min, label.arrival.y_max
             for edge in self._incoming(head):
                 if edge.source in label.path:
@@ -275,15 +303,10 @@ class ArrivalIntAllFastestPaths:
                     continue
                 queue.push(new_label)
 
-        stats.distinct_nodes = len(expanded_nodes)
-        stats.max_queue_size = queue.max_size
-        stats.page_reads = getattr(self._network, "page_reads", 0) - io_before
-        stats.breakpoints_allocated, stats.envelope_merges = (
-            kernel.COUNTERS.delta(kernel_before)
-        )
+        run.finalize()
 
         if first_source_label is None:
-            raise NoPathError(source, target)
+            raise NoPathError(source, target, stats=stats)
 
         travel_fn = first_source_label.arrival.minus_identity().scale(-1.0)
         single = SingleFPResult(

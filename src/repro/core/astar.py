@@ -12,6 +12,10 @@ Roles in this repository:
 * the inner loop of the discrete-time baseline (§6.3),
 * the independent test oracle that IntAllFastestPaths is validated against,
 * the engine behind the constant-speed "commercial navigation" comparison.
+
+The search runs on the shared :mod:`repro.core.runtime`: stats are
+finalized on **every** exit (success, no-path, budget, timeout), and
+``max_pops``/``deadline`` behave exactly as on the interval engines.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from typing import Callable
 from ..exceptions import NoPathError, QueryError
 from ..patterns.travel_time import traverse
 from .results import FixedPathResult, SearchStats
+from .runtime import SearchContext
 
 
 def fixed_departure_query(
@@ -31,6 +36,10 @@ def fixed_departure_query(
     target: int,
     depart: float,
     heuristic: Callable[[int], float] | None = None,
+    *,
+    max_pops: int | None = None,
+    deadline: float | None = None,
+    context: SearchContext | None = None,
 ) -> FixedPathResult:
     """Fastest path for one leaving instant, via time-dependent A*.
 
@@ -44,6 +53,15 @@ def fixed_departure_query(
         Admissible lower bound (minutes) from a node to ``target``; ``None``
         degrades A* to time-dependent Dijkstra.  Pass
         ``estimator.bound`` after ``estimator.prepare(target)``.
+    max_pops:
+        Budget on settled-node expansions; exceeded raises
+        :class:`~repro.core.runtime.SearchBudgetExceeded` with partial stats.
+    deadline:
+        Wall-clock budget in seconds; exceeded raises
+        :class:`~repro.core.runtime.QueryTimeout` with partial stats.
+    context:
+        An existing :class:`~repro.core.runtime.SearchContext` supplying the
+        defaults for both (per-call arguments override it).
     """
     network.location(source)
     network.location(target)
@@ -52,14 +70,21 @@ def fixed_departure_query(
     calendar = network.calendar
     h = heuristic if heuristic is not None else (lambda _node: 0.0)
 
-    stats = SearchStats()
+    ctx = context or SearchContext(network)
+    run = ctx.begin(
+        **({} if max_pops is None else {"max_pops": max_pops}),
+        **({} if deadline is None else {"deadline": deadline}),
+    )
+    stats = run.stats
     counter = itertools.count()
     best_arrival: dict[int, float] = {source: depart}
     parent: dict[int, int] = {}
     settled: set[int] = set()
+    run.exit_hook = lambda s: setattr(s, "distinct_nodes", len(settled))
     heap: list[tuple[float, int, float, int]] = [
         (depart + h(source), next(counter), depart, source)
     ]
+    stats.labels_generated += 1
 
     while heap:
         stats.max_queue_size = max(stats.max_queue_size, len(heap))
@@ -69,11 +94,12 @@ def fixed_departure_query(
         settled.add(node)
         if node == target:
             path = _reconstruct(parent, source, target)
-            stats.distinct_nodes = len(settled)
+            run.finalize()
             return FixedPathResult(
                 source, target, depart, path, arrival, stats
             )
         stats.expanded_paths += 1
+        run.tick()
         for edge in network.outgoing(node):
             if edge.target in settled:
                 continue
@@ -93,7 +119,9 @@ def fixed_departure_query(
                         edge.target,
                     ),
                 )
-    raise NoPathError(source, target)
+    # Queue exhausted without settling the target: finalize the partial
+    # stats and attach them to the error so the work is still observable.
+    raise NoPathError(source, target, stats=run.finalize())
 
 
 def _reconstruct(

@@ -14,6 +14,7 @@ fixed-departure A* per instant.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..estimators.base import LowerBoundEstimator
@@ -21,6 +22,7 @@ from ..exceptions import QueryError
 from ..timeutil import EPS, TimeInterval
 from .astar import fixed_departure_query
 from .results import AllFPEntry, FixedPathResult, SearchStats, merge_adjacent_entries
+from .runtime import QueryTimeout, SearchBudgetExceeded, SearchContext
 
 
 @dataclass(frozen=True)
@@ -57,10 +59,23 @@ class DiscreteTimeModel:
     """
 
     def __init__(
-        self, network, estimator: LowerBoundEstimator | None = None
+        self,
+        network,
+        estimator: LowerBoundEstimator | None = None,
+        *,
+        context: SearchContext | None = None,
+        max_pops: int | None = None,
+        deadline: float | None = None,
     ) -> None:
         self._network = network
         self._estimator = estimator
+        self._context = context or SearchContext(
+            network, max_pops=max_pops, deadline=deadline
+        )
+
+    @property
+    def context(self) -> SearchContext:
+        return self._context
 
     def _instants(self, interval: TimeInterval, step: float) -> list[float]:
         if step <= 0:
@@ -86,17 +101,15 @@ class DiscreteTimeModel:
         step: float,
     ) -> DiscreteQueryResult:
         """Discrete-time singleFP: best result over one A* per instant."""
-        heuristic = self._heuristic(target)
-        totals = SearchStats()
-        best: FixedPathResult | None = None
         instants = self._instants(interval, step)
-        for depart in instants:
-            result = fixed_departure_query(
-                self._network, source, target, depart, heuristic
-            )
-            self._accumulate(totals, result.stats)
+        best: FixedPathResult | None = None
+
+        def keep(_i: int, result: FixedPathResult) -> None:
+            nonlocal best
             if best is None or result.travel_time < best.travel_time - EPS:
                 best = result
+
+        totals = self._run_instants(source, target, instants, keep)
         assert best is not None
         return DiscreteQueryResult(
             source, target, interval, step, best, len(instants), totals
@@ -114,20 +127,67 @@ class DiscreteTimeModel:
         Sub-interval boundaries are snapped to the discretization grid —
         the inaccuracy the continuous method avoids.
         """
-        heuristic = self._heuristic(target)
-        totals = SearchStats()
         instants = self._instants(interval, step)
         entries: list[AllFPEntry] = []
-        for i, depart in enumerate(instants):
-            result = fixed_departure_query(
-                self._network, source, target, depart, heuristic
-            )
-            self._accumulate(totals, result.stats)
+
+        def keep(i: int, result: FixedPathResult) -> None:
             end = instants[i + 1] if i + 1 < len(instants) else interval.end
             entries.append(
-                AllFPEntry(TimeInterval(depart, min(end, interval.end)), result.path)
+                AllFPEntry(
+                    TimeInterval(result.depart, min(end, interval.end)),
+                    result.path,
+                )
             )
+
+        totals = self._run_instants(source, target, instants, keep)
         return merge_adjacent_entries(entries), totals
+
+    def _run_instants(
+        self,
+        source: int,
+        target: int,
+        instants: list[float],
+        keep,
+    ) -> SearchStats:
+        """One A* per instant, with the context's budgets applied in total.
+
+        ``max_pops`` is a budget on the *sum* of expansions across all
+        instants; ``deadline`` is a wall-clock budget on the whole batch
+        (each inner run gets the remaining time).  A budget failure
+        re-raises with the aggregated partial stats.
+        """
+        heuristic = self._heuristic(target)
+        totals = SearchStats()
+        max_pops = self._context.max_pops
+        deadline = self._context.deadline
+        started = time.monotonic()
+        deadline_at = None if deadline is None else started + deadline
+        remaining_pops = max_pops
+        for i, depart in enumerate(instants):
+            inner: dict[str, float | int] = {}
+            if remaining_pops is not None:
+                inner["max_pops"] = max(remaining_pops, 0)
+            if deadline_at is not None:
+                inner["deadline"] = max(deadline_at - time.monotonic(), 0.0)
+            try:
+                result = fixed_departure_query(
+                    self._network, source, target, depart, heuristic, **inner
+                )
+            except QueryTimeout as exc:
+                self._accumulate(totals, exc.stats)
+                totals.elapsed_seconds = time.monotonic() - started
+                totals.timed_out = True
+                raise QueryTimeout(deadline, totals) from exc
+            except SearchBudgetExceeded as exc:
+                self._accumulate(totals, exc.stats)
+                totals.elapsed_seconds = time.monotonic() - started
+                raise SearchBudgetExceeded(max_pops, totals) from exc
+            self._accumulate(totals, result.stats)
+            if remaining_pops is not None:
+                remaining_pops -= result.stats.expanded_paths
+            keep(i, result)
+        totals.elapsed_seconds = time.monotonic() - started
+        return totals
 
     @staticmethod
     def _accumulate(totals: SearchStats, run: SearchStats) -> None:

@@ -17,21 +17,20 @@ minima only grow while the border's maximum only shrinks.
 
 The first destination-ending path popped answers the singleFP query; the
 completed border answers the allFP query.
+
+Loop plumbing (edge-function cache, stats, budgets, deadlines) lives in
+:mod:`repro.core.runtime`; this module re-exports the names it used to own
+(``EdgeFunctionCache``, ``SearchBudgetExceeded``, ``QueryTimeout``, …) so
+existing imports keep working.
 """
 
 from __future__ import annotations
 
-import time
-from collections import OrderedDict
-from typing import Callable
-
 from ..estimators.base import LowerBoundEstimator
 from ..estimators.naive import NaiveEstimator
 from ..exceptions import NoPathError, QueryError
-from ..func import kernel
 from ..func.envelope import AnnotatedEnvelope
-from ..func.monotone import MonotonePiecewiseLinear, identity
-from ..patterns.travel_time import edge_arrival_function
+from ..func.monotone import identity
 from ..timeutil import EPS, TimeInterval
 from .dominance import DominanceStore
 from .labels import LabelQueue, PathLabel
@@ -42,119 +41,26 @@ from .results import (
     SingleFPResult,
     merge_adjacent_entries,
 )
+from .runtime import (
+    _CACHE_SLACK,
+    DEFAULT_EDGE_CACHE_SIZE,
+    EdgeFunctionCache,
+    QueryTimeout,
+    SearchBudgetExceeded,
+    SearchContext,
+)
 
-#: Extra minutes of slack when materialising an edge's arrival function, so
-#: small window growth across labels reuses the cached function.
-_CACHE_SLACK = 180.0
+#: Backwards-compatible private alias (pre-runtime callers referenced it).
+_EdgeFunctionCache = EdgeFunctionCache
 
-#: Default ceiling on cached edge functions; bounds memory across queries.
-DEFAULT_EDGE_CACHE_SIZE = 4096
-
-
-class SearchBudgetExceeded(QueryError):
-    """Raised when a query exceeds ``max_pops`` (see the pruning ablation)."""
-
-    def __init__(self, max_pops: int, stats: SearchStats) -> None:
-        super().__init__(f"search exceeded max_pops={max_pops}")
-        self.stats = stats
-
-
-class QueryTimeout(QueryError):
-    """Raised when a query exceeds its wall-clock ``deadline``.
-
-    The deadline is checked on the same branch as the ``max_pops`` pop
-    counter, so enabling it adds one clock read per expansion and nothing
-    on any other path.  ``stats`` carries the partial counters (with
-    ``timed_out`` set) so callers can report how far the search got.
-    """
-
-    def __init__(self, deadline: float, stats: SearchStats) -> None:
-        super().__init__(
-            f"query exceeded deadline of {deadline:.3f}s "
-            f"after {stats.expanded_paths} expansions"
-        )
-        self.deadline = deadline
-        self.stats = stats
-
-
-class _EdgeFunctionCache:
-    """Per-edge memo of arrival functions over a growing time window.
-
-    Edge arrival functions depend only on the edge and the departure window,
-    not on the query, so repeated expansions (and repeated queries against
-    the same engine) reuse them.  Keyed by ``(source, target)`` because the
-    disk-backed accessor materialises fresh ``Edge`` objects per call.
-
-    The cache is LRU-bounded: cross-query reuse keeps hot edges resident
-    while cold edges are evicted once ``max_entries`` is reached, so a
-    long-lived engine's memory stays proportional to its working set rather
-    than to every edge it has ever touched.  ``hits`` / ``misses`` feed the
-    ``edge_cache_*`` fields of :class:`~repro.core.results.SearchStats`.
-    """
-
-    __slots__ = ("_calendar", "_cache", "_max_entries", "hits", "misses")
-
-    def __init__(
-        self, calendar, max_entries: int = DEFAULT_EDGE_CACHE_SIZE
-    ) -> None:
-        if max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self._calendar = calendar
-        self._cache: OrderedDict[
-            tuple[int, int], MonotonePiecewiseLinear
-        ] = OrderedDict()
-        self._max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-
-    def arrival(self, edge, lo: float, hi: float) -> MonotonePiecewiseLinear:
-        provider = getattr(edge, "arrival_function", None)
-        if provider is not None:
-            # Overlay/shortcut edges supply their function directly (already
-            # materialised over the index horizon) — nothing to cache.
-            return provider(lo, hi)
-        key = (edge.source, edge.target)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            if cached.x_min <= lo and cached.x_max >= hi:
-                self.hits += 1
-                return cached
-        self.misses += 1
-        new_lo = min(lo, cached.x_min) if cached is not None else lo
-        new_hi = max(hi, cached.x_max) if cached is not None else hi
-        # Grow geometrically (capped at a day) so a sequence of slightly
-        # wider requests costs few rebuilds instead of one per request.
-        slack = min(max(_CACHE_SLACK, new_hi - new_lo), 1440.0)
-        fn = edge_arrival_function(
-            edge.distance,
-            edge.pattern,
-            self._calendar,
-            new_lo,
-            new_hi + slack,
-        )
-        self._cache[key] = fn
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._max_entries:
-            self._cache.popitem(last=False)
-        return fn
-
-    def __len__(self) -> int:
-        return len(self._cache)
-
-    def snapshot(self) -> dict[str, int]:
-        """A point-in-time view of the cache counters (for services/metrics)."""
-        return {
-            "entries": len(self._cache),
-            "max_entries": self._max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
-
-
-#: Public alias — long-lived callers (e.g. :mod:`repro.serve`) build one
-#: shared warm cache and hand it to every engine they construct.
-EdgeFunctionCache = _EdgeFunctionCache
+__all__ = [
+    "IntAllFastestPaths",
+    "EdgeFunctionCache",
+    "SearchBudgetExceeded",
+    "QueryTimeout",
+    "SearchContext",
+    "DEFAULT_EDGE_CACHE_SIZE",
+]
 
 
 class IntAllFastestPaths:
@@ -173,18 +79,22 @@ class IntAllFastestPaths:
         paper's literal algorithm, which can blow up combinatorially).
     max_pops:
         Safety budget on queue pops; exceeded raises
-        :class:`SearchBudgetExceeded`.
+        :class:`~repro.core.runtime.SearchBudgetExceeded`.
     edge_cache_size:
         Maximum number of edge arrival functions kept in the LRU-bounded
         cross-query cache.
     edge_cache:
-        An existing :class:`EdgeFunctionCache` to share (e.g. one warm
-        process-wide cache across a service's worker engines); overrides
-        ``edge_cache_size``.
+        An existing :class:`~repro.core.runtime.EdgeFunctionCache` to share
+        (e.g. one warm process-wide cache across a service's worker
+        engines); overrides ``edge_cache_size``.
     deadline:
         Default wall-clock budget **in seconds** applied to every query;
-        exceeded raises :class:`QueryTimeout`.  Each query method also
-        accepts a per-call ``deadline`` override.
+        exceeded raises :class:`~repro.core.runtime.QueryTimeout`.  Each
+        query method also accepts a per-call ``deadline`` override.
+    context:
+        An existing :class:`~repro.core.runtime.SearchContext` to run on;
+        overrides ``edge_cache``/``edge_cache_size``/``max_pops``/
+        ``deadline``.
     """
 
     def __init__(
@@ -194,27 +104,32 @@ class IntAllFastestPaths:
         prune: bool = True,
         max_pops: int | None = None,
         edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
-        edge_cache: _EdgeFunctionCache | None = None,
+        edge_cache: EdgeFunctionCache | None = None,
         deadline: float | None = None,
+        context: SearchContext | None = None,
     ) -> None:
         self._network = network
         self._estimator = estimator or NaiveEstimator(network)
         self._prune = prune
-        self._max_pops = max_pops
-        self._edge_cache = (
-            edge_cache
-            if edge_cache is not None
-            else _EdgeFunctionCache(network.calendar, edge_cache_size)
+        self._context = context or SearchContext(
+            network,
+            edge_cache=edge_cache,
+            edge_cache_size=edge_cache_size,
+            max_pops=max_pops,
+            deadline=deadline,
         )
-        self._deadline = deadline
 
     @property
     def estimator(self) -> LowerBoundEstimator:
         return self._estimator
 
     @property
-    def edge_cache(self) -> _EdgeFunctionCache:
-        return self._edge_cache
+    def context(self) -> SearchContext:
+        return self._context
+
+    @property
+    def edge_cache(self) -> EdgeFunctionCache:
+        return self._context.edge_cache
 
     # ------------------------------------------------------------------
     def all_fastest_paths(
@@ -262,6 +177,13 @@ class IntAllFastestPaths:
         estimator.prepare(target)
         bounds: dict[int, float] = {}
 
+        run = (
+            self._context.begin()
+            if deadline is None
+            else self._context.begin(deadline=deadline)
+        )
+        stats = run.stats
+
         def est(node: int) -> float:
             cached = bounds.get(node)
             if cached is None:
@@ -271,31 +193,17 @@ class IntAllFastestPaths:
             return cached
 
         lo, hi = interval.start, interval.end
-        stats = SearchStats()
-        io_before = getattr(self._network, "page_reads", 0)
-        kernel_before = kernel.COUNTERS.snapshot()
-        cache_hits_before = self._edge_cache.hits
-        cache_misses_before = self._edge_cache.misses
-        if deadline is None:
-            deadline = self._deadline
-        started = time.monotonic()
-        deadline_at = None if deadline is None else started + max(deadline, 0.0)
-
-        def finalize_counters() -> None:
-            bp, merges = kernel.COUNTERS.delta(kernel_before)
-            stats.breakpoints_allocated = bp
-            stats.envelope_merges = merges
-            stats.edge_cache_hits = self._edge_cache.hits - cache_hits_before
-            stats.edge_cache_misses = (
-                self._edge_cache.misses - cache_misses_before
-            )
-            stats.elapsed_seconds = time.monotonic() - started
-
         queue = LabelQueue()
         dominance = DominanceStore(lo, hi)
         border = AnnotatedEnvelope(lo, hi)
         expanded_nodes: set[int] = set()
         first_target_label: PathLabel | None = None
+
+        def exit_hook(s: SearchStats) -> None:
+            s.distinct_nodes = len(expanded_nodes)
+            s.max_queue_size = queue.max_size
+
+        run.exit_hook = exit_hook
 
         queue.push(PathLabel.make((source,), identity(lo, hi), est(source)))
         stats.labels_generated += 1
@@ -319,24 +227,14 @@ class IntAllFastestPaths:
 
             stats.expanded_paths += 1
             expanded_nodes.add(label.end)
-            if self._max_pops is not None and stats.expanded_paths > self._max_pops:
-                stats.distinct_nodes = len(expanded_nodes)
-                stats.max_queue_size = queue.max_size
-                finalize_counters()
-                raise SearchBudgetExceeded(self._max_pops, stats)
-            if deadline_at is not None and time.monotonic() >= deadline_at:
-                stats.distinct_nodes = len(expanded_nodes)
-                stats.max_queue_size = queue.max_size
-                stats.timed_out = True
-                finalize_counters()
-                raise QueryTimeout(deadline, stats)
+            run.tick()
 
             arr_lo, arr_hi = label.arrival.value_range
             for edge in self._network.outgoing(label.end):
                 if edge.target in label.path:
                     continue  # FIFO makes non-simple paths never faster
                 stats.labels_generated += 1
-                edge_fn = self._edge_cache.arrival(edge, arr_lo, arr_hi)
+                edge_fn = run.edge_arrival(edge, arr_lo, arr_hi)
                 new_arrival = edge_fn.compose(label.arrival).simplify()
                 if self._prune and dominance.is_dominated(
                     edge.target, new_arrival
@@ -351,13 +249,10 @@ class IntAllFastestPaths:
                     continue
                 queue.push(new_label)
 
-        stats.distinct_nodes = len(expanded_nodes)
-        stats.max_queue_size = queue.max_size
-        stats.page_reads = getattr(self._network, "page_reads", 0) - io_before
-        finalize_counters()
+        run.finalize()
 
         if first_target_label is None:
-            raise NoPathError(source, target)
+            raise NoPathError(source, target, stats=stats)
 
         single = self._build_single(
             source, target, interval, first_target_label, stats

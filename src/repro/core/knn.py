@@ -18,6 +18,11 @@ Implementation: one one-to-all profile search from the source yields every
 candidate's earliest-arrival function; ranking and the nearest-partition
 are then pure function algebra (minima and an annotated lower envelope).
 Exactness follows from the profile search's (FIFO networks only).
+
+Both queries run on the shared :mod:`repro.core.runtime` via
+:func:`~repro.core.profile.profile_search`: pass ``context`` to share a
+warm edge-function cache, ``max_pops``/``deadline`` to budget the
+underlying search, and read ``result.stats`` for the usual counters.
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ from ..exceptions import QueryError
 from ..func.envelope import AnnotatedEnvelope
 from ..func.piecewise import PiecewiseLinearFunction
 from ..timeutil import TimeInterval
-from .profile import arrival_profile
+from .profile import profile_search
 from .results import SearchStats
+from .runtime import SearchContext
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,17 @@ class KnnNeighbor:
     travel_time_function: PiecewiseLinearFunction
     optimal_intervals: tuple[tuple[float, float], ...]
 
+    def as_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "rank": self.rank,
+            "min_travel_time": self.min_travel_time,
+            "travel_time_function": [
+                [x, y] for x, y in self.travel_time_function.breakpoints
+            ],
+            "optimal_intervals": [list(iv) for iv in self.optimal_intervals],
+        }
+
 
 @dataclass(frozen=True)
 class KnnResult:
@@ -53,12 +70,24 @@ class KnnResult:
     k: int
     neighbors: tuple[KnnNeighbor, ...]
     reachable_candidates: int
+    stats: SearchStats | None = None
 
     def __iter__(self):
         return iter(self.neighbors)
 
     def node_ids(self) -> tuple[int, ...]:
         return tuple(n.node for n in self.neighbors)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (used by the ``/v1/knn`` service endpoint)."""
+        return {
+            "source": self.source,
+            "interval": [self.interval.start, self.interval.end],
+            "k": self.k,
+            "neighbors": [n.as_dict() for n in self.neighbors],
+            "reachable_candidates": self.reachable_candidates,
+            "stats": None if self.stats is None else self.stats.as_dict(),
+        }
 
 
 def interval_knn(
@@ -67,6 +96,10 @@ def interval_knn(
     candidates: Iterable[int],
     k: int,
     interval: TimeInterval,
+    *,
+    context: SearchContext | None = None,
+    max_pops: int | None = None,
+    deadline: float | None = None,
 ) -> KnnResult:
     """The k candidates fastest to reach at some instant in ``interval``.
 
@@ -80,9 +113,16 @@ def interval_knn(
         raise QueryError("no candidates given")
     if source in candidate_list:
         raise QueryError("source cannot be its own candidate")
-    profiles = arrival_profile(
-        network, source, interval, targets=candidate_list
+    result = profile_search(
+        network,
+        source,
+        interval,
+        targets=candidate_list,
+        context=context,
+        max_pops=max_pops,
+        deadline=deadline,
     )
+    profiles = result.profiles
     scored: list[tuple[float, int, PiecewiseLinearFunction]] = []
     for node in candidate_list:
         arrival = profiles.get(node)
@@ -107,6 +147,7 @@ def interval_knn(
         k=k,
         neighbors=neighbors,
         reachable_candidates=len(scored),
+        stats=result.stats,
     )
 
 
@@ -123,6 +164,10 @@ def nearest_partition(
     source: int,
     candidates: Sequence[int],
     interval: TimeInterval,
+    *,
+    context: SearchContext | None = None,
+    max_pops: int | None = None,
+    deadline: float | None = None,
 ) -> tuple[tuple[NearestEntry, ...], PiecewiseLinearFunction]:
     """Partition the leaving interval by the nearest candidate.
 
@@ -134,9 +179,15 @@ def nearest_partition(
     candidate_list = sorted(set(candidates))
     if not candidate_list:
         raise QueryError("no candidates given")
-    profiles = arrival_profile(
-        network, source, interval, targets=candidate_list
-    )
+    profiles = profile_search(
+        network,
+        source,
+        interval,
+        targets=candidate_list,
+        context=context,
+        max_pops=max_pops,
+        deadline=deadline,
+    ).profiles
     if not profiles:
         raise QueryError("no candidate reachable from the source")
     envelope = AnnotatedEnvelope(interval.start, interval.end)

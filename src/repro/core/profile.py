@@ -1,6 +1,6 @@
 """One-to-all earliest-arrival profile search.
 
-``arrival_profile`` computes, for every node reachable from a source, the
+:func:`profile_search` computes, for every node reachable from a source, the
 *earliest-arrival function* over a departure window — the pointwise minimum
 of the arrival functions of all paths from the source.  This is the
 label-correcting "profile search" of the time-dependent routing literature,
@@ -9,33 +9,94 @@ composition (extend a profile along an edge) and pointwise minimum (merge
 alternative paths into one profile per node).
 
 Used by the hierarchical subsystem (S15 in DESIGN.md) to materialise
-boundary-to-boundary shortcut functions inside a network fragment, and by
-the time-interval kNN feature.
+boundary-to-boundary shortcut functions inside a network fragment, by the
+time-interval kNN feature, and by the ``/v1/profile`` service endpoint.
+
+Two implementations share the loop structure:
+
+* the **kernel-native** path (default): per-node profiles are kept as raw
+  breakpoint arrays and updated with the fused flat-array operators of
+  :mod:`repro.func.kernel` — ``compose`` to extend along an edge,
+  ``lt_somewhere`` as an O(n) improvement test that skips the merge
+  entirely when a candidate is nowhere better, and ``merge_min`` +
+  ``simplify`` when it is.  Function objects are only materialised once at
+  the end, via ``MonotonePiecewiseLinear._trusted_monotone``.
+* the **legacy object** path (``REPRO_FUNC_KERNEL=0``): the original
+  per-update ``pointwise_minimum`` over function objects, retained as the
+  parity oracle and benchmark baseline.
+
+Both run on the shared :mod:`repro.core.runtime`: edge arrival functions
+come from the context's LRU :class:`~repro.core.runtime.EdgeFunctionCache`
+(shared with every other engine on the same context, and provider-aware for
+hierarchy shortcut edges), ``max_pops``/``deadline`` are enforced per node
+pop, and a finalized :class:`~repro.core.results.SearchStats` is attached
+to every exit.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
 
-from ..exceptions import QueryError
+from ..func import kernel
 from ..func.monotone import MonotonePiecewiseLinear, identity
 from ..func.piecewise import pointwise_minimum
-from ..patterns.travel_time import edge_arrival_function
 from ..timeutil import TimeInterval
+from .results import SearchStats
+from .runtime import SearchContext
 
 #: Safety valve against non-terminating relaxation (cannot trigger on FIFO
 #: networks, where every relaxation strictly lowers a finite envelope).
 _MAX_RELAXATIONS_FACTOR = 2000
 
+#: Tolerance below which a candidate profile is not considered an improvement.
+_IMPROVE_TOL = 1e-9
 
-def arrival_profile(
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Answer to a one-to-all (or one-to-many) profile search.
+
+    ``profiles`` maps node id to its earliest-arrival function over the
+    query interval; unreachable nodes are absent.  ``stats`` is the
+    finalized per-run counter set shared with every other engine.
+    """
+
+    source: int
+    interval: TimeInterval
+    profiles: Mapping[int, MonotonePiecewiseLinear]
+    stats: SearchStats
+
+    def travel_time(self, node: int):
+        """Travel-time function to ``node`` (arrival minus leave), or None."""
+        arrival = self.profiles.get(node)
+        return None if arrival is None else arrival.minus_identity()
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (used by the ``/v1/profile`` service endpoint)."""
+        return {
+            "source": self.source,
+            "interval": [self.interval.start, self.interval.end],
+            "profiles": {
+                str(node): [[x, y] for x, y in fn.breakpoints]
+                for node, fn in sorted(self.profiles.items())
+            },
+            "stats": self.stats.as_dict(),
+        }
+
+
+def profile_search(
     network,
     source: int,
     interval: TimeInterval,
     node_filter: Callable[[int], bool] | None = None,
     targets: Iterable[int] | None = None,
-) -> dict[int, MonotonePiecewiseLinear]:
+    *,
+    context: SearchContext | None = None,
+    max_pops: int | None = None,
+    deadline: float | None = None,
+) -> ProfileResult:
     """Earliest-arrival functions from ``source`` over a departure window.
 
     Parameters
@@ -51,71 +112,174 @@ def arrival_profile(
     targets:
         Optional convenience: when given, the returned mapping is restricted
         to these nodes (the computation itself is unaffected).
-
-    Returns
-    -------
-    dict node id -> monotone arrival function on ``interval``.  Unreachable
-    nodes are absent.
+    context:
+        An existing :class:`~repro.core.runtime.SearchContext` to run on —
+        shares its warm edge-function cache and default budgets.
+    max_pops:
+        Budget on node pops; exceeded raises
+        :class:`~repro.core.runtime.SearchBudgetExceeded` with partial stats.
+    deadline:
+        Wall-clock budget in seconds; exceeded raises
+        :class:`~repro.core.runtime.QueryTimeout` with partial stats.
     """
     network.location(source)
-    calendar = network.calendar
     lo, hi = interval.start, interval.end
-    profiles: dict[int, MonotonePiecewiseLinear] = {
-        source: identity(lo, hi)
-    }
-    queue: deque[int] = deque([source])
-    queued = {source}
-    relaxations = 0
+    ctx = context or SearchContext(network)
+    run = ctx.begin(
+        **({} if max_pops is None else {"max_pops": max_pops}),
+        **({} if deadline is None else {"deadline": deadline}),
+    )
+    stats = run.stats
     budget = _MAX_RELAXATIONS_FACTOR * max(
         1, getattr(network, "node_count", 1000)
     )
-    edge_fn_cache: dict[tuple[int, int], MonotonePiecewiseLinear] = {}
+
+    if kernel.KERNEL_ENABLED:
+        profiles = _search_kernel(
+            network, source, lo, hi, node_filter, run, budget
+        )
+    else:
+        profiles = _search_legacy(
+            network, source, lo, hi, node_filter, run, budget
+        )
+    run.finalize()
+
+    if targets is not None:
+        wanted = set(targets)
+        profiles = {n: fn for n, fn in profiles.items() if n in wanted}
+    return ProfileResult(source, interval, profiles, stats)
+
+
+def _search_kernel(
+    network, source, lo, hi, node_filter, run, budget
+) -> dict[int, MonotonePiecewiseLinear]:
+    """Flat-array loop: profiles live as (xs, ys) arrays until the end."""
+    seed = identity(lo, hi)
+    prof: dict[int, tuple[list[float], list[float]]] = {
+        source: (list(seed._xs), list(seed._ys))
+    }
+    run.exit_hook = lambda s: setattr(s, "distinct_nodes", len(prof))
+    stats = run.stats
+    queue: deque[int] = deque([source])
+    queued = {source}
+    relaxations = 0
 
     while queue:
+        stats.max_queue_size = max(stats.max_queue_size, len(queue))
         u = queue.popleft()
         queued.discard(u)
-        profile_u = profiles[u]
-        arr_lo, arr_hi = profile_u.value_range
+        u_xs, u_ys = prof[u]
+        arr_lo, arr_hi = u_ys[0], u_ys[-1]
+        stats.expanded_paths += 1
+        run.tick()
         for edge in network.outgoing(u):
             v = edge.target
             if node_filter is not None and v != source and not node_filter(v):
                 continue
             relaxations += 1
             if relaxations > budget:
-                raise QueryError(
-                    "profile search exceeded its relaxation budget; "
-                    "is the network FIFO?"
-                )
-            key = (u, v)
-            edge_fn = edge_fn_cache.get(key)
-            if edge_fn is None or edge_fn.x_min > arr_lo or edge_fn.x_max < arr_hi:
-                edge_fn = edge_arrival_function(
-                    edge.distance, edge.pattern, calendar, arr_lo, arr_hi
-                )
-                edge_fn_cache[key] = edge_fn
+                raise run.over_budget(budget, "relaxations")
+            stats.labels_generated += 1
+            edge_fn = run.edge_arrival(edge, arr_lo, arr_hi)
+            cxs, cys = kernel.compose(edge_fn._xs, edge_fn._ys, u_xs, u_ys)
+            cxs, cys = kernel.simplify(cxs, cys, _IMPROVE_TOL)
+            incumbent = prof.get(v)
+            if incumbent is None:
+                prof[v] = (cxs, cys)
+            else:
+                inc_xs, inc_ys = incumbent
+                if not kernel.lt_somewhere(
+                    cxs, cys, inc_xs, inc_ys, _IMPROVE_TOL
+                ):
+                    continue  # candidate nowhere better: skip the merge
+                mxs, mys = kernel.merge_min(inc_xs, inc_ys, cxs, cys)
+                prof[v] = kernel.simplify(mxs, mys, _IMPROVE_TOL)
+            if v not in queued:
+                queue.append(v)
+                queued.add(v)
+
+    return {
+        n: MonotonePiecewiseLinear._trusted_monotone(list(xs), list(ys))
+        for n, (xs, ys) in prof.items()
+    }
+
+
+def _search_legacy(
+    network, source, lo, hi, node_filter, run, budget
+) -> dict[int, MonotonePiecewiseLinear]:
+    """Object-path loop (``REPRO_FUNC_KERNEL=0``): the parity oracle."""
+    profiles: dict[int, MonotonePiecewiseLinear] = {source: identity(lo, hi)}
+    run.exit_hook = lambda s: setattr(s, "distinct_nodes", len(profiles))
+    stats = run.stats
+    queue: deque[int] = deque([source])
+    queued = {source}
+    relaxations = 0
+
+    while queue:
+        stats.max_queue_size = max(stats.max_queue_size, len(queue))
+        u = queue.popleft()
+        queued.discard(u)
+        profile_u = profiles[u]
+        arr_lo, arr_hi = profile_u.value_range
+        stats.expanded_paths += 1
+        run.tick()
+        for edge in network.outgoing(u):
+            v = edge.target
+            if node_filter is not None and v != source and not node_filter(v):
+                continue
+            relaxations += 1
+            if relaxations > budget:
+                raise run.over_budget(budget, "relaxations")
+            stats.labels_generated += 1
+            edge_fn = run.edge_arrival(edge, arr_lo, arr_hi)
             candidate = edge_fn.compose(profile_u).simplify()
             incumbent = profiles.get(v)
             if incumbent is None:
                 profiles[v] = candidate
             else:
-                improved = False
-                # Quick reject: candidate nowhere better at its breakpoints.
                 merged = pointwise_minimum(incumbent, candidate)
-                if not incumbent.equals_approx(merged, tol=1e-9):
-                    profiles[v] = MonotonePiecewiseLinear(
-                        merged.breakpoints
-                    ).simplify()
-                    improved = True
-                if not improved:
+                if incumbent.equals_approx(merged, tol=_IMPROVE_TOL):
                     continue
+                profiles[v] = MonotonePiecewiseLinear(
+                    merged.breakpoints
+                ).simplify()
             if v not in queued:
                 queue.append(v)
                 queued.add(v)
 
-    if targets is not None:
-        wanted = set(targets)
-        return {n: fn for n, fn in profiles.items() if n in wanted}
     return profiles
+
+
+def arrival_profile(
+    network,
+    source: int,
+    interval: TimeInterval,
+    node_filter: Callable[[int], bool] | None = None,
+    targets: Iterable[int] | None = None,
+    *,
+    context: SearchContext | None = None,
+    max_pops: int | None = None,
+    deadline: float | None = None,
+) -> dict[int, MonotonePiecewiseLinear]:
+    """Back-compat wrapper: :func:`profile_search`'s ``profiles`` mapping.
+
+    Returns
+    -------
+    dict node id -> monotone arrival function on ``interval``.  Unreachable
+    nodes are absent.
+    """
+    return dict(
+        profile_search(
+            network,
+            source,
+            interval,
+            node_filter,
+            targets,
+            context=context,
+            max_pops=max_pops,
+            deadline=deadline,
+        ).profiles
+    )
 
 
 def travel_time_profile(

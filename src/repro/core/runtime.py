@@ -1,0 +1,339 @@
+"""Shared search runtime — one :class:`SearchContext` under every engine.
+
+Historically each query engine hand-rolled its own loop plumbing:
+``IntAllFastestPaths`` had the LRU edge-function cache, ``max_pops``
+budgets, wall-clock deadlines, and kernel-counter bookkeeping, while the
+A* oracle, the discrete baseline, the profile search, kNN, and the
+hierarchy shortcut builder each kept private caches and reported partial
+(or no) :class:`~repro.core.results.SearchStats`.  This module extracts
+that plumbing so all engines share it:
+
+* :class:`EdgeFunctionCache` — the LRU-bounded per-edge memo of arrival
+  functions over a growing window (lifted out of ``engine.py``; the old
+  import paths still work).
+* :class:`SearchContext` — the long-lived bundle an engine (or a service)
+  owns: the edge cache plus default ``max_pops``/``deadline`` policy.
+  Contexts are cheap to share; every engine built over the same context
+  warms the same cache.
+* :class:`SearchRun` — one query execution: a fresh
+  :class:`~repro.core.results.SearchStats`, counter snapshots taken at
+  start (kernel work, cache hits, CCAM page reads), uniform budget and
+  deadline enforcement in :meth:`SearchRun.tick`, and idempotent
+  :meth:`SearchRun.finalize` that every exit path — success, no-path,
+  budget, timeout — goes through, so partial stats are always populated.
+
+Budget and deadline failures raise :class:`SearchBudgetExceeded` /
+:class:`QueryTimeout` (also lifted from ``engine.py``) carrying the
+finalized partial stats.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from ..exceptions import QueryError
+from ..func import kernel
+from ..func.monotone import MonotonePiecewiseLinear
+from ..patterns.travel_time import edge_arrival_function
+from .results import SearchStats
+
+#: Extra minutes of slack when materialising an edge's arrival function, so
+#: small window growth across labels reuses the cached function.
+_CACHE_SLACK = 180.0
+
+#: Default ceiling on cached edge functions; bounds memory across queries.
+DEFAULT_EDGE_CACHE_SIZE = 4096
+
+
+class SearchBudgetExceeded(QueryError):
+    """Raised when a query exceeds its work budget (see the pruning ablation).
+
+    ``stats`` carries the partial counters of the cut-short search.
+    ``what`` names the budgeted unit — ``"max_pops"`` for the pop-count
+    budget every engine honours, ``"relaxations"`` for the profile
+    search's FIFO safety valve.
+    """
+
+    def __init__(
+        self, budget: int, stats: SearchStats, what: str = "max_pops"
+    ) -> None:
+        super().__init__(f"search exceeded {what}={budget}")
+        self.budget = budget
+        self.stats = stats
+        self.what = what
+
+    @property
+    def max_pops(self) -> int:
+        """Backwards-compatible alias for ``budget``."""
+        return self.budget
+
+
+class QueryTimeout(QueryError):
+    """Raised when a query exceeds its wall-clock ``deadline``.
+
+    The deadline is checked on the same branch as the ``max_pops`` pop
+    counter, so enabling it adds one clock read per expansion and nothing
+    on any other path.  ``stats`` carries the partial counters (with
+    ``timed_out`` set) so callers can report how far the search got.
+    """
+
+    def __init__(self, deadline: float, stats: SearchStats) -> None:
+        super().__init__(
+            f"query exceeded deadline of {deadline:.3f}s "
+            f"after {stats.expanded_paths} expansions"
+        )
+        self.deadline = deadline
+        self.stats = stats
+
+
+class EdgeFunctionCache:
+    """Per-edge memo of arrival functions over a growing time window.
+
+    Edge arrival functions depend only on the edge and the departure window,
+    not on the query, so repeated expansions (and repeated queries against
+    the same engine) reuse them.  Keyed by ``(source, target)`` because the
+    disk-backed accessor materialises fresh ``Edge`` objects per call.
+
+    The cache is LRU-bounded: cross-query reuse keeps hot edges resident
+    while cold edges are evicted once ``max_entries`` is reached, so a
+    long-lived engine's memory stays proportional to its working set rather
+    than to every edge it has ever touched.  ``hits`` / ``misses`` feed the
+    ``edge_cache_*`` fields of :class:`~repro.core.results.SearchStats`.
+    """
+
+    __slots__ = ("_calendar", "_cache", "_max_entries", "hits", "misses")
+
+    def __init__(
+        self, calendar, max_entries: int = DEFAULT_EDGE_CACHE_SIZE
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._calendar = calendar
+        self._cache: OrderedDict[
+            tuple[int, int], MonotonePiecewiseLinear
+        ] = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def arrival(self, edge, lo: float, hi: float) -> MonotonePiecewiseLinear:
+        provider = getattr(edge, "arrival_function", None)
+        if provider is not None:
+            # Overlay/shortcut edges supply their function directly (already
+            # materialised over the index horizon) — nothing to cache.
+            return provider(lo, hi)
+        key = (edge.source, edge.target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            if cached.x_min <= lo and cached.x_max >= hi:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        new_lo = min(lo, cached.x_min) if cached is not None else lo
+        new_hi = max(hi, cached.x_max) if cached is not None else hi
+        # Grow geometrically (capped at a day) so a sequence of slightly
+        # wider requests costs few rebuilds instead of one per request.
+        slack = min(max(_CACHE_SLACK, new_hi - new_lo), 1440.0)
+        fn = edge_arrival_function(
+            edge.distance,
+            edge.pattern,
+            self._calendar,
+            new_lo,
+            new_hi + slack,
+        )
+        self._cache[key] = fn
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return fn
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def snapshot(self) -> dict[str, int]:
+        """A point-in-time view of the cache counters (for services/metrics)."""
+        return {
+            "entries": len(self._cache),
+            "max_entries": self._max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` override.
+_UNSET = object()
+
+
+class SearchContext:
+    """Long-lived runtime shared by query executions over one network.
+
+    Bundles what used to be per-engine plumbing: the warm
+    :class:`EdgeFunctionCache` and the default ``max_pops``/``deadline``
+    policy.  One context can back many engines (all five query engines plus
+    the hierarchy shortcut builder accept one), and a service shares a
+    single lock-wrapped cache across its worker pool by handing every
+    worker the same context.
+
+    Parameters
+    ----------
+    network:
+        Anything with the accessor surface (``calendar``, ``location``,
+        ``outgoing``) — an in-memory network or a CCAM store.
+    edge_cache:
+        An existing cache to share; overrides ``edge_cache_size``.
+    edge_cache_size:
+        LRU bound when the context builds its own cache.
+    max_pops:
+        Default per-query pop budget (``None`` = unlimited).
+    deadline:
+        Default per-query wall-clock budget in seconds (``None`` = none).
+    """
+
+    __slots__ = ("network", "edge_cache", "max_pops", "deadline")
+
+    def __init__(
+        self,
+        network,
+        *,
+        edge_cache: EdgeFunctionCache | None = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
+        max_pops: int | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        self.network = network
+        self.edge_cache = (
+            edge_cache
+            if edge_cache is not None
+            else EdgeFunctionCache(network.calendar, edge_cache_size)
+        )
+        self.max_pops = max_pops
+        self.deadline = deadline
+
+    def begin(self, max_pops=_UNSET, deadline=_UNSET) -> "SearchRun":
+        """Start one query execution, resolving per-call overrides.
+
+        Passing ``None`` explicitly disables the context default; omitting
+        the argument inherits it.
+        """
+        return SearchRun(
+            self,
+            self.max_pops if max_pops is _UNSET else max_pops,
+            self.deadline if deadline is _UNSET else deadline,
+        )
+
+
+class SearchRun:
+    """One query execution: stats, budget/deadline enforcement, finalize.
+
+    Engines drive it with three calls:
+
+    * :meth:`edge_arrival` — cached edge-function lookup (counted),
+    * :meth:`tick` — once per queue pop, *after* incrementing
+      ``stats.expanded_paths``; raises :class:`SearchBudgetExceeded` /
+      :class:`QueryTimeout` with finalized partial stats,
+    * :meth:`finalize` — on every exit; captures elapsed wall-clock,
+      kernel-counter deltas, edge-cache hit/miss deltas, and CCAM page
+      reads.  Idempotent, so raising paths and success paths can both
+      call it.
+
+    An engine with loop-private counters (distinct nodes, queue high-water
+    mark) registers an ``exit_hook(stats)`` so those are filled in on
+    *every* exit, including ones raised from inside :meth:`tick`.
+    """
+
+    __slots__ = (
+        "context",
+        "stats",
+        "max_pops",
+        "exit_hook",
+        "_deadline",
+        "_deadline_at",
+        "_started",
+        "_io_before",
+        "_kernel_before",
+        "_cache_hits_before",
+        "_cache_misses_before",
+        "_finalized",
+    )
+
+    def __init__(
+        self,
+        context: SearchContext,
+        max_pops: int | None,
+        deadline: float | None,
+    ) -> None:
+        self.context = context
+        self.stats = SearchStats()
+        self.max_pops = max_pops
+        self.exit_hook: Callable[[SearchStats], None] | None = None
+        cache = context.edge_cache
+        self._io_before = getattr(context.network, "page_reads", 0)
+        self._kernel_before = kernel.COUNTERS.snapshot()
+        self._cache_hits_before = cache.hits
+        self._cache_misses_before = cache.misses
+        self._started = time.monotonic()
+        self._deadline = deadline
+        self._deadline_at = (
+            None if deadline is None else self._started + max(deadline, 0.0)
+        )
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    @property
+    def deadline(self) -> float | None:
+        """The resolved wall-clock budget in seconds (``None`` = none)."""
+        return self._deadline
+
+    def remaining(self) -> float | None:
+        """Seconds left before the deadline (``None`` when none set)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    def edge_arrival(self, edge, lo: float, hi: float) -> MonotonePiecewiseLinear:
+        """The edge's arrival function over ``[lo, hi]``, via the shared cache."""
+        return self.context.edge_cache.arrival(edge, lo, hi)
+
+    def tick(self) -> None:
+        """Enforce the pop budget and the deadline; call once per pop.
+
+        Expects ``stats.expanded_paths`` to already count the current pop.
+        Costs one comparison when no budget is set and one extra clock read
+        when a deadline is set — nothing on any other path.
+        """
+        stats = self.stats
+        if self.max_pops is not None and stats.expanded_paths > self.max_pops:
+            raise SearchBudgetExceeded(self.max_pops, self.finalize())
+        if (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        ):
+            stats.timed_out = True
+            raise QueryTimeout(self._deadline, self.finalize())
+
+    def over_budget(self, budget: int, what: str) -> SearchBudgetExceeded:
+        """A typed budget error for engine-specific budgets (e.g. relaxations)."""
+        return SearchBudgetExceeded(budget, self.finalize(), what=what)
+
+    def finalize(self) -> SearchStats:
+        """Capture the end-of-run counter deltas into ``stats`` (idempotent)."""
+        stats = self.stats
+        if self._finalized:
+            return stats
+        self._finalized = True
+        if self.exit_hook is not None:
+            self.exit_hook(stats)
+        bp, merges = kernel.COUNTERS.delta(self._kernel_before)
+        stats.breakpoints_allocated = bp
+        stats.envelope_merges = merges
+        cache = self.context.edge_cache
+        stats.edge_cache_hits = cache.hits - self._cache_hits_before
+        stats.edge_cache_misses = cache.misses - self._cache_misses_before
+        stats.page_reads = (
+            getattr(self.context.network, "page_reads", 0) - self._io_before
+        )
+        stats.elapsed_seconds = time.monotonic() - self._started
+        return stats

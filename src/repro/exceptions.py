@@ -50,12 +50,18 @@ class EdgeNotFoundError(NetworkError, KeyError):
 
 
 class NoPathError(ReproError):
-    """No path exists from the source to the destination node."""
+    """No path exists from the source to the destination node.
 
-    def __init__(self, source: int, target: int) -> None:
+    ``stats`` (when the raising engine provides it) carries the finalized
+    :class:`~repro.core.results.SearchStats` of the exhausted search, so
+    callers can report how much work proving the absence took.
+    """
+
+    def __init__(self, source: int, target: int, stats=None) -> None:
         super().__init__(f"no path from node {source} to node {target}")
         self.source = source
         self.target = target
+        self.stats = stats
 
 
 class QueryError(ReproError):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from ..core.astar import fixed_departure_query
 from ..core.engine import IntAllFastestPaths
 from ..core.results import AllFPResult, SingleFPResult
+from ..core.runtime import DEFAULT_EDGE_CACHE_SIZE, EdgeFunctionCache
 from ..estimators.base import LowerBoundEstimator
 from ..estimators.naive import NaiveEstimator
 from ..exceptions import NetworkError, QueryError
@@ -95,16 +96,40 @@ class HierarchicalEngine:
         index: HierarchicalIndex,
         estimator: LowerBoundEstimator | None = None,
         prune: bool = True,
+        *,
+        max_pops: int | None = None,
+        deadline: float | None = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
     ) -> None:
         self._index = index
         self._estimator = estimator
         self._prune = prune
+        self._max_pops = max_pops
+        self._deadline = deadline
+        # Street-edge arrival functions depend only on the edge and the
+        # calendar, never on the per-query hybrid view, so one cache stays
+        # warm across every query this engine answers.  (Shortcut edges
+        # bypass it via their arrival_function provider.)
+        self._edge_cache = EdgeFunctionCache(
+            index.network.calendar, edge_cache_size
+        )
+
+    @property
+    def edge_cache(self) -> EdgeFunctionCache:
+        return self._edge_cache
 
     # ------------------------------------------------------------------
     def _engine_for(self, source: int, target: int) -> IntAllFastestPaths:
         graph = _HybridQueryGraph(self._index, source, target)
         estimator = self._estimator or NaiveEstimator(graph)
-        return IntAllFastestPaths(graph, estimator, prune=self._prune)
+        return IntAllFastestPaths(
+            graph,
+            estimator,
+            prune=self._prune,
+            max_pops=self._max_pops,
+            deadline=self._deadline,
+            edge_cache=self._edge_cache,
+        )
 
     def _check_horizon(self, interval: TimeInterval) -> None:
         horizon = self._index.horizon
@@ -115,21 +140,29 @@ class HierarchicalEngine:
             )
 
     def all_fastest_paths(
-        self, source: int, target: int, interval: TimeInterval
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
     ) -> AllFPResult:
         """allFP over the hybrid graph (paths may contain shortcut hops)."""
         self._check_horizon(interval)
         return self._engine_for(source, target).all_fastest_paths(
-            source, target, interval
+            source, target, interval, deadline=deadline
         )
 
     def single_fastest_path(
-        self, source: int, target: int, interval: TimeInterval
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
     ) -> SingleFPResult:
         """singleFP over the hybrid graph."""
         self._check_horizon(interval)
         return self._engine_for(source, target).single_fastest_path(
-            source, target, interval
+            source, target, interval, deadline=deadline
         )
 
     # ------------------------------------------------------------------

@@ -10,9 +10,11 @@ experiments".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
-from ..core.profile import arrival_profile
+from ..core.profile import profile_search
+from ..core.runtime import SearchContext
 from ..estimators.grid import GridPartition
 from ..exceptions import QueryError
 from ..func.monotone import MonotonePiecewiseLinear
@@ -64,6 +66,9 @@ class IndexStats:
     shortcuts: int = 0
     profile_searches: int = 0
     total_breakpoints: int = 0
+    #: Aggregated over all boundary profile searches of the build.
+    expanded_paths: int = 0
+    build_seconds: float = 0.0
 
 
 class HierarchicalIndex:
@@ -79,6 +84,16 @@ class HierarchicalIndex:
         Departure-time horizon the shortcuts must cover.  Defaults to two
         days from time 0, which accommodates any same-week query; queries
         whose expansions leave the horizon raise a descriptive error.
+    max_pops:
+        Per-boundary-search pop budget; exceeded aborts the build with
+        :class:`~repro.core.runtime.SearchBudgetExceeded`.
+    deadline:
+        Wall-clock budget **in seconds for the whole build**; each boundary
+        search gets the remaining time, so exceeding it aborts with
+        :class:`~repro.core.runtime.QueryTimeout` carrying partial stats.
+    context:
+        An existing :class:`~repro.core.runtime.SearchContext` to build on;
+        all boundary searches share its warm edge-function cache.
     """
 
     def __init__(
@@ -87,28 +102,49 @@ class HierarchicalIndex:
         nx: int = 4,
         ny: int = 4,
         horizon: TimeInterval | None = None,
+        *,
+        max_pops: int | None = None,
+        deadline: float | None = None,
+        context: SearchContext | None = None,
     ) -> None:
         self._network = network
         self._grid = GridPartition(network, nx, ny)
         self._horizon = horizon or TimeInterval(0.0, days(2))
         self._shortcuts_by_source: dict[int, list[ShortcutEdge]] = {}
+        self._context = context or SearchContext(network, max_pops=max_pops)
+        self._deadline = deadline
         self.stats = IndexStats(fragments=len(self._grid.non_empty_cells()))
         self._build()
 
     def _build(self) -> None:
+        started = time.monotonic()
+        deadline_at = (
+            None if self._deadline is None else started + self._deadline
+        )
         for cell in self._grid.non_empty_cells():
             members = cell.members
             in_fragment = members.__contains__
             self.stats.boundary_nodes += len(cell.boundary)
             for b in cell.boundary:
-                profiles = arrival_profile(
+                budget = (
+                    {}
+                    if deadline_at is None
+                    else {
+                        "deadline": max(deadline_at - time.monotonic(), 0.0)
+                    }
+                )
+                result = profile_search(
                     self._network,
                     b,
                     self._horizon,
                     node_filter=in_fragment,
                     targets=cell.boundary,
+                    context=self._context,
+                    **budget,
                 )
+                profiles = result.profiles
                 self.stats.profile_searches += 1
+                self.stats.expanded_paths += result.stats.expanded_paths
                 for other, fn in profiles.items():
                     if other == b:
                         continue
@@ -118,6 +154,7 @@ class HierarchicalIndex:
                     )
                     self.stats.shortcuts += 1
                     self.stats.total_breakpoints += len(fn)
+        self.stats.build_seconds = time.monotonic() - started
 
     # ------------------------------------------------------------------
     # Persistence: the build is the expensive part, so indexes can be
@@ -156,6 +193,8 @@ class HierarchicalIndex:
             raise QueryError(f"{path}: unsupported index version")
         index = object.__new__(cls)
         index._network = network
+        index._context = SearchContext(network)
+        index._deadline = None
         nx, ny = doc["grid"]
         index._grid = GridPartition(network, nx, ny)
         index._horizon = TimeInterval(*doc["horizon"])

@@ -20,6 +20,7 @@ from .client import (
 from .http import ServeServer, make_server, start_in_thread
 from .metrics import MetricsRegistry, parse_metrics
 from .service import (
+    MODES,
     AllFPService,
     QueryRequest,
     QueryResponse,
@@ -28,6 +29,7 @@ from .service import (
 )
 
 __all__ = [
+    "MODES",
     "AllFPService",
     "ServiceConfig",
     "QueryRequest",

@@ -105,6 +105,42 @@ class HTTPClient:
             body["deadline"] = deadline
         return self.post(f"/v1/{mode}", body)
 
+    def profile(
+        self,
+        source: int,
+        targets: Sequence[int],
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        body: dict = {
+            "source": source,
+            "targets": list(targets),
+            "start": interval.start,
+            "end": interval.end,
+        }
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self.post("/v1/profile", body)
+
+    def knn(
+        self,
+        source: int,
+        candidates: Sequence[int],
+        k: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        body: dict = {
+            "source": source,
+            "candidates": list(candidates),
+            "k": k,
+            "start": interval.start,
+            "end": interval.end,
+        }
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self.post("/v1/knn", body)
+
 
 def percentile(sorted_values: Sequence[float], p: float) -> float:
     """Linear-interpolated percentile of pre-sorted data, ``p`` in [0, 100]."""

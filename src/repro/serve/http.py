@@ -13,6 +13,19 @@ Endpoints
     200 response: ``{"result": <result.as_dict()>, "cached": bool,
     "coalesced": bool, "elapsed_ms": float}``.
 
+``POST /v1/profile``
+    Earliest-arrival functions from ``source`` to an explicit, bounded
+    ``targets`` list (one-to-all over HTTP is unbounded output, so the
+    list is required; at most ``MAX_PROFILE_TARGETS`` entries)::
+
+        {"source": 0, "targets": [3, 4, 5], "start": 420.0, "end": 540.0}
+
+``POST /v1/knn``
+    Time-interval k-nearest-neighbour ranking over ``candidates``::
+
+        {"source": 0, "candidates": [3, 4, 5], "k": 2,
+         "start": 420.0, "end": 540.0}
+
 ``GET /healthz``
     ``{"status": "ok", "version": <stamp>, "nodes": N}`` — cheap liveness.
 
@@ -49,6 +62,9 @@ from .service import AllFPService, QueryRequest
 #: Maximum accepted request body, bytes — queries are tiny.
 MAX_BODY_BYTES = 64 * 1024
 
+#: Ceiling on ``targets``/``candidates`` list lengths per request.
+MAX_PROFILE_TARGETS = 256
+
 
 class BadRequest(ValueError):
     """The request body failed validation (maps to HTTP 400)."""
@@ -82,14 +98,50 @@ def parse_interval(body: dict) -> TimeInterval:
     )
 
 
-def parse_request(body: dict, mode: str) -> QueryRequest:
-    for field in ("source", "target"):
-        if field not in body:
+def _require_node_id(body: dict, field: str) -> int:
+    if field not in body:
+        raise BadRequest(f"missing required field {field!r}")
+    if not isinstance(body[field], int) or isinstance(body[field], bool):
+        raise BadRequest(
+            f"{field!r} must be an integer node id, got {body[field]!r}"
+        )
+    return body[field]
+
+
+def _node_id_list(body: dict, field: str, required: bool) -> tuple[int, ...] | None:
+    value = body.get(field)
+    if value is None:
+        if required:
             raise BadRequest(f"missing required field {field!r}")
-        if not isinstance(body[field], int) or isinstance(body[field], bool):
+        return None
+    if not isinstance(value, list) or not value:
+        raise BadRequest(f"{field!r} must be a non-empty list of node ids")
+    if len(value) > MAX_PROFILE_TARGETS:
+        raise BadRequest(
+            f"{field!r} has {len(value)} entries; at most "
+            f"{MAX_PROFILE_TARGETS} allowed"
+        )
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool):
             raise BadRequest(
-                f"{field!r} must be an integer node id, got {body[field]!r}"
+                f"{field!r} entries must be integer node ids, got {item!r}"
             )
+    return tuple(value)
+
+
+def parse_request(body: dict, mode: str) -> QueryRequest:
+    source = _require_node_id(body, "source")
+    target = targets = candidates = k = None
+    if mode in ("allfp", "singlefp"):
+        target = _require_node_id(body, "target")
+    elif mode == "profile":
+        # One-to-all output is unbounded over HTTP, so the list is required.
+        targets = _node_id_list(body, "targets", required=True)
+    else:  # knn
+        candidates = _node_id_list(body, "candidates", required=True)
+        k = body.get("k")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise BadRequest(f"'k' must be a positive integer, got {k!r}")
     deadline = body.get("deadline")
     if deadline is not None:
         try:
@@ -100,11 +152,14 @@ def parse_request(body: dict, mode: str) -> QueryRequest:
             raise BadRequest("'deadline' must be positive")
     try:
         return QueryRequest(
-            source=body["source"],
-            target=body["target"],
+            source=source,
+            target=target,
             interval=parse_interval(body),
             mode=mode,
             deadline=deadline,
+            targets=targets,
+            candidates=candidates,
+            k=k,
         )
     except QueryError as exc:
         raise BadRequest(str(exc)) from exc
@@ -169,7 +224,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "NotFound", "message": self.path})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        routes = {"/v1/allfp": "allfp", "/v1/singlefp": "singlefp"}
+        routes = {
+            "/v1/allfp": "allfp",
+            "/v1/singlefp": "singlefp",
+            "/v1/profile": "profile",
+            "/v1/knn": "knn",
+        }
         mode = routes.get(self.path)
         if mode is None:
             self._send_json(404, {"error": "NotFound", "message": self.path})

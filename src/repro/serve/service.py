@@ -37,7 +37,10 @@ from ..core.engine import (
     IntAllFastestPaths,
     QueryTimeout,
 )
+from ..core.knn import KnnResult, interval_knn
+from ..core.profile import ProfileResult, profile_search
 from ..core.results import AllFPResult, SearchStats, SingleFPResult
+from ..core.runtime import SearchContext
 from ..estimators.base import LowerBoundEstimator
 from ..exceptions import (
     NoPathError,
@@ -51,7 +54,7 @@ from .admission import AdmissionController, Deadline
 from .batching import ResultCache, SingleFlight
 from .metrics import MetricsRegistry
 
-MODES = ("allfp", "singlefp")
+MODES = ("allfp", "singlefp", "profile", "knn")
 
 
 @dataclass(frozen=True)
@@ -61,19 +64,43 @@ class QueryRequest:
     ``deadline`` (seconds, optional) overrides the service default; it is
     deliberately **not** part of the coalescing/cache key — two callers
     asking the same question with different patience share one answer.
+
+    ``target`` is required by the point-to-point modes (``allfp``,
+    ``singlefp``) and ignored by the one-to-many ones.  ``targets``
+    restricts a ``profile`` answer to the listed nodes; ``candidates``/``k``
+    parameterise ``knn``.  All three are normalised to sorted tuples so the
+    coalescing/cache key is canonical.
     """
 
     source: int
-    target: int
+    target: int | None
     interval: TimeInterval
     mode: str = "allfp"
     deadline: float | None = None
+    targets: tuple[int, ...] | None = None
+    candidates: tuple[int, ...] | None = None
+    k: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise QueryError(
                 f"unknown mode {self.mode!r}; expected one of {MODES}"
             )
+        if self.targets is not None:
+            object.__setattr__(
+                self, "targets", tuple(sorted(set(self.targets)))
+            )
+        if self.candidates is not None:
+            object.__setattr__(
+                self, "candidates", tuple(sorted(set(self.candidates)))
+            )
+        if self.mode in ("allfp", "singlefp") and self.target is None:
+            raise QueryError(f"mode {self.mode!r} requires a target")
+        if self.mode == "knn":
+            if not self.candidates:
+                raise QueryError("mode 'knn' requires a candidates list")
+            if self.k is None or self.k < 1:
+                raise QueryError(f"mode 'knn' requires k >= 1, got {self.k}")
 
     def key(self, version: int) -> tuple:
         return (
@@ -82,6 +109,9 @@ class QueryRequest:
             self.interval.start,
             self.interval.end,
             self.mode,
+            self.targets,
+            self.candidates,
+            self.k,
             version,
         )
 
@@ -90,7 +120,7 @@ class QueryRequest:
 class QueryResponse:
     """A result plus how the service produced it."""
 
-    result: AllFPResult | SingleFPResult
+    result: AllFPResult | SingleFPResult | ProfileResult | KnnResult
     cached: bool = False
     coalesced: bool = False
     elapsed_seconds: float = 0.0
@@ -192,6 +222,13 @@ class AllFPService:
         self._estimator = estimator
         self._edge_cache = _SharedEdgeFunctionCache(
             network.calendar, self.config.edge_cache_size
+        )
+        # One shared runtime for every engine and every one-to-many search:
+        # the lock-wrapped edge cache makes it safe across the worker pool.
+        self._context = SearchContext(
+            network,
+            edge_cache=self._edge_cache,
+            max_pops=self.config.max_pops,
         )
         self._admission = AdmissionController(self.config.max_pending)
         self._single_flight = SingleFlight()
@@ -323,6 +360,44 @@ class AllFPService:
             QueryRequest(source, target, interval, "singlefp", deadline)
         )
 
+    def profile(
+        self,
+        source: int,
+        interval: TimeInterval,
+        targets=None,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        return self.query(
+            QueryRequest(
+                source,
+                None,
+                interval,
+                "profile",
+                deadline,
+                targets=None if targets is None else tuple(targets),
+            )
+        )
+
+    def knn(
+        self,
+        source: int,
+        candidates,
+        k: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        return self.query(
+            QueryRequest(
+                source,
+                None,
+                interval,
+                "knn",
+                deadline,
+                candidates=tuple(candidates),
+                k=k,
+            )
+        )
+
     def query(self, request: QueryRequest) -> QueryResponse:
         """Answer one request through admission, cache, and coalescing.
 
@@ -426,8 +501,7 @@ class AllFPService:
                 self._network,
                 estimator,
                 prune=self.config.prune,
-                max_pops=self.config.max_pops,
-                edge_cache=self._edge_cache,
+                context=self._context,
             )
             self._local.engine = engine
         return engine
@@ -445,18 +519,36 @@ class AllFPService:
                     help="Requests whose deadline expired before a worker picked them up",
                 )
                 raise QueryTimeout(deadline.budget, stats)
-        engine = self._engine()
         self.metrics.inc("engine_runs_total", help="Actual engine executions")
         run_started = time.monotonic()
         try:
             if request.mode == "allfp":
-                result = engine.all_fastest_paths(
+                result = self._engine().all_fastest_paths(
                     request.source, request.target, request.interval,
                     deadline=remaining,
                 )
-            else:
-                result = engine.single_fastest_path(
+            elif request.mode == "singlefp":
+                result = self._engine().single_fastest_path(
                     request.source, request.target, request.interval,
+                    deadline=remaining,
+                )
+            elif request.mode == "profile":
+                result = profile_search(
+                    self._network,
+                    request.source,
+                    request.interval,
+                    targets=request.targets,
+                    context=self._context,
+                    deadline=remaining,
+                )
+            else:  # knn
+                result = interval_knn(
+                    self._network,
+                    request.source,
+                    request.candidates,
+                    request.k,
+                    request.interval,
+                    context=self._context,
                     deadline=remaining,
                 )
         except QueryTimeout as exc:

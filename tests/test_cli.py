@@ -189,6 +189,74 @@ class TestQuery:
         assert "falling back to naive" in err
 
 
+class TestProfileAndKnn:
+    def test_profile_with_targets(self, network_json, capsys):
+        code = main(
+            [
+                "profile",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--targets",
+                "5,27,99",
+                "--from",
+                "7:00",
+                "--to",
+                "8:00",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node 5: best" in out
+        assert "node 99: best" in out
+        assert "reachable nodes: 3" in out
+        assert "expanded:" in out
+
+    def test_profile_one_to_all(self, network_json, capsys):
+        code = main(
+            ["profile", "--network", str(network_json), "--source", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reachable nodes: 100" in out
+
+    def test_knn_ranks_candidates(self, network_json, capsys):
+        code = main(
+            [
+                "knn",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--candidates",
+                "12,34,56,78",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1 node" in out
+        assert "#2 node" in out
+        assert "reachable candidates: 4/4" in out
+
+    def test_bad_node_list_is_error(self, network_json, capsys):
+        code = main(
+            [
+                "knn",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--candidates",
+                "12,potato",
+            ]
+        )
+        assert code == 2
+        assert "--candidates" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_json(self, network_json, capsys):
         assert main(["info", "--network", str(network_json)]) == 0

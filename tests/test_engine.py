@@ -257,9 +257,9 @@ class TestEngineReuse:
         engine = IntAllFastestPaths(metro_tiny)
         interval = TimeInterval(parse_clock("7:00"), parse_clock("8:00"))
         engine.all_fastest_paths(0, 99, interval)
-        cached = len(engine._edge_cache)
+        cached = len(engine.edge_cache)
         engine.all_fastest_paths(0, 99, interval)
-        assert len(engine._edge_cache) == cached
+        assert len(engine.edge_cache) == cached
 
 
 class TestConstantNetworkSpecialCase:

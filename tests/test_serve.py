@@ -548,6 +548,90 @@ class TestHTTP:
 
 
 # ----------------------------------------------------------------------
+# One-to-many endpoints: /v1/profile and /v1/knn
+# ----------------------------------------------------------------------
+
+class TestOneToManyModes:
+    def test_profile_matches_direct_search(self, metro_tiny, service, interval):
+        from repro.core.profile import profile_search
+
+        direct = profile_search(metro_tiny, 0, interval, targets=[5, 27, 99])
+        served = service.profile(0, interval, targets=[5, 27, 99])
+        assert set(served.result.profiles) == set(direct.profiles)
+        for node, fn in served.result.profiles.items():
+            assert fn(interval.start) == pytest.approx(
+                direct.profiles[node](interval.start), abs=1e-9
+            )
+        assert served.result.stats.expanded_paths > 0
+
+    def test_knn_matches_direct_query(self, metro_tiny, service, interval):
+        from repro.core.knn import interval_knn
+
+        direct = interval_knn(metro_tiny, 0, [12, 34, 56, 78], 2, interval)
+        served = service.knn(0, [12, 34, 56, 78], 2, interval)
+        assert served.result.node_ids() == direct.node_ids()
+
+    def test_profile_repeat_is_cached(self, service, interval):
+        first = service.profile(0, interval, targets=[5, 99])
+        second = service.profile(0, interval, targets=[99, 5, 5])
+        assert not first.cached
+        # Target normalisation makes the permuted repeat the same cache key.
+        assert second.cached
+
+    def test_http_profile_roundtrip(self, http_service, interval):
+        _, client = http_service
+        status, body = client.profile(0, [5, 27, 99], interval)
+        assert status == 200
+        assert set(body["result"]["profiles"]) == {"5", "27", "99"}
+        assert body["result"]["stats"]["expanded_paths"] > 0
+
+    def test_http_knn_roundtrip(self, http_service, interval):
+        _, client = http_service
+        status, body = client.knn(0, [12, 34, 56, 78], 2, interval)
+        assert status == 200
+        neighbors = body["result"]["neighbors"]
+        assert len(neighbors) == 2
+        assert (
+            neighbors[0]["min_travel_time"] <= neighbors[1]["min_travel_time"]
+        )
+
+    @pytest.mark.parametrize(
+        "path, body, fragment",
+        [
+            ("/v1/profile", {"source": 0, "from": "7:00", "to": "8:00"},
+             "targets"),
+            ("/v1/profile",
+             {"source": 0, "targets": [], "from": "7:00", "to": "8:00"},
+             "targets"),
+            ("/v1/profile",
+             {"source": 0, "targets": list(range(300)), "from": "7:00",
+              "to": "8:00"},
+             "at most"),
+            ("/v1/knn",
+             {"source": 0, "candidates": [5, 9], "from": "7:00", "to": "8:00"},
+             "k"),
+            ("/v1/knn",
+             {"source": 0, "candidates": [5, 9], "k": 0, "from": "7:00",
+              "to": "8:00"},
+             "k"),
+        ],
+    )
+    def test_bad_one_to_many_requests_are_400(
+        self, http_service, path, body, fragment
+    ):
+        _, client = http_service
+        status, payload = client.post(path, body)
+        assert status == 400
+        assert fragment in payload["message"]
+
+    def test_profile_deadline_maps_to_504(self, http_service, interval):
+        _, client = http_service
+        status, payload = client.profile(0, [99], interval, deadline=1e-9)
+        assert status == 504
+        assert payload["error"] == "QueryTimeout"
+
+
+# ----------------------------------------------------------------------
 # Load generation
 # ----------------------------------------------------------------------
 
