@@ -47,7 +47,11 @@ from .exceptions import (
     PatternError,
     StorageError,
     EstimatorError,
+    InjectedFault,
+    ServeClientError,
+    WorkerCrashed,
 )
+from .reliability import CircuitBreaker, FaultInjector, FaultPlan, FaultSpec
 from .func import (
     PiecewiseLinearFunction,
     MonotonePiecewiseLinear,
@@ -130,6 +134,14 @@ __all__ = [
     "PatternError",
     "StorageError",
     "EstimatorError",
+    "InjectedFault",
+    "ServeClientError",
+    "WorkerCrashed",
+    # reliability
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     # functions
     "PiecewiseLinearFunction",
     "MonotonePiecewiseLinear",

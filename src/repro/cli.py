@@ -16,6 +16,7 @@ Installed as ``repro-allfp``::
     repro-allfp serve --network metro.json --port 8080 \\
         --estimator boundary --estimator-cache metro.est
     repro-allfp bench-load --network metro.json --clients 4 --queries 50
+    repro-allfp chaos --network metro.json --estimator boundary --queries 40
 
 Deliberate failures (missing files, unknown nodes, malformed clock strings)
 exit non-zero with one clean ``error:`` line on stderr — never a traceback.
@@ -266,11 +267,12 @@ def _print_kernel_stats(stats) -> None:
 
 
 def _build_service(args: argparse.Namespace):
-    """Shared by ``serve`` and ``bench-load``: network + estimator + service."""
+    """Shared by ``serve``/``bench-load``/``chaos``: network + estimator + service."""
     from .serve import AllFPService, ServiceConfig
 
     network = _open_network(args.network)
     estimator = None
+    degraded = False
     if args.estimator == "boundary":
         if isinstance(network, CCAMStore):
             print(
@@ -279,7 +281,18 @@ def _build_service(args: argparse.Namespace):
                 file=sys.stderr,
             )
         else:
-            estimator = _boundary_estimator(network, args)
+            try:
+                estimator = _boundary_estimator(network, args)
+            except ReproError as exc:
+                # A broken snapshot must not keep the service down: boot on
+                # the (admissible) naive bound and flag every answer
+                # degraded until an estimator refresh succeeds.
+                print(
+                    f"warning: boundary estimator unavailable ({exc}); "
+                    "serving degraded on the naive bound",
+                    file=sys.stderr,
+                )
+                degraded = True
     config = ServiceConfig(
         workers=args.workers,
         max_pending=args.max_pending,
@@ -288,8 +301,10 @@ def _build_service(args: argparse.Namespace):
         cache_results=not args.no_result_cache,
         result_cache_size=args.result_cache_size,
         result_cache_ttl=args.result_cache_ttl,
+        task_retries=args.task_retries,
+        serve_stale=args.serve_stale,
     )
-    return AllFPService(network, estimator, config)
+    return AllFPService(network, estimator, config, degraded=degraded)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -366,6 +381,55 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
         f"coalesced: {stats['single_flight']['coalesced']}"
     )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos harness against an in-process service (see
+    ``docs/reliability.md``): baseline the workload fault-free, replay it
+    under the fault plan, and exit non-zero on any invariant violation."""
+    from . import reliability
+    from .serve.chaos import default_fault_plan, run_chaos
+    from .workloads.queries import morning_rush_interval, random_queries
+
+    if args.faults:
+        text = args.faults.strip()
+        if not text.startswith("{"):
+            text = Path(text).read_text(encoding="utf-8")
+        plan = reliability.FaultPlan.from_json(text)
+    else:
+        plan = default_fault_plan(seed=args.fault_seed)
+    if reliability.is_active():
+        # REPRO_FAULTS would also poison the baseline phase; the harness
+        # owns installation for the chaos phase only.
+        reliability.uninstall()
+        print(
+            "note: removed the REPRO_FAULTS injector; the chaos verb "
+            "installs its plan after the fault-free baseline",
+            file=sys.stderr,
+        )
+    service = _build_service(args)
+    interval = morning_rush_interval(args.interval_hours)
+    queries = random_queries(
+        service.network,
+        args.queries,
+        interval,
+        seed=args.seed,
+        min_distance=args.min_distance,
+        max_distance=args.max_distance,
+    )
+    print(
+        f"chaos: {len(queries)} queries, {args.clients} client(s), "
+        f"{len(plan.specs)} fault spec(s), seed {plan.seed}"
+    )
+    try:
+        report = run_chaos(
+            service, queries, plan, clients=args.clients
+        )
+    finally:
+        service.close()
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.passed() else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -533,6 +597,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--result-cache-ttl", type=float, default=300.0, help="seconds"
         )
+        p.add_argument(
+            "--task-retries",
+            type=int,
+            default=1,
+            help="retries for worker tasks that crash with an unexpected error",
+        )
+        p.add_argument(
+            "--serve-stale",
+            action="store_true",
+            help="answer from the last good (stale) result when a deadline trips",
+        )
 
     serve = sub.add_parser("serve", help="run the HTTP query service")
     add_service_flags(serve)
@@ -567,6 +642,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-distance", type=float, default=float("inf"))
     bench.add_argument("--interval-hours", type=float, default=3.0)
     bench.set_defaults(func=_cmd_bench_load)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a workload under injected faults and check the "
+        "correct-typed-or-degraded invariant",
+    )
+    add_service_flags(chaos)
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        help="fault plan: inline JSON or a path to a JSON file "
+        "(default: a representative built-in plan)",
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the built-in plan (ignored with --faults)",
+    )
+    chaos.add_argument("--queries", type=int, default=40)
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=0, help="workload seed")
+    chaos.add_argument("--min-distance", type=float, default=0.0)
+    chaos.add_argument("--max-distance", type=float, default=float("inf"))
+    chaos.add_argument("--interval-hours", type=float, default=3.0)
+    chaos.set_defaults(func=_cmd_chaos)
 
     info = sub.add_parser("info", help="describe a network or database file")
     info.add_argument("--network", required=True)

@@ -30,6 +30,7 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from .. import reliability
 from ..exceptions import EstimatorError
 from .grid import GridPartition
 
@@ -172,6 +173,8 @@ def _cell_job(
     state: dict, cell_index: int, boundary: Sequence[int], members: Sequence[int]
 ) -> tuple[int, list[tuple[int, float, float]], list[float]]:
     """One cell's Dijkstras: member distances plus the cell-pair row."""
+    if reliability.is_active():
+        reliability.fire("repro.estimators.precompute.cell")
     fwd = state["fwd"]
     bwd = state["bwd"]
     node_cell = state["node_cell"]
@@ -258,17 +261,28 @@ def compute_tables(
     }
 
     workers_used = 1
-    results: Iterable[tuple[int, list[tuple[int, float, float]], list[float]]]
+    results: Iterable[tuple[int, list[tuple[int, float, float]], list[float]]] | None
+    results = None
     pool = _make_pool(workers, state) if workers > 1 and len(tasks) > 1 else None
     if pool is not None:
-        workers_used = workers
         chunksize = max(1, len(tasks) // (workers * 4))
         try:
             results = pool.map(_cell_task, tasks, chunksize=chunksize)
+            workers_used = workers
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # A dead worker (or a poisoned task) leaves the parallel run
+            # unusable; recompute serially below rather than failing the
+            # whole precompute.
+            results = None
         finally:
-            pool.close()
+            # terminate() (not close()) so workers that died or are stuck
+            # mid-task are reaped — a failed parallel precompute must never
+            # leave orphaned worker processes behind.
+            pool.terminate()
             pool.join()
-    else:
+    if results is None:
         results = (_cell_job(state, *task) for task in tasks)
 
     for cell_index, member_rows, row in results:

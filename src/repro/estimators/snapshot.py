@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import struct
 import sys
 from array import array
 from pathlib import Path
 
+from .. import reliability
 from ..exceptions import EstimatorError
 from .precompute import (
     CELL_TYPECODE,
@@ -104,31 +106,52 @@ def _write_array(out, arr: array) -> None:
 def save_tables(
     tables: EstimatorTables, path: str | Path, fingerprint: bytes
 ) -> None:
-    """Write ``tables`` to ``path`` in the versioned binary format."""
+    """Write ``tables`` to ``path`` in the versioned binary format.
+
+    Crash-safe: the bytes go to a temporary file in the same directory,
+    are fsynced, and only then renamed over ``path`` with ``os.replace``.
+    A process killed mid-save leaves either the old snapshot or no
+    snapshot — never a truncated ``RPRESNAP`` file.
+    """
     if len(fingerprint) != 32:
         raise EstimatorError("network fingerprint must be a 32-byte sha256")
     path = Path(path)
-    with open(path, "wb") as out:
-        out.write(
-            _HEADER.pack(
-                MAGIC,
-                SNAPSHOT_VERSION,
-                0 if sys.byteorder == "little" else 1,
-                _METRIC_CODES[tables.metric],
-                tables.nx,
-                tables.ny,
-                tables.node_count,
-                tables.cell_count,
-                tables.v_max,
-                tables.precompute_seconds,
-                fingerprint,
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as out:
+            out.write(
+                _HEADER.pack(
+                    MAGIC,
+                    SNAPSHOT_VERSION,
+                    0 if sys.byteorder == "little" else 1,
+                    _METRIC_CODES[tables.metric],
+                    tables.nx,
+                    tables.ny,
+                    tables.node_count,
+                    tables.cell_count,
+                    tables.v_max,
+                    tables.precompute_seconds,
+                    fingerprint,
+                )
             )
-        )
-        _write_array(out, tables.node_ids)
-        _write_array(out, tables.node_cell)
-        _write_array(out, tables.to_boundary)
-        _write_array(out, tables.from_boundary)
-        _write_array(out, tables.cell_pair)
+            for arr in (
+                tables.node_ids,
+                tables.node_cell,
+                tables.to_boundary,
+                tables.from_boundary,
+                tables.cell_pair,
+            ):
+                reliability.fire("repro.estimators.snapshot.save")
+                _write_array(out, arr)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 def _read_exact(f, count: int, path: Path, what: str) -> bytes:
@@ -178,6 +201,11 @@ def load_tables(path: str | Path, fingerprint: bytes) -> EstimatorTables:
     except OSError as exc:
         raise EstimatorError(f"cannot open estimator snapshot: {exc}") from None
     with f:
+        # Payload-free fault point: a "corrupt" spec here raises loudly
+        # instead of mutating bytes — a flipped byte inside e.g. v_max
+        # would pass every header check and silently break admissibility,
+        # which is precisely the outcome injection must never create.
+        reliability.fire("repro.estimators.snapshot.load")
         header = _read_exact(f, _HEADER.size, path, "header")
         (
             magic,

@@ -103,3 +103,39 @@ class ServiceOverloaded(ServiceError):
 
 class ServiceClosed(ServiceError):
     """A request arrived after the service was shut down."""
+
+
+class WorkerCrashed(ServiceError):
+    """A worker task died with an unexpected error and its bounded retries
+    were exhausted.  The crashed worker's engine has already been replaced;
+    the failure is surfaced as this typed error instead of a raw traceback.
+    """
+
+    def __init__(self, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"worker task crashed {attempts} time(s) (last: {cause}); "
+            "worker replaced"
+        )
+        self.attempts = attempts
+
+
+class ServeClientError(ServiceError):
+    """An HTTP client call failed after exhausting its retries.
+
+    Wraps the transport-level causes (:class:`urllib.error.URLError`,
+    ``ConnectionRefusedError``, timeouts, malformed response bodies) so CLI
+    and library callers handle one typed error instead of raw urllib
+    internals.
+    """
+
+    def __init__(self, message: str, *, url: str | None = None, attempts: int = 1):
+        detail = f"{message} (url={url}, attempts={attempts})" if url else message
+        super().__init__(detail)
+        self.url = url
+        self.attempts = attempts
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by the fault-injection framework
+    (:mod:`repro.reliability`); only ever seen under an installed FaultPlan.
+    """

@@ -9,6 +9,7 @@ JSON/HTTP API.  See ``docs/serving.md``.
 
 from .admission import AdmissionController, Deadline
 from .batching import ResultCache, SingleFlight
+from .chaos import ChaosReport, default_fault_plan, run_chaos
 from .client import (
     HTTPClient,
     InProcessClient,
@@ -50,4 +51,7 @@ __all__ = [
     "percentile",
     "run_closed_loop",
     "run_open_loop",
+    "ChaosReport",
+    "default_fault_plan",
+    "run_chaos",
 ]

@@ -1,0 +1,245 @@
+"""Chaos harness: drive a service under injected faults, check the invariant.
+
+The invariant every run asserts (``docs/reliability.md``):
+
+    Under any fault plan, every request ends in exactly one of
+    (a) a **correct answer** — byte-identical to the fault-free baseline,
+    (b) a **typed error** — some :class:`~repro.exceptions.ReproError`, or
+    (c) a **flagged degraded answer** — ``degraded=True`` (and, when served
+        from the stale cache, ``stale=True``); a degraded-but-fresh answer
+        must *still* equal the baseline, because the fallback bound is
+        admissible and A* stays exact.
+    Never a hang, an untyped crash, or a silently wrong answer.
+
+:func:`run_chaos` first records the fault-free baseline answer for every
+query, then replays the same workload concurrently with the plan installed
+and classifies each outcome.  Anything outside (a)–(c) lands in
+``ChaosReport.violations`` and fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .. import reliability
+from ..exceptions import ReproError
+from ..workloads.queries import QuerySpec
+from .service import AllFPService, QueryRequest
+
+#: Seconds a chaos worker thread may run before the harness calls it a hang.
+DEFAULT_JOIN_TIMEOUT = 120.0
+
+
+@dataclass
+class ChaosReport:
+    """Classified outcomes of one chaos run."""
+
+    requests: int = 0
+    ok: int = 0  # correct answers, degraded or not
+    degraded: int = 0  # subset of ok that carried the degraded flag
+    stale: int = 0  # subset of degraded served from the stale cache
+    typed_errors: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    fault_events: int = 0
+    wall_seconds: float = 0.0
+
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"chaos: {self.requests} requests in {self.wall_seconds:.2f}s "
+            f"({self.fault_events} faults injected)",
+            f"  ok={self.ok} (degraded={self.degraded}, stale={self.stale})",
+            f"  typed errors: "
+            + (
+                ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(self.typed_errors.items())
+                )
+                or "none"
+            ),
+        ]
+        if self.violations:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  invariant held: no hang, crash, or silent wrong answer")
+        return lines
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "stale": self.stale,
+            "typed_errors": dict(self.typed_errors),
+            "violations": list(self.violations),
+            "fault_events": self.fault_events,
+            "wall_seconds": self.wall_seconds,
+            "passed": self.passed(),
+        }
+
+
+def default_fault_plan(seed: int = 0) -> reliability.FaultPlan:
+    """A representative mixed plan: storage errors, worker crashes,
+    estimator clone failures (enough to open the breaker), and slow tasks.
+    """
+    return reliability.FaultPlan(
+        seed=seed,
+        specs=(
+            reliability.FaultSpec(
+                "repro.serve.service.clone", mode="error",
+                error="estimator", probability=1.0, max_fires=8,
+            ),
+            reliability.FaultSpec(
+                "repro.serve.service.task", mode="error",
+                error="crash", probability=0.2,
+            ),
+            reliability.FaultSpec(
+                "repro.storage.pages.read", mode="error",
+                error="storage", probability=0.05,
+            ),
+            reliability.FaultSpec(
+                "repro.serve.service.task", mode="delay",
+                delay_seconds=0.002, probability=0.2,
+            ),
+        ),
+    )
+
+
+def _canonical(result) -> str:
+    """The *answer* part of a result, as comparable JSON.
+
+    ``stats`` is execution metadata (expansions, bound evaluations) that
+    legitimately varies with the estimator in use.  ``entries`` hold one
+    witness path per sub-interval, and on networks with co-optimal paths
+    different (equally admissible) estimators may break the tie
+    differently — so correctness is judged on the ``border`` function, the
+    optimal travel time at every leaving instant, which any exact search
+    must reproduce bit-for-bit.
+    """
+    doc = result.as_dict()
+    doc.pop("stats", None)
+    doc.pop("entries", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def run_chaos(
+    service: AllFPService,
+    queries: Sequence[QuerySpec],
+    plan: reliability.FaultPlan,
+    clients: int = 4,
+    deadline: float | None = None,
+    join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+) -> ChaosReport:
+    """Baseline the workload fault-free, then replay it under ``plan``.
+
+    The service must be fault-free when called (any previously installed
+    injector is the caller's to remove).  The injector is installed only
+    for the chaos phase and removed in a ``finally``, so a crashing harness
+    never leaves the process poisoned.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    report = ChaosReport(requests=len(queries))
+
+    # Phase 1: fault-free baseline, sequential.  Two passes: the first
+    # warms the shared edge-function cache (a cold-cache answer can differ
+    # from the warm steady state by an ulp — functions built over slightly
+    # different sub-ranges), the second records the steady-state answers
+    # the chaos phase must reproduce.
+    baseline: list[str | None] = []
+    for record in (False, True):
+        if record:
+            baseline.clear()
+            service.invalidate()  # force recomputation on the warm cache
+        for spec in queries:
+            request = QueryRequest(
+                spec.source, spec.target, spec.interval, "allfp", deadline
+            )
+            try:
+                response = service.query(request)
+            except ReproError:
+                if record:
+                    # typed even without faults (e.g. no path)
+                    baseline.append(None)
+            else:
+                if record:
+                    baseline.append(_canonical(response.result))
+
+    # Drop cached results so the chaos phase actually recomputes.
+    service.invalidate()
+
+    # Phase 2: concurrent replay under the installed plan.
+    lock = threading.Lock()
+    injector = reliability.install(plan)
+
+    def worker(offset: int) -> None:
+        for i in range(offset, len(queries), clients):
+            spec = queries[i]
+            request = QueryRequest(
+                spec.source, spec.target, spec.interval, "allfp", deadline
+            )
+            try:
+                response = service.query(request)
+            except ReproError as exc:
+                name = type(exc).__name__
+                with lock:
+                    report.typed_errors[name] = (
+                        report.typed_errors.get(name, 0) + 1
+                    )
+            except BaseException as exc:
+                with lock:
+                    report.violations.append(
+                        f"query {i} ({spec.source}->{spec.target}): untyped "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+            else:
+                answer = _canonical(response.result)
+                wrong = (
+                    not response.stale
+                    and baseline[i] is not None
+                    and answer != baseline[i]
+                )
+                with lock:
+                    if wrong:
+                        report.violations.append(
+                            f"query {i} ({spec.source}->{spec.target}): answer "
+                            f"differs from fault-free baseline "
+                            f"(degraded={response.degraded})"
+                        )
+                    else:
+                        report.ok += 1
+                        if response.degraded:
+                            report.degraded += 1
+                        if response.stale:
+                            report.stale += 1
+
+    started = time.monotonic()
+    try:
+        threads = [
+            threading.Thread(
+                target=worker, args=(i,), name=f"chaos-client-{i}", daemon=True
+            )
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        deadline_at = time.monotonic() + join_timeout
+        for t in threads:
+            t.join(max(0.0, deadline_at - time.monotonic()))
+        for t in threads:
+            if t.is_alive():
+                report.violations.append(
+                    f"hang: {t.name} still running after {join_timeout:.0f}s"
+                )
+    finally:
+        reliability.uninstall()
+    report.wall_seconds = time.monotonic() - started
+    report.fault_events = injector.fired
+    return report

@@ -56,6 +56,7 @@ from ..exceptions import (
     ReproError,
     ServiceOverloaded,
 )
+from .. import reliability
 from ..timeutil import TimeInterval, parse_clock
 from .service import AllFPService, QueryRequest
 
@@ -208,7 +209,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 200,
                 {
-                    "status": "ok",
+                    "status": "degraded" if self.service.degraded else "ok",
+                    "degraded": self.service.degraded,
                     "version": self.service.version,
                     "nodes": network.node_count,
                 },
@@ -235,6 +237,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "NotFound", "message": self.path})
             return
         try:
+            reliability.fire("repro.serve.http.request")
             length = int(self.headers.get("Content-Length", 0))
             if length > MAX_BODY_BYTES:
                 raise BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
@@ -270,6 +273,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "cached": response.cached,
                     "coalesced": response.coalesced,
                     "elapsed_ms": response.elapsed_seconds * 1e3,
+                    "degraded": response.degraded,
+                    "stale": response.stale,
                 },
             )
 

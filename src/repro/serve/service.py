@@ -42,13 +42,17 @@ from ..core.profile import ProfileResult, profile_search
 from ..core.results import AllFPResult, SearchStats, SingleFPResult
 from ..core.runtime import SearchContext
 from ..estimators.base import LowerBoundEstimator
+from ..estimators.naive import NaiveEstimator
 from ..exceptions import (
     NoPathError,
     QueryError,
     ReproError,
     ServiceClosed,
     ServiceOverloaded,
+    WorkerCrashed,
 )
+from .. import reliability
+from ..reliability import CircuitBreaker
 from ..timeutil import TimeInterval
 from .admission import AdmissionController, Deadline
 from .batching import ResultCache, SingleFlight
@@ -118,12 +122,21 @@ class QueryRequest:
 
 @dataclass(frozen=True)
 class QueryResponse:
-    """A result plus how the service produced it."""
+    """A result plus how the service produced it.
+
+    ``degraded`` flags answers computed in a degraded mode — the estimator
+    circuit breaker fell back to the naive Euclidean bound (still admissible,
+    so the answer itself remains exact) or ``stale`` is set and the result
+    was served from the version-stamped cache after a deadline tripped
+    mid-recompute (possibly predating the latest network update).
+    """
 
     result: AllFPResult | SingleFPResult | ProfileResult | KnnResult
     cached: bool = False
     coalesced: bool = False
     elapsed_seconds: float = 0.0
+    degraded: bool = False
+    stale: bool = False
 
 
 @dataclass(frozen=True)
@@ -140,6 +153,16 @@ class ServiceConfig:
     edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE
     prune: bool = True
     max_pops: int | None = None
+    #: bounded retry budget for worker tasks that die with an *unexpected*
+    #: (non-Repro) error; the crashed worker's engine is replaced first
+    task_retries: int = 1
+    #: consecutive estimator clone/refresh failures before the circuit
+    #: breaker opens and workers fall back to the naive bound
+    breaker_failures: int = 3
+    #: seconds the breaker stays open before allowing one trial clone
+    breaker_reset: float = 30.0
+    #: serve the last good (possibly stale) result when a deadline trips
+    serve_stale: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -147,6 +170,10 @@ class ServiceConfig:
         if self.max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.task_retries < 0:
+            raise ValueError(
+                f"task_retries must be >= 0, got {self.task_retries}"
             )
 
 
@@ -209,6 +236,12 @@ class AllFPService:
     config:
         A :class:`ServiceConfig`; defaults are sized for tests and small
         deployments.
+    degraded:
+        Mark the whole service degraded from boot — set by the CLI when the
+        requested estimator snapshot failed to load and the service fell
+        back to a weaker (but admissible) bound.  Every response carries
+        ``degraded=True`` until :meth:`invalidate` successfully refreshes
+        the estimator.
     """
 
     def __init__(
@@ -216,10 +249,12 @@ class AllFPService:
         network,
         estimator: LowerBoundEstimator | None = None,
         config: ServiceConfig | None = None,
+        degraded: bool = False,
     ) -> None:
         self.config = config or ServiceConfig()
         self._network = network
         self._estimator = estimator
+        self._boot_degraded = degraded
         self._edge_cache = _SharedEdgeFunctionCache(
             network.calendar, self.config.edge_cache_size
         )
@@ -235,6 +270,18 @@ class AllFPService:
         self._result_cache = ResultCache(
             self.config.result_cache_size, self.config.result_cache_ttl
         )
+        # Last good answers keyed *without* the version stamp; consulted only
+        # when a deadline trips and config.serve_stale is on.  Deliberately
+        # survives invalidate() — staleness is its entire point.
+        self._stale_cache = ResultCache(
+            self.config.result_cache_size, float("inf")
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            reset_timeout=self.config.breaker_reset,
+        )
+        self._fallback_estimator: NaiveEstimator | None = None
+        self._fallback_lock = threading.Lock()
         self.metrics = MetricsRegistry()
         self._version = 0
         self._closed = False
@@ -264,6 +311,22 @@ class AllFPService:
             "service_version",
             lambda: float(self._version),
             help="Network/pattern version stamp keyed into the result cache",
+        )
+        self.metrics.set_gauge(
+            "service_degraded",
+            lambda: 1.0 if self.degraded else 0.0,
+            help="1 when the service is serving degraded answers "
+            "(estimator breaker open or boot-time fallback)",
+        )
+        self.metrics.set_gauge(
+            "estimator_breaker_open",
+            lambda: 0.0 if self._breaker.state == "closed" else 1.0,
+            help="1 while the estimator circuit breaker is open or half-open",
+        )
+        self.metrics.set_gauge(
+            "fault_injections_total",
+            lambda: float(reliability.fired_total()),
+            help="Faults fired by the reliability injector (0 when inactive)",
         )
         self._register_estimator_metrics()
 
@@ -306,6 +369,11 @@ class AllFPService:
         """The network/pattern version stamp baked into cache keys."""
         return self._version
 
+    @property
+    def degraded(self) -> bool:
+        """True while the service as a whole is in a degraded mode."""
+        return self._boot_degraded or self._breaker.state != "closed"
+
     def invalidate(self, refresh_estimator: bool = False) -> int:
         """Bump the version stamp and drop every cached result.
 
@@ -328,11 +396,25 @@ class AllFPService:
         if refresh_estimator and self._estimator is not None:
             refresh = getattr(self._estimator, "refresh", None)
             if callable(refresh):
-                refresh()
-                self.metrics.inc(
-                    "estimator_refreshes_total",
-                    help="Estimator precompute refreshes after invalidation",
-                )
+                try:
+                    refresh()
+                except ReproError:
+                    # Keep serving: the breaker records the failure and
+                    # workers fall back to the naive bound until a later
+                    # refresh or trial clone succeeds.
+                    self._breaker.record_failure()
+                    self.metrics.inc(
+                        "estimator_refresh_failures_total",
+                        help="Estimator refreshes that failed "
+                        "(service continues on the old/fallback bound)",
+                    )
+                else:
+                    self._breaker.record_success()
+                    self._boot_degraded = False
+                    self.metrics.inc(
+                        "estimator_refreshes_total",
+                        help="Estimator precompute refreshes after invalidation",
+                    )
             # Rebuild per-worker engines lazily so clones see the new tables.
             self._engine_generation += 1
         return dropped
@@ -433,11 +515,20 @@ class AllFPService:
         finally:
             self._admission.release()
         self._finish(request, started, "ok")
+        degraded = response.degraded or self._boot_degraded
+        if degraded:
+            self.metrics.inc(
+                "degraded_responses_total",
+                help="Answers produced in a degraded mode (fallback bound "
+                "or stale cache) — still admissible/typed, never silent",
+            )
         return QueryResponse(
             result=response.result,
             cached=response.cached,
             coalesced=response.coalesced,
             elapsed_seconds=time.monotonic() - started,
+            degraded=degraded,
+            stale=response.stale,
         )
 
     # ------------------------------------------------------------------
@@ -467,36 +558,108 @@ class AllFPService:
             hit = self._result_cache.get(key)
             if hit is not None:
                 self.metrics.inc("result_cache_hits_total", help="Result cache hits")
-                return QueryResponse(result=hit, cached=True)
+                result, degraded = hit
+                return QueryResponse(result=result, cached=True, degraded=degraded)
             self.metrics.inc("result_cache_misses_total", help="Result cache misses")
 
         def compute():
             return self._pool.submit(self._run_engine, request, deadline).result()
 
-        if self.config.coalesce:
-            result, leader = self._single_flight.do(key, compute)
-            if not leader:
-                self.metrics.inc(
-                    "coalesced_total",
-                    help="Requests that shared another request's computation",
-                )
-        else:
-            result, leader = compute(), True
-        if leader and self.config.cache_results:
-            self._result_cache.put(key, result)
-        return QueryResponse(result=result, coalesced=not leader)
+        try:
+            if self.config.coalesce:
+                entry, leader = self._single_flight.do(key, compute)
+                if not leader:
+                    self.metrics.inc(
+                        "coalesced_total",
+                        help="Requests that shared another request's computation",
+                    )
+            else:
+                entry, leader = compute(), True
+        except QueryTimeout:
+            stale = self._serve_stale(request)
+            if stale is not None:
+                return stale
+            raise
+        result, degraded = entry
+        if leader:
+            if self.config.cache_results:
+                self._result_cache.put(key, entry)
+            if self.config.serve_stale and not degraded:
+                # Versionless key: the whole point is surviving invalidation.
+                self._stale_cache.put(request.key(-1), result)
+        return QueryResponse(result=result, coalesced=not leader, degraded=degraded)
+
+    def _serve_stale(self, request: QueryRequest) -> QueryResponse | None:
+        """The last good answer for this query, if stale serving allows it."""
+        if not self.config.serve_stale:
+            return None
+        hit = self._stale_cache.get(request.key(-1))
+        if hit is None:
+            return None
+        self.metrics.inc(
+            "stale_results_served_total",
+            help="Deadline trips answered from the last good (stale) result",
+        )
+        return QueryResponse(result=hit, cached=True, degraded=True, stale=True)
+
+    def _fallback(self) -> NaiveEstimator:
+        """The shared naive fallback estimator, built once on first need.
+
+        ``NaiveEstimator`` scans every edge for ``max_speed()``; doing that
+        once and handing workers shallow copies keeps fallback activation
+        cheap even on large networks.
+        """
+        with self._fallback_lock:
+            if self._fallback_estimator is None:
+                self._fallback_estimator = NaiveEstimator(self._network)
+            return self._fallback_estimator
+
+    def _worker_estimator(self) -> tuple[LowerBoundEstimator | None, bool]:
+        """A per-worker estimator clone, or the naive fallback when cloning
+        fails (returns ``(estimator, degraded)``).
+
+        Clone failures feed the circuit breaker: after
+        ``config.breaker_failures`` consecutive failures the breaker opens
+        and workers stop even attempting the clone until ``breaker_reset``
+        seconds pass, at which point one trial clone decides whether to
+        close again.  The naive bound is still admissible, so A* stays
+        exact — only slower — which is why fallback answers are *flagged*
+        degraded rather than refused.
+        """
+        if self._estimator is None:
+            return None, False
+        if self._breaker.allow():
+            try:
+                reliability.fire("repro.serve.service.clone")
+                clone = clone_estimator(self._estimator)
+            except Exception:
+                self._breaker.record_failure()
+            else:
+                self._breaker.record_success()
+                return clone, False
+        self.metrics.inc(
+            "estimator_fallbacks_total",
+            help="Worker engines built on the naive fallback bound because "
+            "the estimator clone failed or the breaker was open",
+        )
+        return copy.copy(self._fallback()), True
 
     def _engine(self) -> IntAllFastestPaths:
         engine = getattr(self._local, "engine", None)
         if getattr(self._local, "generation", None) != self._engine_generation:
             engine = None
             self._local.generation = self._engine_generation
+        if (
+            engine is not None
+            and getattr(self._local, "degraded", False)
+            and self._breaker.state != "open"
+        ):
+            # Recovery path: the breaker closed (another worker's trial
+            # clone succeeded) or is half-open (this rebuild becomes the
+            # trial).  Either way, try to get off the fallback bound.
+            engine = None
         if engine is None:
-            estimator = (
-                clone_estimator(self._estimator)
-                if self._estimator is not None
-                else None
-            )
+            estimator, degraded = self._worker_estimator()
             engine = IntAllFastestPaths(
                 self._network,
                 estimator,
@@ -504,31 +667,72 @@ class AllFPService:
                 context=self._context,
             )
             self._local.engine = engine
+            self._local.degraded = degraded
         return engine
 
     def _run_engine(self, request: QueryRequest, deadline: Deadline | None):
-        """Executed on a worker thread; enforces the remaining deadline."""
-        remaining = None
-        if deadline is not None:
-            remaining = deadline.remaining()
-            if remaining <= 0.0:
-                # The request aged out while queued for a worker.
-                stats = SearchStats(timed_out=True)
+        """Executed on a worker thread; enforces the remaining deadline.
+
+        An *unexpected* (non-Repro) error is treated as a worker crash:
+        the thread-local engine is discarded — the replacement is built on
+        the next attempt, exactly as a restarted worker would — and the
+        task retries within the deadline up to ``config.task_retries``
+        times before surfacing a typed :class:`WorkerCrashed`.
+        """
+        attempts = 0
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    # The request aged out while queued for a worker.
+                    stats = SearchStats(timed_out=True)
+                    self.metrics.inc(
+                        "queue_timeouts_total",
+                        help="Requests whose deadline expired before a worker picked them up",
+                    )
+                    raise QueryTimeout(deadline.budget, stats)
+            try:
+                return self._execute(request, remaining)
+            except ReproError:
+                # Typed errors (timeout, no-path, bad query, injected
+                # faults surfacing as storage errors) are answers, not
+                # crashes; retrying them would just repeat the answer.
+                raise
+            except Exception as exc:
+                attempts += 1
                 self.metrics.inc(
-                    "queue_timeouts_total",
-                    help="Requests whose deadline expired before a worker picked them up",
+                    "worker_crashes_total",
+                    help="Worker tasks that died with an unexpected error",
                 )
-                raise QueryTimeout(deadline.budget, stats)
+                self._local.engine = None
+                if attempts > self.config.task_retries:
+                    raise WorkerCrashed(
+                        attempts, f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                self.metrics.inc(
+                    "task_retries_total",
+                    help="Crashed tasks retried on a replacement engine",
+                )
+
+    def _execute(self, request: QueryRequest, remaining: float | None):
+        """One engine execution; returns ``(result, degraded)``."""
         self.metrics.inc("engine_runs_total", help="Actual engine executions")
         run_started = time.monotonic()
+        reliability.fire("repro.serve.service.task")
+        degraded = False
         try:
             if request.mode == "allfp":
-                result = self._engine().all_fastest_paths(
+                engine = self._engine()
+                degraded = getattr(self._local, "degraded", False)
+                result = engine.all_fastest_paths(
                     request.source, request.target, request.interval,
                     deadline=remaining,
                 )
             elif request.mode == "singlefp":
-                result = self._engine().single_fastest_path(
+                engine = self._engine()
+                degraded = getattr(self._local, "degraded", False)
+                result = engine.single_fastest_path(
                     request.source, request.target, request.interval,
                     deadline=remaining,
                 )
@@ -555,7 +759,7 @@ class AllFPService:
             self._record_engine_stats(exc.stats, run_started)
             raise
         self._record_engine_stats(result.stats, run_started)
-        return result
+        return result, degraded
 
     def _record_engine_stats(self, stats: SearchStats, run_started: float) -> None:
         self.metrics.observe(
@@ -594,11 +798,14 @@ class AllFPService:
         """A structured snapshot of every layer (for logs and tests)."""
         return {
             "version": self._version,
+            "degraded": self.degraded,
             "admission": self._admission.snapshot(),
             "single_flight": self._single_flight.snapshot(),
             "result_cache": self._result_cache.snapshot(),
             "edge_cache": self._edge_cache.snapshot(),
             "engine_runs": self.metrics.counter_total("engine_runs_total"),
+            "breaker": self._breaker.snapshot(),
+            "faults_fired": reliability.fired_total(),
         }
 
     def render_metrics(self) -> str:

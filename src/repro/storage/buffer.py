@@ -15,6 +15,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import BinaryIO, Protocol
 
+from .. import reliability
 from ..exceptions import StorageError
 
 DEFAULT_PAGE_SIZE = 2048
@@ -124,6 +125,8 @@ class FilePageStore:
         data = self._file.read(self._page_size)
         if len(data) != self._page_size:
             raise StorageError(f"short read on page {page_no}")
+        if reliability.is_active():
+            data = reliability.fire("repro.storage.pages.read", data)
         return data
 
     def write(self, page_no: int, data: bytes) -> None:
@@ -196,8 +199,11 @@ class BufferManager:
             return cached
         self.physical_reads += 1
         data = self._store.read(page_no)
+        if reliability.is_active():
+            data = reliability.fire("repro.storage.buffer.read", data)
         self._cache[page_no] = data
         if len(self._cache) > self._capacity:
+            reliability.fire("repro.storage.buffer.evict")
             self._cache.popitem(last=False)
         return data
 

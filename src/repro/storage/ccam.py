@@ -32,10 +32,12 @@ applying updates (or construct fresh ones).
 from __future__ import annotations
 
 import json
+import math
 import struct
 from pathlib import Path
 from typing import Iterable, Literal
 
+from .. import reliability
 from ..exceptions import (
     EdgeNotFoundError,
     NetworkError,
@@ -281,12 +283,20 @@ class CCAMStore:
 
     def find_node(self, node_id: int) -> NodeRecord:
         """The paper's ``FindNode``: B+-tree lookup, then one data-page read."""
+        if reliability.is_active():
+            reliability.fire("repro.storage.ccam.find_node")
         page_no, slot = self._locator(node_id)
         data = self._region.read(page_no)
         return decode_record_at_slot(data, slot)
 
     def location(self, node_id: int) -> tuple[float, float]:
         return self.find_node(node_id).location
+
+    def euclidean(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes (miles)."""
+        ax, ay = self.location(a)
+        bx, by = self.location(b)
+        return math.hypot(ax - bx, ay - by)
 
     def _edge_from_ref(self, source: int, ref: NeighborRef) -> Edge:
         return Edge(

@@ -1,14 +1,33 @@
-"""Failure-injection tests: corrupted storage must fail loudly, not wrongly."""
+"""Failure-injection tests: corrupted storage must fail loudly, not wrongly.
+
+Extended by the reliability PR with the seeded fault-injection framework
+(:mod:`repro.reliability`), estimator snapshot faults, precompute pool
+shutdown, and the serve layer's graceful degradation (worker replacement,
+estimator circuit breaker, stale serving, retrying HTTP client).
+"""
 
 from __future__ import annotations
 
+import io
 import json
+import random
 import struct
+import time
+import urllib.error
 
 import pytest
 
-from repro.exceptions import StorageError
+from repro import reliability
+from repro.exceptions import (
+    EstimatorError,
+    InjectedFault,
+    ReproError,
+    ServeClientError,
+    StorageError,
+    WorkerCrashed,
+)
 from repro.network.generator import MetroConfig, make_metro_network
+from repro.reliability import CircuitBreaker, FaultInjector, FaultPlan, FaultSpec
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer import MemoryPageStore
 from repro.storage.ccam import CCAMStore
@@ -17,6 +36,13 @@ from repro.storage.ccam import CCAMStore
 @pytest.fixture(scope="module")
 def network():
     return make_metro_network(MetroConfig(width=8, height=8, seed=19))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Every test leaves the process injector-free."""
+    yield
+    reliability.uninstall()
 
 
 @pytest.fixture
@@ -91,3 +117,681 @@ class TestBPlusTreeMisuse:
         with CCAMStore.build(network, path) as store:
             with pytest.raises(StorageError):
                 store._tree.insert(10**6, 1)
+
+
+# ======================================================================
+# The fault-injection framework itself
+# ======================================================================
+
+
+class TestFaultInjector:
+    def test_same_plan_same_history(self):
+        plan = FaultPlan(
+            seed=99,
+            specs=(
+                FaultSpec("a.b", probability=0.4),
+                FaultSpec("a.c", mode="delay", probability=0.7, delay_seconds=0.0),
+            ),
+        )
+        histories = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            for i in range(300):
+                point = "a.b" if i % 3 else "a.c"
+                try:
+                    injector.fire(point)
+                except InjectedFault:
+                    pass
+            histories.append(
+                [(e.seq, e.point, e.spec_point, e.mode) for e in injector.history()]
+            )
+        assert histories[0] == histories[1]
+        assert histories[0]  # the plan actually fired
+
+    def test_different_seed_different_history(self):
+        specs = (FaultSpec("x", probability=0.5),)
+        seqs = []
+        for seed in (1, 2):
+            injector = FaultInjector(FaultPlan(seed=seed, specs=specs))
+            fired = []
+            for i in range(200):
+                try:
+                    injector.fire("x")
+                    fired.append(0)
+                except InjectedFault:
+                    fired.append(1)
+            seqs.append(fired)
+        assert seqs[0] != seqs[1]
+
+    def test_prefix_matching(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec("repro.storage", probability=1.0),))
+        )
+        with pytest.raises(InjectedFault):
+            injector.fire("repro.storage.pages.read")
+        # "repro.storageX" must NOT match the dotted prefix "repro.storage"
+        assert injector.fire("repro.storageX.read", b"ok") == b"ok"
+
+    def test_max_fires_exhausts(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec("p", probability=1.0, max_fires=2),))
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.fire("p")
+        assert injector.fire("p") is None
+        assert injector.fired == 2
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec("p", mode="corrupt", probability=1.0),))
+        )
+        payload = bytes(range(64))
+        mutated = injector.fire("p", payload)
+        assert mutated != payload and len(mutated) == len(payload)
+        assert sum(a != b for a, b in zip(payload, mutated)) == 1
+
+    def test_corrupt_without_payload_raises_typed(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec("p", mode="corrupt"),))
+        )
+        with pytest.raises(InjectedFault):
+            injector.fire("p")
+
+    def test_error_type_registry(self):
+        for name, exc_type in reliability.ERROR_TYPES.items():
+            injector = FaultInjector(
+                FaultPlan(specs=(FaultSpec("p", error=name),))
+            )
+            with pytest.raises(exc_type):
+                injector.fire("p")
+
+    def test_module_install_uninstall(self):
+        assert not reliability.is_active()
+        assert reliability.fire("anything", b"x") == b"x"
+        reliability.install(FaultPlan(specs=(FaultSpec("p"),)))
+        assert reliability.is_active()
+        with pytest.raises(InjectedFault):
+            reliability.fire("p")
+        assert reliability.fired_total() == 1
+        reliability.uninstall()
+        assert reliability.fire("p", b"x") == b"x"
+
+    def test_install_from_env_inline_and_path(self, tmp_path):
+        doc = {"seed": 5, "faults": [{"point": "p", "mode": "error"}]}
+        injector = reliability.install_from_env({"REPRO_FAULTS": json.dumps(doc)})
+        assert injector is not None and injector.plan.seed == 5
+        reliability.uninstall()
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps(doc))
+        injector = reliability.install_from_env({"REPRO_FAULTS": str(plan_file)})
+        assert injector is not None and len(injector.plan.specs) == 1
+        assert reliability.install_from_env({}) is None
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("p", mode="explode")
+        with pytest.raises(ValueError):
+            FaultSpec("p", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("p", error="nonsense")
+        with pytest.raises(ValueError):
+            FaultPlan.from_json("not json")
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('{"faults": [{"mode": "error"}]}')
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_half_open_single_trial(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=10.0, clock=lambda: now[0]
+        )
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        now[0] = 11.0
+        assert breaker.allow()  # the one half-open trial
+        assert not breaker.allow()  # concurrent caller stays blocked
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        now[0] = 22.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+        assert breaker.opened_total == 2
+
+
+# ======================================================================
+# Estimator snapshot faults (crash-safe save, typed load failures)
+# ======================================================================
+
+
+class TestSnapshotFaults:
+    @pytest.fixture
+    def estimator_and_snapshot(self, network, tmp_path):
+        from repro.estimators.boundary import BoundaryNodeEstimator
+
+        estimator = BoundaryNodeEstimator(network, 3, 3)
+        path = tmp_path / "net.est"
+        estimator.save_snapshot(path)
+        return estimator, path
+
+    def test_fault_mid_save_leaves_old_snapshot_intact(
+        self, network, estimator_and_snapshot
+    ):
+        from repro.estimators.boundary import BoundaryNodeEstimator
+
+        estimator, path = estimator_and_snapshot
+        good_bytes = path.read_bytes()
+        reliability.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        "repro.estimators.snapshot.save",
+                        error="os",
+                        max_fires=1,
+                    ),
+                )
+            )
+        )
+        with pytest.raises(OSError):
+            estimator.save_snapshot(path)
+        reliability.uninstall()
+        # os.replace never ran: the old snapshot is byte-identical, still
+        # loads, and the temporary file was cleaned up.
+        assert path.read_bytes() == good_bytes
+        assert not list(path.parent.glob(f"{path.name}.tmp.*"))
+        warm = BoundaryNodeEstimator.from_snapshot(network, path)
+        assert warm.loaded_from_snapshot
+
+    def test_interrupted_save_cleans_tmp_on_keyboardinterrupt(
+        self, network, estimator_and_snapshot, monkeypatch
+    ):
+        from repro.estimators import snapshot as snap
+
+        estimator, path = estimator_and_snapshot
+        good_bytes = path.read_bytes()
+        calls = {"n": 0}
+        original = snap._write_array
+
+        def dying_write(out, arr):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            original(out, arr)
+
+        monkeypatch.setattr(snap, "_write_array", dying_write)
+        with pytest.raises(KeyboardInterrupt):
+            estimator.save_snapshot(path)
+        assert path.read_bytes() == good_bytes
+        assert not list(path.parent.glob(f"{path.name}.tmp.*"))
+
+    def test_load_fault_is_typed(self, network, estimator_and_snapshot):
+        from repro.estimators.boundary import BoundaryNodeEstimator
+
+        _estimator, path = estimator_and_snapshot
+        reliability.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec("repro.estimators.snapshot.load", error="estimator"),
+                )
+            )
+        )
+        with pytest.raises(EstimatorError):
+            BoundaryNodeEstimator.from_snapshot(network, path)
+
+    def test_load_corrupt_mode_raises_instead_of_mutating(
+        self, network, estimator_and_snapshot
+    ):
+        from repro.estimators.boundary import BoundaryNodeEstimator
+
+        _estimator, path = estimator_and_snapshot
+        reliability.install(
+            FaultPlan(
+                specs=(FaultSpec("repro.estimators.snapshot.load", mode="corrupt"),)
+            )
+        )
+        # The load site carries no payload on purpose: silent header
+        # corruption could break admissibility without failing a check.
+        with pytest.raises(InjectedFault):
+            BoundaryNodeEstimator.from_snapshot(network, path)
+
+
+# ======================================================================
+# Precompute pool shutdown and serial fallback
+# ======================================================================
+
+
+class _FakePool:
+    def __init__(self, fail_with: BaseException) -> None:
+        self.fail_with = fail_with
+        self.terminated = False
+        self.joined = False
+
+    def map(self, fn, tasks, chunksize=1):
+        raise self.fail_with
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        self.joined = True
+
+
+class TestPrecomputePoolShutdown:
+    def test_dead_pool_is_reaped_and_falls_back_serial(self, network, monkeypatch):
+        from repro.estimators import precompute
+        from repro.estimators.grid import GridPartition
+
+        grid = GridPartition(network, 3, 3)
+        serial = precompute.compute_tables(network, grid, "time", workers=1)
+
+        fake = _FakePool(RuntimeError("worker died"))
+        monkeypatch.setattr(precompute, "_make_pool", lambda w, s: fake)
+        tables = precompute.compute_tables(network, grid, "time", workers=4)
+        assert fake.terminated and fake.joined
+        assert tables.workers_used == 1
+        assert tables.cell_pair == serial.cell_pair
+        assert tables.to_boundary == serial.to_boundary
+        assert tables.from_boundary == serial.from_boundary
+
+    def test_keyboardinterrupt_reraises_after_reaping(self, network, monkeypatch):
+        from repro.estimators import precompute
+        from repro.estimators.grid import GridPartition
+
+        grid = GridPartition(network, 3, 3)
+        fake = _FakePool(KeyboardInterrupt())
+        monkeypatch.setattr(precompute, "_make_pool", lambda w, s: fake)
+        with pytest.raises(KeyboardInterrupt):
+            precompute.compute_tables(network, grid, "time", workers=4)
+        assert fake.terminated and fake.joined
+
+    def test_worker_fault_point_fires_in_cell_job(self, network):
+        from repro.estimators import precompute
+        from repro.estimators.grid import GridPartition
+
+        grid = GridPartition(network, 3, 3)
+        reliability.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        "repro.estimators.precompute.cell",
+                        error="estimator",
+                        max_fires=1,
+                    ),
+                )
+            )
+        )
+        with pytest.raises(EstimatorError):
+            precompute.compute_tables(network, grid, "time", workers=1)
+
+
+# ======================================================================
+# Serve-layer degradation: worker replacement, breaker fallback, stale
+# ======================================================================
+
+
+def _answer(response) -> str:
+    from repro.serve.chaos import _canonical
+
+    return _canonical(response.result)
+
+
+@pytest.fixture
+def grid_service():
+    """workers=1 so thread-local engine behavior is deterministic."""
+    from repro.estimators.boundary import BoundaryNodeEstimator
+    from repro.network.generator import make_grid_network
+    from repro.serve import AllFPService, ServiceConfig
+    from repro.serve.service import QueryRequest
+    from repro.timeutil import TimeInterval
+
+    network = make_grid_network(5, 5)
+    estimator = BoundaryNodeEstimator(network, 2, 2)
+    service = AllFPService(
+        network,
+        estimator,
+        ServiceConfig(
+            workers=1,
+            breaker_failures=1,
+            breaker_reset=0.05,
+            serve_stale=True,
+        ),
+    )
+    request = QueryRequest(0, 24, TimeInterval(420.0, 540.0), "allfp", None)
+    yield service, request
+    service.close()
+
+
+class TestServeDegradation:
+    def test_worker_crash_is_replaced_and_retried(self, grid_service):
+        service, request = grid_service
+        baseline = _answer(service.query(request))
+        reliability.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        "repro.serve.service.task", error="crash", max_fires=1
+                    ),
+                )
+            )
+        )
+        service.invalidate()
+        response = service.query(request)
+        assert _answer(response) == baseline
+        assert not response.degraded
+        assert service.metrics.counter_total("worker_crashes_total") == 1
+        assert service.metrics.counter_total("task_retries_total") == 1
+
+    def test_crash_every_attempt_surfaces_typed_workercrashed(self, grid_service):
+        service, request = grid_service
+        reliability.install(
+            FaultPlan(
+                specs=(FaultSpec("repro.serve.service.task", error="crash"),)
+            )
+        )
+        with pytest.raises(WorkerCrashed) as excinfo:
+            service.query(request)
+        assert isinstance(excinfo.value, ReproError)
+        assert excinfo.value.attempts == 2  # 1 + task_retries default
+
+    def test_breaker_fallback_is_admissible_and_flagged(self, grid_service):
+        service, request = grid_service
+        baseline = _answer(service.query(request))
+        reliability.install(
+            FaultPlan(
+                specs=(FaultSpec("repro.serve.service.clone", error="estimator"),)
+            )
+        )
+        service.invalidate(refresh_estimator=True)  # force engine rebuild
+        response = service.query(request)
+        # Flagged degraded, but the naive bound is admissible: the answer
+        # (border function) is byte-identical to the baseline.
+        assert response.degraded
+        assert _answer(response) == baseline
+        assert service.degraded
+        assert service.metrics.counter_total("estimator_fallbacks_total") >= 1
+        assert service.stats()["breaker"]["state"] != "closed"
+
+    def test_breaker_recovers_after_reset_timeout(self, grid_service):
+        service, request = grid_service
+        baseline = _answer(service.query(request))
+        reliability.install(
+            FaultPlan(
+                specs=(FaultSpec("repro.serve.service.clone", error="estimator"),)
+            )
+        )
+        service.invalidate(refresh_estimator=True)
+        assert service.query(request).degraded
+        reliability.uninstall()  # the estimator "comes back"
+        time.sleep(0.06)  # past breaker_reset: next rebuild is the trial
+        service.invalidate()  # drop cached degraded answers
+        response = service.query(request)
+        assert not response.degraded
+        assert _answer(response) == baseline
+        assert not service.degraded
+
+    def test_stale_answer_on_deadline_trip(self, grid_service):
+        from repro.serve.service import QueryRequest
+
+        service, request = grid_service
+        good = service.query(request)  # populates the stale cache
+        assert not good.stale
+        service.invalidate()  # version bump: stale cache must survive it
+        hurried = QueryRequest(
+            request.source,
+            request.target,
+            request.interval,
+            "allfp",
+            1e-7,  # expires before any worker can pick it up
+        )
+        response = service.query(hurried)
+        assert response.stale and response.degraded and response.cached
+        assert _answer(response) == _answer(good)
+        assert (
+            service.metrics.counter_total("stale_results_served_total") == 1
+        )
+
+    def test_refresh_failure_trips_breaker_not_caller(self, grid_service):
+        service, request = grid_service
+        service.query(request)
+        reliability.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        "repro.estimators.precompute.cell", error="estimator"
+                    ),
+                )
+            )
+        )
+        # invalidate() must absorb the refresh failure (breaker records it)
+        # rather than raising into the updater's thread.
+        service.invalidate(refresh_estimator=True)
+        assert (
+            service.metrics.counter_total("estimator_refresh_failures_total")
+            == 1
+        )
+
+    def test_boot_degraded_flags_every_response(self):
+        from repro.network.generator import make_grid_network
+        from repro.serve import AllFPService, ServiceConfig
+        from repro.serve.service import QueryRequest
+        from repro.timeutil import TimeInterval
+
+        network = make_grid_network(4, 4)
+        service = AllFPService(
+            network, None, ServiceConfig(workers=1), degraded=True
+        )
+        try:
+            response = service.query(
+                QueryRequest(0, 15, TimeInterval(420.0, 480.0), "allfp", None)
+            )
+            assert response.degraded
+            assert service.degraded
+            assert service.metrics.counter_total("degraded_responses_total") == 1
+        finally:
+            service.close()
+
+
+class TestChaosHarness:
+    def test_invariant_holds_under_default_plan(self):
+        from repro.estimators.boundary import BoundaryNodeEstimator
+        from repro.network.generator import make_grid_network
+        from repro.serve import AllFPService, ServiceConfig
+        from repro.serve.chaos import default_fault_plan, run_chaos
+        from repro.workloads.queries import morning_rush_interval, random_queries
+
+        network = make_grid_network(6, 6)
+        service = AllFPService(
+            network,
+            BoundaryNodeEstimator(network, 2, 2),
+            ServiceConfig(workers=2, breaker_reset=0.1, serve_stale=True),
+        )
+        queries = random_queries(network, 12, morning_rush_interval(), seed=4)
+        try:
+            report = run_chaos(
+                service, queries, default_fault_plan(seed=1), clients=3
+            )
+        finally:
+            service.close()
+        assert report.passed(), report.violations
+        assert report.requests == 12
+        assert report.ok + sum(report.typed_errors.values()) == 12
+        assert not reliability.is_active()  # harness uninstalled its plan
+
+
+# ======================================================================
+# Retrying HTTP client
+# ======================================================================
+
+
+class _FakeResponse:
+    def __init__(self, status: int, body: bytes) -> None:
+        self.status = status
+        self._body = body
+        self.headers = {}
+
+    def read(self) -> bytes:
+        return self._body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _http_error(code: int, body: bytes, headers: dict | None = None):
+    import email.message
+
+    msg = email.message.Message()
+    for name, value in (headers or {}).items():
+        msg[name] = value
+    return urllib.error.HTTPError(
+        "http://test/v1/allfp", code, "err", msg, io.BytesIO(body)
+    )
+
+
+class TestHTTPClientRetries:
+    def test_connection_refused_becomes_typed_after_retries(self):
+        from repro.serve import HTTPClient
+
+        sleeps: list[float] = []
+        client = HTTPClient(
+            "http://127.0.0.1:1",
+            timeout=0.2,
+            retries=2,
+            backoff_base=0.001,
+            sleep=sleeps.append,
+            rng=random.Random(7),
+        )
+        with pytest.raises(ServeClientError) as excinfo:
+            client.healthz()
+        assert isinstance(excinfo.value, ReproError)
+        assert excinfo.value.attempts == 3
+        assert "127.0.0.1:1" in str(excinfo.value.url)
+        # Deterministic full-jitter schedule under the pinned RNG.
+        expected_rng = random.Random(7)
+        expected = [
+            expected_rng.uniform(0.0, 0.001),
+            expected_rng.uniform(0.0, 0.002),
+        ]
+        assert sleeps == expected
+
+    def test_backoff_schedule_is_reproducible(self):
+        from repro.serve import HTTPClient
+
+        schedules = []
+        for _ in range(2):
+            sleeps: list[float] = []
+            client = HTTPClient(
+                "http://127.0.0.1:1",
+                timeout=0.2,
+                retries=3,
+                backoff_base=0.001,
+                sleep=sleeps.append,
+                rng=random.Random(42),
+            )
+            with pytest.raises(ServeClientError):
+                client.healthz()
+            schedules.append(sleeps)
+        assert schedules[0] == schedules[1] and len(schedules[0]) == 3
+
+    def test_retry_after_header_is_honored_on_503(self, monkeypatch):
+        from repro.serve import HTTPClient
+
+        calls = {"n": 0}
+
+        def fake_urlopen(req, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise _http_error(
+                    503,
+                    b'{"error": "ServiceOverloaded", "message": "busy"}',
+                    {"Retry-After": "0.25"},
+                )
+            return _FakeResponse(200, b'{"ok": true}')
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        sleeps: list[float] = []
+        client = HTTPClient("http://test", retries=2, sleep=sleeps.append)
+        status, body = client.post("/v1/allfp", {})
+        assert status == 200 and body == {"ok": True}
+        assert sleeps == [0.25]
+        assert calls["n"] == 2
+
+    def test_503_returned_when_retries_exhausted(self, monkeypatch):
+        from repro.serve import HTTPClient
+
+        def fake_urlopen(req, timeout=None):
+            raise _http_error(
+                503, b'{"error": "ServiceOverloaded", "message": "busy"}'
+            )
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        sleeps: list[float] = []
+        client = HTTPClient(
+            "http://test", retries=1, backoff_base=0.001, sleep=sleeps.append
+        )
+        status, body = client.post("/v1/allfp", {})
+        assert status == 503 and body["error"] == "ServiceOverloaded"
+        assert len(sleeps) == 1
+
+    def test_4xx_never_retried(self, monkeypatch):
+        from repro.serve import HTTPClient
+
+        calls = {"n": 0}
+
+        def fake_urlopen(req, timeout=None):
+            calls["n"] += 1
+            raise _http_error(400, b'{"error": "BadRequest", "message": "x"}')
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = HTTPClient("http://test", retries=3)
+        status, body = client.post("/v1/allfp", {})
+        assert status == 400 and calls["n"] == 1
+
+    def test_unparseable_200_is_typed(self, monkeypatch):
+        from repro.serve import HTTPClient
+
+        monkeypatch.setattr(
+            urllib.request,
+            "urlopen",
+            lambda req, timeout=None: _FakeResponse(200, b"not json"),
+        )
+        client = HTTPClient("http://test", retries=0)
+        with pytest.raises(ServeClientError):
+            client.post("/v1/allfp", {})
+
+
+class TestCLIFailureModes:
+    def test_missing_network_exits_2_with_one_line(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["query", "--network", "/nonexistent.json",
+             "--source", "0", "--target", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_chaos_verb_passes_on_tiny_grid(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.network.generator import make_grid_network
+        from repro.network.io import save_network
+
+        path = tmp_path / "grid.json"
+        save_network(make_grid_network(5, 5), path)
+        code = main(
+            ["chaos", "--network", str(path), "--estimator", "boundary",
+             "--grid", "2", "--queries", "6", "--clients", "2",
+             "--serve-stale"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        assert "invariant held" in captured.out
