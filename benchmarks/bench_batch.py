@@ -1,0 +1,170 @@
+"""Batch one-to-many benchmark — writes ``BENCH_batch.json``.
+
+The Figure 9-style sweep, batched: one source queried against targets in
+every Euclidean-distance band, answered two ways —
+
+* **batched** — one :func:`repro.core.batch.batch_one_to_many` call: a
+  single profile search answers every target, and all groups share one
+  ``SearchContext``/edge-function cache;
+* **individual** — one ``IntAllFastestPaths.all_fastest_paths`` call per
+  O-D pair, the way a client without the batch API would issue them.
+
+Before any timing is reported the batched optima are compared against the
+per-pair allFP border minima — a speedup over a wrong answer is
+worthless.  The emitted ``meta`` carries ``speedup_batch_vs_individual``,
+which CI gates at >= 3x, and the active kernel backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from emit_json import emit_bench_json
+
+from repro.core.batch import batch_one_to_many
+from repro.core.engine import IntAllFastestPaths
+from repro.core.runtime import SearchContext
+from repro.func import kernel
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.workloads.queries import morning_rush_interval
+
+#: Batched and individual optima must agree to this absolute tolerance.
+TOL = 1e-6
+
+#: Euclidean-distance bands, as fractions of the network diameter.
+BANDS = 4
+
+
+def banded_targets(network, source: int, per_band: int) -> list[int]:
+    """``per_band`` targets per distance band from ``source`` (Figure 9)."""
+    origin = network.location(source)
+    by_distance = sorted(
+        (math.dist(origin, network.location(node)), node)
+        for node in network.node_ids()
+        if node != source
+    )
+    diameter = by_distance[-1][0]
+    targets: list[int] = []
+    for band in range(BANDS):
+        lo = band * diameter / BANDS
+        hi = (band + 1) * diameter / BANDS
+        in_band = [n for d, n in by_distance if lo <= d < hi]
+        stride = max(1, len(in_band) // per_band)
+        targets.extend(in_band[::stride][:per_band])
+    return targets
+
+
+def best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    args = parser.parse_args(argv)
+
+    width = 12 if args.quick else 20
+    per_band = 8 if args.quick else 12
+    repeat = 2 if args.quick else 3
+
+    network = make_metro_network(
+        MetroConfig(width=width, height=width, seed=7)
+    )
+    interval = morning_rush_interval(1.0)
+    source = min(network.node_ids())
+    targets = banded_targets(network, source, per_band)
+    print(
+        f"network {width}x{width} ({network.node_count} nodes), "
+        f"{len(targets)} targets in {BANDS} bands"
+    )
+
+    # Answers first: batched optimum == per-pair allFP border minimum.
+    batch_result = batch_one_to_many(
+        network, source, targets, interval, context=SearchContext(network)
+    )
+    engine = IntAllFastestPaths(network)
+    answers_checked = 0
+    for item in batch_result.items:
+        assert item.reachable, f"target {item.target} unreachable"
+        allfp = engine.all_fastest_paths(source, item.target, interval)
+        drift = abs(item.optimal_travel_time - allfp.border.min_value())
+        assert drift <= TOL, (
+            f"batch vs allFP mismatch at target {item.target}: {drift}"
+        )
+        answers_checked += 1
+    print(f"answers checked: {answers_checked} (tol {TOL})")
+
+    batch_s = best_of(
+        lambda: batch_one_to_many(
+            network, source, targets, interval, context=SearchContext(network)
+        ),
+        repeat,
+    )
+
+    def individual():
+        per_pair = IntAllFastestPaths(network)
+        for target in targets:
+            per_pair.all_fastest_paths(source, target, interval)
+
+    individual_s = best_of(individual, repeat)
+    speedup = individual_s / batch_s
+    per_query_ms = individual_s / len(targets) * 1e3
+    batched_ms = batch_s / len(targets) * 1e3
+    print(
+        f"batched  {batch_s * 1e3:8.1f} ms  ({batched_ms:.3f} ms/target)\n"
+        f"per-pair {individual_s * 1e3:8.1f} ms  ({per_query_ms:.3f} ms/target)\n"
+        f"speedup  {speedup:.2f}x"
+    )
+
+    results = [
+        {
+            "name": "batch_one_to_many",
+            "targets": len(targets),
+            "seconds": batch_s,
+            "ms_per_target": batched_ms,
+        },
+        {
+            "name": "individual_allfp",
+            "targets": len(targets),
+            "seconds": individual_s,
+            "ms_per_target": per_query_ms,
+        },
+    ]
+    meta = {
+        "nodes": network.node_count,
+        "bands": BANDS,
+        "targets": len(targets),
+        "interval_minutes": interval.end - interval.start,
+        "speedup_batch_vs_individual": speedup,
+        "answers_checked": answers_checked,
+        "kernel_backend": kernel.active_backend(),
+    }
+    path = emit_bench_json(
+        "batch",
+        results,
+        scale="quick" if args.quick else "small",
+        quick=args.quick,
+        meta=meta,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,20 +129,31 @@ class TestEdgeFunctions:
 # Standalone mode: write BENCH_func_ops.json at the repo root.
 # ----------------------------------------------------------------------
 
-def _standalone_ops() -> dict:
-    """The same operations as the pytest classes, as plain callables."""
+#: Breakpoint counts the standalone sweep reports — per-op cost scaling
+#: with function size, not one opaque default.
+SIZES = (8, 32, 128)
+
+
+def _standalone_ops(n: int) -> dict:
+    """The pytest-class operations as plain callables at ``n`` breakpoints."""
     inner = MonotonePiecewiseLinear(
-        [(x, x + 5.0 + (i % 4) * 0.2) for i, x in enumerate(range(0, 200, 10))]
+        [
+            (i * 200.0 / (n - 1), i * 200.0 / (n - 1) + 5.0 + (i % 4) * 0.2)
+            for i in range(n)
+        ]
     )
     lo, hi = inner.value_range
     outer = MonotonePiecewiseLinear(
         [
-            (lo - 1 + i * (hi - lo + 2) / 20, lo - 1 + i * (hi - lo + 2) / 18)
-            for i in range(21)
+            (
+                lo - 1 + i * (hi - lo + 2) / (n - 1),
+                lo - 1 + i * (hi - lo + 2) / (n - 1) * 0.9,
+            )
+            for i in range(n)
         ]
     )
     env_fns = [
-        PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 12, 5.0 + k * 0.1))
+        PiecewiseLinearFunction(_sawtooth(0.0, 100.0, n - 1, 5.0 + k * 0.1))
         for k in range(20)
     ]
 
@@ -152,20 +163,41 @@ def _standalone_ops() -> dict:
             env.add(fn, tag=k)
         return env
 
-    a = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 15, 5.0))
-    b = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, 11, 5.3))
+    a = PiecewiseLinearFunction(_sawtooth(0.0, 100.0, n - 1, 5.0))
+    b = PiecewiseLinearFunction(
+        _sawtooth(0.0, 100.0, max(2, n - 5), 5.3)
+    )
     store = DominanceStore(0.0, 100.0)
     for k in range(8):
         store.add(
             1,
             MonotonePiecewiseLinear(
                 [
-                    (x, x + 6.0 + k * 0.05 + (x % 17) * 0.01)
-                    for x in range(0, 101, 5)
+                    (
+                        i * 100.0 / (n - 1),
+                        i * 100.0 / (n - 1)
+                        + 6.0
+                        + k * 0.05
+                        + (i % 17) * 0.01,
+                    )
+                    for i in range(n)
                 ]
             ),
         )
-    probe = MonotonePiecewiseLinear([(x, x + 6.2) for x in range(0, 101, 10)])
+    probe = MonotonePiecewiseLinear(
+        [(i * 100.0 / (n - 1), i * 100.0 / (n - 1) + 6.2) for i in range(n)]
+    )
+    return {
+        "compose": lambda: outer.compose(inner),
+        "inverse": outer.inverse,
+        "envelope_fold_20": fold,
+        "pointwise_minimum": lambda: pointwise_minimum(a, b),
+        "dominance_check": lambda: store.is_dominated(1, probe),
+    }
+
+
+def _edge_arrival_op():
+    """Edge-function build: pattern-driven, so sized by the pattern alone."""
     cal = Calendar.single_category("d")
     pattern = CapeCodPattern(
         {
@@ -180,16 +212,7 @@ def _standalone_ops() -> dict:
             )
         }
     )
-    return {
-        "compose": lambda: outer.compose(inner),
-        "inverse": outer.inverse,
-        "envelope_fold_20": fold,
-        "pointwise_minimum": lambda: pointwise_minimum(a, b),
-        "dominance_check": lambda: store.is_dominated(1, probe),
-        "edge_arrival_build": lambda: edge_arrival_function(
-            3.0, pattern, cal, 360.0, 720.0
-        ),
-    }
+    return lambda: edge_arrival_function(3.0, pattern, cal, 360.0, 720.0)
 
 
 def main(argv: list | None = None) -> int:
@@ -201,17 +224,33 @@ def main(argv: list | None = None) -> int:
     from bench_kernel import time_op
     from emit_json import emit_bench_json
 
+    from repro.func import kernel
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="few reps")
     args = parser.parse_args(argv)
     reps = 20 if args.quick else 300
 
     rows = []
-    for name, op in _standalone_ops().items():
-        ns = time_op(op, reps)
-        rows.append({"name": name, "ns_per_op": round(ns, 1)})
-        print(f"{name:<20} {ns:>12.0f} ns/op")
-    path = emit_bench_json("func_ops", rows, quick=args.quick)
+    for n in SIZES:
+        for name, op in _standalone_ops(n).items():
+            ns = time_op(op, reps)
+            rows.append(
+                {"name": f"{name}/n{n}", "breakpoints": n, "ns_per_op": round(ns, 1)}
+            )
+            print(f"{name + '/n' + str(n):<26} {ns:>12.0f} ns/op")
+    ns = time_op(_edge_arrival_op(), reps)
+    rows.append({"name": "edge_arrival_build", "ns_per_op": round(ns, 1)})
+    print(f"{'edge_arrival_build':<26} {ns:>12.0f} ns/op")
+    path = emit_bench_json(
+        "func_ops",
+        rows,
+        quick=args.quick,
+        meta={
+            "sizes": list(SIZES),
+            "kernel_backend": kernel.active_backend(),
+        },
+    )
     print(f"wrote {path}")
     return 0
 

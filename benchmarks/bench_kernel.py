@@ -245,7 +245,11 @@ def main(argv: list[str] | None = None) -> int:
         "kernel",
         rows,
         quick=args.quick,
-        meta={"seed": 42, "kernel_default": kernel.KERNEL_ENABLED},
+        meta={
+            "seed": 42,
+            "kernel_default": kernel.KERNEL_ENABLED,
+            "kernel_backend": kernel.active_backend(),
+        },
     )
     print(f"wrote {path}")
     return 0

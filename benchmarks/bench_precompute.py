@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from emit_json import emit_bench_json
 
 from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.func import kernel
 from repro.network.generator import MetroConfig, make_metro_network
 from repro.serve import AllFPService
 
@@ -232,6 +233,7 @@ def main(argv=None) -> int:
         "speedup_snapshot_vs_cold": min(snapshot_speedups),
         "speedup_serve_boot_warm_vs_cold": boot_cold / boot_warm,
         "bound_speedup_array_vs_dict": ns_dict / ns_array,
+        "kernel_backend": kernel.active_backend(),
     }
     path = emit_bench_json(
         "precompute",

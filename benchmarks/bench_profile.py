@@ -192,6 +192,7 @@ def main(argv=None) -> int:
         "speedup_profile_kernel_vs_legacy": profile_speedup,
         "speedup_hierarchy_build_kernel_vs_legacy": build_speedup,
         "answers_checked": True,
+        "kernel_backend": kernel.active_backend(),
     }
     path = emit_bench_json(
         "profile",

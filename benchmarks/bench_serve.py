@@ -32,6 +32,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from emit_json import emit_bench_json
 
+from repro.func import kernel
 from repro.network.generator import MetroConfig, make_metro_network
 from repro.serve import (
     AllFPService,
@@ -140,6 +141,7 @@ def main(argv=None) -> int:
             "repeats": repeats,
             "speedup_warm_vs_cold": speedup,
             "speedup_at_clients": top,
+            "kernel_backend": kernel.active_backend(),
         },
     )
     print(f"wrote {path}")

@@ -11,7 +11,8 @@ then checks the end-to-end contract the CI job cares about:
 4. ``GET /metrics`` counters reconcile with the client-observed request
    count,
 5. the one-to-many endpoints answer: ``POST /v1/profile`` returns one
-   arrival profile per requested target and ``POST /v1/knn`` a ranked
+   arrival profile per requested target, ``POST /v1/batch`` answers both
+   accepted request forms, and ``POST /v1/knn`` a ranked
    neighbour list, both with search stats attached.
 
 Exits non-zero on the first failed assertion.
@@ -149,6 +150,21 @@ def main() -> int:
             neighbors[0]["min_travel_time"] <= neighbors[1]["min_travel_time"]
         ), neighbors
         print(f"knn ok: top-{len(neighbors)} of 4 candidates")
+
+        # 6. batch endpoint: explicit pairs and the one-to-many shorthand
+        status, body = client.batch([(0, 99), (3, 42)], interval)
+        assert status == 200, (status, body)
+        items = body["result"]["items"]
+        assert [(i["source"], i["target"]) for i in items] == [(0, 99), (3, 42)]
+        assert all(i["reachable"] for i in items), items
+        assert body["result"]["groups"] == 2, body["result"]
+        status, body = client.batch_one_to_many(0, [5, 27, 99], interval)
+        assert status == 200, (status, body)
+        assert len(body["result"]["items"]) == 3, body
+        assert body["result"]["groups"] == 1, body["result"]
+        backend = body["result"]["stats"]["kernel_backend"]
+        assert backend in ("array", "numpy", "legacy"), backend
+        print(f"batch ok: 2 forms answered on backend {backend!r}")
     finally:
         network.gate.set()
         server.shutdown()

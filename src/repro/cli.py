@@ -252,6 +252,74 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pair_list(raw: str, flag: str) -> list[tuple[int, int]]:
+    pairs: list[tuple[int, int]] = []
+    for part in raw.split(","):
+        if part.strip() == "":
+            continue
+        bits = part.split(":")
+        if len(bits) != 2:
+            raise ReproError(
+                f"{flag} entries must look like SOURCE:TARGET, got {part!r}"
+            )
+        try:
+            pairs.append((int(bits[0]), int(bits[1])))
+        except ValueError as exc:
+            raise ReproError(
+                f"{flag} entries must be integer node ids: {exc}"
+            ) from exc
+    if not pairs:
+        raise ReproError(f"{flag} must name at least one SOURCE:TARGET pair")
+    return pairs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .core.batch import batch_fastest_times
+
+    if (args.pairs is None) == (args.targets is None):
+        raise ReproError(
+            "supply exactly one of --pairs SOURCE:TARGET,... or "
+            "--source with --targets"
+        )
+    if args.targets is not None and args.source is None:
+        raise ReproError("--targets requires --source")
+    network = _open_network(args.network)
+    interval = TimeInterval(
+        parse_clock(args.leave_from, args.day), parse_clock(args.leave_to, args.day)
+    )
+    if args.pairs is not None:
+        pairs = _parse_pair_list(args.pairs, "--pairs")
+    else:
+        pairs = [
+            (args.source, target)
+            for target in _parse_node_list(args.targets, "--targets")
+        ]
+    result = batch_fastest_times(
+        network, pairs, interval, deadline=args.deadline
+    )
+    for item in result.items:
+        if item.error is not None:
+            print(f"{item.source} -> {item.target}: error ({item.error})")
+        elif not item.reachable:
+            print(f"{item.source} -> {item.target}: unreachable")
+        else:
+            windows = ", ".join(
+                f"[{lo:.1f}, {hi:.1f}]" for lo, hi in item.optimal_intervals
+            )
+            print(
+                f"{item.source} -> {item.target}: best "
+                f"{format_duration(item.optimal_travel_time)} at {windows}"
+            )
+    stats = result.stats
+    print(
+        f"{len(result.items)} pair(s) in {result.groups} profile search(es); "
+        f"expanded: {stats.expanded_paths}; "
+        f"elapsed: {stats.elapsed_seconds * 1e3:.1f}ms"
+    )
+    _print_kernel_stats(stats)
+    return 0
+
+
 def _print_kernel_stats(stats) -> None:
     """One line of kernel-work counters (silent when the kernel was off)."""
     lookups = stats.edge_cache_hits + stats.edge_cache_misses
@@ -562,6 +630,33 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("--to", dest="leave_to", default="9:00")
     knn.add_argument("--day", type=int, default=0, help="0 = Monday")
     knn.set_defaults(func=_cmd_knn)
+
+    batch = sub.add_parser(
+        "batch",
+        help="answer many (source, target) fastest-time queries together",
+    )
+    batch.add_argument("--network", required=True, help=".json or .ccam input")
+    batch.add_argument(
+        "--pairs",
+        default=None,
+        help="comma-separated SOURCE:TARGET pairs, e.g. 0:9,3:7",
+    )
+    batch.add_argument(
+        "--source", type=int, default=None, help="one-to-many source node"
+    )
+    batch.add_argument(
+        "--targets",
+        default=None,
+        help="comma-separated target node ids (one-to-many, with --source)",
+    )
+    batch.add_argument("--from", dest="leave_from", default="7:00")
+    batch.add_argument("--to", dest="leave_to", default="9:00")
+    batch.add_argument("--day", type=int, default=0, help="0 = Monday")
+    batch.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget in seconds for the whole batch",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     def add_service_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--network", required=True, help=".json or .ccam input")

@@ -27,6 +27,7 @@ from .arrival import (
     reverse_boundary_estimator,
 )
 from .profile import ProfileResult, arrival_profile, profile_search, travel_time_profile
+from .batch import BatchItemResult, BatchResult, batch_fastest_times, batch_one_to_many
 from .knn import interval_knn, nearest_partition, KnnResult, KnnNeighbor, NearestEntry
 from .runtime import (
     DEFAULT_EDGE_CACHE_SIZE,
@@ -44,6 +45,10 @@ __all__ = [
     "DEFAULT_EDGE_CACHE_SIZE",
     "ProfileResult",
     "profile_search",
+    "BatchItemResult",
+    "BatchResult",
+    "batch_fastest_times",
+    "batch_one_to_many",
     "SearchStats",
     "FixedPathResult",
     "SingleFPResult",

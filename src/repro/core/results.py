@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..func import kernel
 from ..func.piecewise import PiecewiseLinearFunction
 from ..timeutil import TimeInterval, format_clock, format_duration
 
@@ -30,6 +31,10 @@ class SearchStats:
     ``elapsed_seconds`` is the wall-clock time the search took;
     ``timed_out`` is set when the search was cut short by a query deadline
     (see :class:`~repro.core.engine.QueryTimeout`).
+
+    ``kernel_backend`` names the function-algebra backend the query ran on
+    (``array``, ``numpy``, or ``legacy``), stamped at construction so
+    trajectories across backends stay distinguishable.
     """
 
     expanded_paths: int = 0
@@ -46,6 +51,7 @@ class SearchStats:
     bound_evaluations: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
+    kernel_backend: str = field(default_factory=kernel.active_backend)
 
     def as_dict(self) -> dict[str, int | float | bool]:
         return {
@@ -63,6 +69,7 @@ class SearchStats:
             "bound_evaluations": self.bound_evaluations,
             "elapsed_seconds": self.elapsed_seconds,
             "timed_out": self.timed_out,
+            "kernel_backend": self.kernel_backend,
         }
 
 

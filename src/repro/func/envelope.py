@@ -352,7 +352,17 @@ class AnnotatedEnvelope:
             else:
                 runs.append((self._bx[i], self._bx[i + 1], tag))
         if len(runs) > 1:
-            runs = [r for r in runs if r[1] - r[0] > XTOL]
+            kept = [r for r in runs if r[1] - r[0] > XTOL]
+            if not kept:
+                return [(self._bx[0], self._bx[-1], runs[0][2])]
+            # Dropping a zero-width run (e.g. a degenerate first piece left
+            # by a crossing within XTOL of the domain edge) must not leave
+            # a gap: re-stitch so the runs tile [lo, hi] exactly.
+            runs = []
+            for _start, end, tag in kept:
+                runs.append((runs[-1][1] if runs else self._bx[0], end, tag))
+            last = runs[-1]
+            runs[-1] = (last[0], self._bx[-1], last[2])
         return runs
 
     def merge_tags(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:

@@ -23,6 +23,25 @@ Set :envvar:`REPRO_FUNC_KERNEL` to ``0`` (or call :func:`set_kernel_enabled`)
 to route the classes through the legacy implementations instead; the A/B is
 what ``benchmarks/bench_kernel.py`` measures.
 
+Backends
+--------
+The kernel itself has two interchangeable implementations:
+
+``array`` (default)
+    The pure-Python merge sweeps defined in this module.
+``numpy``
+    The vectorized twins in :mod:`repro.func.kernel_np`, producing
+    *identical* answers (same breakpoints, bit for bit).  Selected with
+    ``REPRO_FUNC_KERNEL=numpy`` or :func:`set_backend`.  numpy is an
+    optional dependency: when it cannot be imported the request falls back
+    to ``array`` with a one-line stderr note.
+
+Dispatch is by module-global rebinding: every call site already looks the
+operator up as ``kernel.<op>(...)``, so :func:`set_backend` just swaps the
+function objects.  :func:`active_backend` reports the name recorded in
+:class:`~repro.core.results.SearchStats` (``legacy`` when the kernel is
+disabled entirely).
+
 Guard rails
 -----------
 Operations that would produce more than :func:`get_max_breakpoints`
@@ -39,7 +58,8 @@ so :class:`~repro.core.results.SearchStats` can report per-query totals.
 from __future__ import annotations
 
 import os
-from typing import Hashable, Sequence
+import sys
+from typing import Hashable, Iterable, Sequence
 
 from ..exceptions import FunctionShapeError, NotMonotoneError
 
@@ -53,9 +73,14 @@ YTOL = 1e-9
 # Configuration: kernel on/off switch and breakpoint-count guard.
 # ----------------------------------------------------------------------
 
+#: Raw REPRO_FUNC_KERNEL value: ``0``/``legacy`` disable the kernel,
+#: ``numpy``/``np`` request the vectorized backend, anything else (default
+#: ``1``) selects the array backend.
+_RAW_KERNEL_ENV = os.environ.get("REPRO_FUNC_KERNEL", "1").strip().lower()
+
 #: When False, the function classes fall back to the legacy per-point
 #: implementations.  Benchmarks toggle this for the A/B comparison.
-KERNEL_ENABLED = os.environ.get("REPRO_FUNC_KERNEL", "1") != "0"
+KERNEL_ENABLED = _RAW_KERNEL_ENV not in ("0", "legacy")
 
 #: Default ceiling on the breakpoint count of any kernel-produced function.
 DEFAULT_MAX_BREAKPOINTS = 100_000
@@ -606,12 +631,19 @@ def envelope_fold(
         x = lo if x < lo else (hi if x > hi else x)
         if not bounds or x > bounds[-1] + XTOL:
             bounds.append(x)
+    # Snap the extreme bounds onto the domain edges: a breakpoint within
+    # XTOL of lo/hi must not leave the partition starting (or ending) a
+    # hair inside the domain.
     if not bounds or bounds[0] > lo + XTOL:
         bounds.insert(0, lo)
-    if bounds[-1] < hi - XTOL:
-        bounds.append(hi)
+    else:
+        bounds[0] = lo
     if len(bounds) == 1:
         bounds.append(bounds[0])
+    elif bounds[-1] < hi - XTOL:
+        bounds.append(hi)
+    else:
+        bounds[-1] = hi
 
     out_bx: list[float] = []
     out_slope: list[float] = []
@@ -717,3 +749,150 @@ def lower_envelope(
             bx, slope, icept, tags, fxs, fys, tag, lo, hi
         )
     return bx, slope, icept, tags
+
+
+# ----------------------------------------------------------------------
+# Batched entry points.  These reference definitions simply loop over the
+# single-function operators (which dispatch per backend); the numpy backend
+# overrides compose_many / merge_min_many with versions that amortize the
+# ndarray conversions across the whole set.
+# ----------------------------------------------------------------------
+
+def compose_many(
+    oxs: Sequence[float],
+    oys: Sequence[float],
+    inners: Iterable[tuple[Sequence[float], Sequence[float]]],
+) -> list[tuple[list[float], list[float]]]:
+    """Compose one outer function with many inners (ragged sizes fine)."""
+    return [compose(oxs, oys, ixs, iys) for ixs, iys in inners]
+
+
+def merge_min_many(
+    functions: Iterable[tuple[Sequence[float], Sequence[float]]],
+) -> tuple[list[float], list[float]]:
+    """Left-fold pointwise minimum over a stacked function set."""
+    it = iter(functions)
+    try:
+        fxs, fys = next(it)
+    except StopIteration:
+        raise ValueError("merge_min_many requires at least one function")
+    xs, ys = list(fxs), list(fys)
+    for gxs, gys in it:
+        xs, ys = merge_min(xs, ys, gxs, gys)
+    return xs, ys
+
+
+def envelope_fold_many(
+    bx: Sequence[float],
+    slope: Sequence[float],
+    icept: Sequence[float],
+    tags: Sequence[Hashable],
+    functions: Iterable[tuple[Sequence[float], Sequence[float], Hashable]],
+    lo: float,
+    hi: float,
+) -> tuple[list[float], list[float], list[float], list[Hashable], bool]:
+    """Fold a stacked function set into an annotated envelope.
+
+    Generalizes :func:`lower_envelope` to start from an existing envelope
+    and to report whether any function improved it anywhere.
+    """
+    out = (list(bx), list(slope), list(icept), list(tags))
+    improved_any = False
+    for fxs, fys, tag in functions:
+        *out, improved = envelope_fold(*out, fxs, fys, tag, lo, hi)
+        improved_any = improved_any or improved
+    return out[0], out[1], out[2], out[3], improved_any
+
+
+# ----------------------------------------------------------------------
+# Backend dispatch.  All call sites resolve operators as module attributes
+# (``kernel.<op>(...)``), so switching backends is a module-global rebind.
+# ----------------------------------------------------------------------
+
+#: Operators swapped when the backend changes.  Everything else
+#: (eval_at, min_travel, snap_monotone, lower_envelope, envelope_fold_many)
+#: is either scalar or defined in terms of these.
+_DISPATCHED_OPS = (
+    "merge_add",
+    "merge_min",
+    "lt_somewhere",
+    "le_everywhere",
+    "compose",
+    "inverse",
+    "simplify",
+    "restrict",
+    "envelope_fold",
+    "compose_many",
+    "merge_min_many",
+)
+
+#: The array implementations, captured before any rebinding so the numpy
+#: backend's rare sequential fallbacks (and tests) can reach them.
+_ARRAY_IMPLS = {name: globals()[name] for name in _DISPATCHED_OPS}
+
+_BACKEND = "array"
+
+
+def _load_numpy_backend():
+    """Import :mod:`repro.func.kernel_np`, or None when numpy is absent."""
+    try:
+        import numpy  # noqa: F401
+
+        from . import kernel_np
+    except ImportError:
+        return None
+    return kernel_np
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be loaded in this environment."""
+    return _load_numpy_backend() is not None
+
+
+def get_backend() -> str:
+    """The currently installed kernel backend: ``array`` or ``numpy``."""
+    return _BACKEND
+
+
+def active_backend() -> str:
+    """The backend actually answering queries (``legacy`` when disabled)."""
+    return _BACKEND if KERNEL_ENABLED else "legacy"
+
+
+def set_backend(name: str) -> str:
+    """Install a kernel backend by name; returns the previous name.
+
+    ``numpy`` requires numpy to be importable; when it is not, the request
+    degrades to ``array`` with a one-line stderr note instead of raising —
+    numpy is an optional dependency everywhere in this codebase.
+    """
+    global _BACKEND
+    previous = _BACKEND
+    requested = name.strip().lower()
+    if requested == "array":
+        impls = _ARRAY_IMPLS
+        installed = "array"
+    elif requested in ("numpy", "np"):
+        module = _load_numpy_backend()
+        if module is None:
+            print(
+                "repro: numpy is unavailable; kernel backend 'numpy' "
+                "falls back to 'array'",
+                file=sys.stderr,
+            )
+            impls = _ARRAY_IMPLS
+            installed = "array"
+        else:
+            impls = {op: getattr(module, op) for op in _DISPATCHED_OPS}
+            installed = "numpy"
+    else:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected 'array' or 'numpy'"
+        )
+    globals().update(impls)
+    _BACKEND = installed
+    return previous
+
+
+if _RAW_KERNEL_ENV in ("numpy", "np"):
+    set_backend("numpy")

@@ -1,0 +1,521 @@
+"""Numpy-vectorized backend for the piecewise-linear function kernel.
+
+Drop-in replacements for the hot operators of :mod:`repro.func.kernel`
+(the "array" backend), selected via ``REPRO_FUNC_KERNEL=numpy`` or
+:func:`repro.func.kernel.set_backend`.  Breakpoint sequences are converted
+to contiguous float64 ndarrays once per call (the ``*_many`` batch entry
+points amortize that conversion across a whole set), evaluation becomes a
+``searchsorted`` plus fancy-indexed interpolation, and crossing/preimage
+generation happens on whole arrays instead of per point.
+
+Bitwise parity
+--------------
+Answers must be *identical* to the array backend, not merely close: the
+engine caches and dominance tests compare function values with exact
+tolerances, and the property suite asserts equality.  Every arithmetic
+expression here therefore replicates the array kernel's operation order
+exactly — e.g. interpolation is ``y0 + (x - x0) / dx * dy`` (never
+``np.interp``, which associates differently), segment-window comparisons
+reuse the precomputed ``y1 - XTOL`` form, and the XTOL dedupe falls back
+to the same sequential keep-first scan whenever a vectorized fast path
+cannot prove it would match.  IEEE 754 double arithmetic is deterministic,
+so same ops on same floats give the same bits.
+
+Sizing
+------
+Per-call ndarray setup costs a few microseconds, so at tiny breakpoint
+counts (n ≲ 8) the array backend can still win; the vectorized sweeps pull
+ahead as functions fatten (see ``benchmarks/bench_func_ops.py`` at sizes
+8/32/128).  Batch pipelines should prefer :func:`compose_many` /
+:func:`merge_min_many`, which keep intermediates as ndarrays.
+
+This module must only be imported when numpy is importable;
+:func:`repro.func.kernel.set_backend` guards that and falls back to the
+array backend otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import NotMonotoneError
+from . import kernel as _k
+from .kernel import XTOL, YTOL
+
+
+def _arr(seq: Sequence[float]) -> np.ndarray:
+    return np.ascontiguousarray(seq, dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Shared vectorized helpers.
+# ----------------------------------------------------------------------
+
+def _eval_many(xs: np.ndarray, ys: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Clamped piecewise-linear evaluation of ``q`` (vector of abscissae).
+
+    Mirrors the array kernel's forward-cursor evaluation branch for branch:
+    clamp at both ends, return ``ys[i]`` on a degenerate segment, otherwise
+    ``y0 + (x - x0) / dx * dy`` — the same association the sequential code
+    uses, so results are bitwise identical.
+    """
+    n = xs.size
+    if n == 1:
+        return np.full(q.shape, ys[0])
+    idx = np.clip(np.searchsorted(xs, q, side="right") - 1, 0, n - 2)
+    x0 = xs[idx]
+    dx = xs[idx + 1] - x0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        interp = ys[idx] + (q - x0) / dx * (ys[idx + 1] - ys[idx])
+    v = np.where(dx <= XTOL, ys[idx], interp)
+    v = np.where(q >= xs[n - 1], ys[n - 1], v)
+    return np.where(q <= xs[0], ys[0], v)
+
+
+def _dedupe_union(values: np.ndarray) -> np.ndarray:
+    """Keep-first XTOL dedupe of a *sorted* array of abscissae.
+
+    Equivalent to the two-pointer union loops: keep the first value, then
+    keep each subsequent value iff it exceeds the last kept one by more
+    than XTOL.  Fast path when all gaps are wide; ``np.unique`` handles the
+    common exact-duplicate case; the rare near-duplicate chain falls back
+    to the sequential scan (prefix-dependent, so not vectorizable).
+    """
+    if values.size <= 1:
+        return values
+    if np.all(np.diff(values) > XTOL):
+        return values
+    uniq = np.unique(values)
+    if uniq.size <= 1 or np.all(np.diff(uniq) > XTOL):
+        return uniq
+    out = [values[0]]
+    last = float(values[0])
+    for x in values[1:].tolist():
+        if x > last + XTOL:
+            out.append(x)
+            last = x
+    return np.asarray(out)
+
+
+def _dedupe_pairs(
+    xs: np.ndarray, ys: np.ndarray
+) -> tuple[list[float], list[float]]:
+    """Keep-first XTOL dedupe of an ``(xs, ys)`` candidate stream → lists."""
+    if xs.size <= 1 or np.all(np.diff(xs) > XTOL):
+        return xs.tolist(), ys.tolist()
+    cx = xs.tolist()
+    cy = ys.tolist()
+    out_x = [cx[0]]
+    out_y = [cy[0]]
+    for x, y in zip(cx[1:], cy[1:]):
+        if x > out_x[-1] + XTOL:
+            out_x.append(x)
+            out_y.append(y)
+    return out_x, out_y
+
+
+# ----------------------------------------------------------------------
+# Fused binary operators.
+# ----------------------------------------------------------------------
+
+def merge_add(
+    axs: Sequence[float],
+    ays: Sequence[float],
+    bxs: Sequence[float],
+    bys: Sequence[float],
+) -> tuple[list[float], list[float]]:
+    """Vectorized pointwise sum (see array ``merge_add``)."""
+    a_x, a_y, b_x, b_y = _arr(axs), _arr(ays), _arr(bxs), _arr(bys)
+    na, nb = a_x.size, b_x.size
+    x_lo = a_x[0] if a_x[0] >= b_x[0] else b_x[0]
+    x_hi = a_x[na - 1] if a_x[na - 1] <= b_x[nb - 1] else b_x[nb - 1]
+    if x_hi - x_lo <= XTOL:
+        xl = float(x_lo)
+        return [xl], [_k.eval_at(axs, ays, xl) + _k.eval_at(bxs, bys, xl)]
+    _k._guard_size(na + nb, "merge_add")
+    u = _dedupe_union(np.sort(np.clip(np.concatenate((a_x, b_x)), x_lo, x_hi)))
+    va = _eval_many(a_x, a_y, u)
+    vb = _eval_many(b_x, b_y, u)
+    xs = u.tolist()
+    ys = (va + vb).tolist()
+    if xs[-1] < x_hi - XTOL:
+        xh = float(x_hi)
+        xs.append(xh)
+        ys.append(_k.eval_at(axs, ays, xh) + _k.eval_at(bxs, bys, xh))
+    _k.COUNTERS.breakpoints_allocated += len(xs)
+    return xs, ys
+
+
+def _merge_min_arrays(
+    a_x: np.ndarray, a_y: np.ndarray, b_x: np.ndarray, b_y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    na, nb = a_x.size, b_x.size
+    _k._guard_size(2 * (na + nb), "merge_min")
+    u = _dedupe_union(np.sort(np.concatenate((a_x, b_x))))
+    va = _eval_many(a_x, a_y, u)
+    vb = _eval_many(b_x, b_y, u)
+    m = np.where(va <= vb, va, vb)
+    if u.size > 1:
+        d = va - vb
+        d0, d1 = d[:-1], d[1:]
+        ks = np.nonzero(
+            ((d0 > YTOL) & (d1 < -YTOL)) | ((d0 < -YTOL) & (d1 > YTOL))
+        )[0]
+    else:
+        ks = np.empty(0, dtype=np.intp)
+    if ks.size:
+        x0 = u[ks]
+        x1 = u[ks + 1]
+        t = d[ks] / (d[ks] - d[ks + 1])
+        x_cross = x0 + t * (x1 - x0)
+        ok = (x0 + XTOL < x_cross) & (x_cross < x1 - XTOL)
+        ks, t, x_cross = ks[ok], t[ok], x_cross[ok]
+    if ks.size:
+        y_cross = va[ks] + t * (va[ks + 1] - va[ks])
+        xs = np.insert(u, ks + 1, x_cross)
+        ys = np.insert(m, ks + 1, y_cross)
+    else:
+        xs, ys = u, m
+    _k.COUNTERS.breakpoints_allocated += xs.size
+    return xs, ys
+
+
+def merge_min(
+    axs: Sequence[float],
+    ays: Sequence[float],
+    bxs: Sequence[float],
+    bys: Sequence[float],
+) -> tuple[list[float], list[float]]:
+    """Vectorized pointwise minimum with crossings (see array ``merge_min``)."""
+    xs, ys = _merge_min_arrays(_arr(axs), _arr(ays), _arr(bxs), _arr(bys))
+    return xs.tolist(), ys.tolist()
+
+
+def lt_somewhere(
+    axs: Sequence[float],
+    ays: Sequence[float],
+    bxs: Sequence[float],
+    bys: Sequence[float],
+    tol: float,
+) -> bool:
+    """True when ``a(x) < b(x) - tol`` at some union abscissa."""
+    a_x, a_y, b_x, b_y = _arr(axs), _arr(ays), _arr(bxs), _arr(bys)
+    u = _dedupe_union(np.sort(np.concatenate((a_x, b_x))))
+    va = _eval_many(a_x, a_y, u)
+    vb = _eval_many(b_x, b_y, u)
+    return bool(np.any(va < vb - tol))
+
+
+def le_everywhere(
+    axs: Sequence[float],
+    ays: Sequence[float],
+    bxs: Sequence[float],
+    bys: Sequence[float],
+    tol: float,
+) -> bool:
+    """``a(x) <= b(x) + tol`` everywhere — the dominance test."""
+    return not lt_somewhere(bxs, bys, axs, ays, tol)
+
+
+# ----------------------------------------------------------------------
+# Monotone operators: composition and inverse.
+# ----------------------------------------------------------------------
+
+def _compose_arrays(
+    o_x: np.ndarray, o_y: np.ndarray, i_x: np.ndarray, i_y: np.ndarray
+) -> tuple[list[float], list[float]]:
+    ni, no = i_x.size, o_x.size
+    _k._guard_size(ni + no, "compose")
+    lo = i_y[0]
+    hi = i_y[ni - 1]
+    # Outer breakpoints eligible for preimage insertion, mirroring the
+    # sequential cursor: skip values at/below lo + XTOL, stop at hi - XTOL.
+    start = np.searchsorted(o_x, lo + XTOL, side="right")
+    stop = np.searchsorted(o_x, hi - XTOL, side="left")
+    bys = o_x[start:stop]
+    cand_x, cand_v = i_x, i_y
+    if bys.size and ni > 1:
+        dy = i_y[1:] - i_y[:-1]
+        nondeg = np.nonzero(dy > XTOL)[0]
+        if nondeg.size:
+            # Each eligible outer value is consumed by the first
+            # non-degenerate inner segment whose top clears it: the same
+            # ``oxs[op] < y1 - XTOL`` window the sequential cursor uses.
+            z = i_y[nondeg + 1] - XTOL
+            j = np.searchsorted(z, bys, side="right")
+            valid = j < nondeg.size
+            bys_v = bys[valid]
+            seg = nondeg[j[valid]]
+            y0 = i_y[seg]
+            y1 = i_y[seg + 1]
+            emit = bys_v > y0 + XTOL
+            if np.any(emit):
+                bys_e = bys_v[emit]
+                seg_e = seg[emit]
+                t = (bys_e - y0[emit]) / (y1[emit] - y0[emit])
+                x_at = i_x[seg_e]
+                xq = x_at + t * (i_x[seg_e + 1] - x_at)
+                cand_x = np.insert(i_x, seg_e + 1, xq)
+                cand_v = np.insert(i_y, seg_e + 1, bys_e)
+    cand_y = _eval_many(o_x, o_y, cand_v)
+    out_x, out_y = _dedupe_pairs(cand_x, cand_y)
+    _k.COUNTERS.breakpoints_allocated += len(out_x)
+    return out_x, out_y
+
+
+def compose(
+    oxs: Sequence[float],
+    oys: Sequence[float],
+    ixs: Sequence[float],
+    iys: Sequence[float],
+) -> tuple[list[float], list[float]]:
+    """Vectorized ``outer ∘ inner`` for nondecreasing functions."""
+    return _compose_arrays(_arr(oxs), _arr(oys), _arr(ixs), _arr(iys))
+
+
+def inverse(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[list[float], list[float]]:
+    """Inverse of a strictly increasing function (axes swapped)."""
+    x_, y_ = _arr(xs), _arr(ys)
+    n = x_.size
+    if n > 1:
+        flat = (y_[1:] - y_[:-1] <= XTOL) & (x_[1:] - x_[:-1] > XTOL)
+        if np.any(flat):
+            i = int(np.argmax(flat))
+            raise NotMonotoneError(
+                f"cannot invert: function is flat on "
+                f"[{float(x_[i])}, {float(x_[i + 1])}]"
+            )
+    out_x, out_y = _dedupe_pairs(y_, x_)
+    _k.COUNTERS.breakpoints_allocated += len(out_x)
+    return out_x, out_y
+
+
+# ----------------------------------------------------------------------
+# Unary reshaping operators.
+# ----------------------------------------------------------------------
+
+def simplify(
+    xs: Sequence[float], ys: Sequence[float], tol: float
+) -> tuple[list[float], list[float]]:
+    """Drop interior breakpoints within ``tol`` of the running chord."""
+    n = len(xs)
+    if n <= 2:
+        return list(xs), list(ys)
+    x_, y_ = _arr(xs), _arr(ys)
+    # Fast path: test every interior point against the chord of its
+    # immediate neighbours.  If all of them survive, the sequential
+    # running-chord anchors coincide with those neighbours, so keeping
+    # everything is exactly what the array backend would do.  Any drop
+    # changes later anchors, so fall back to the sequential scan.
+    x0, y0 = x_[:-2], y_[:-2]
+    x2, y2 = x_[2:], y_[2:]
+    span = x2 - x0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (x_[1:-1] - x0) / span
+        dev = np.abs(y0 + t * (y2 - y0) - y_[1:-1])
+    if np.all((span > XTOL) & (dev > tol)):
+        out_x, out_y = x_.tolist(), y_.tolist()
+        _k.COUNTERS.breakpoints_allocated += len(out_x)
+        return out_x, out_y
+    return _k._ARRAY_IMPLS["simplify"](xs, ys, tol)
+
+
+def restrict(
+    xs: Sequence[float], ys: Sequence[float], lo: float, hi: float
+) -> tuple[list[float], list[float]]:
+    """Restrict to ``[lo, hi]`` (caller guarantees containment)."""
+    if hi - lo <= XTOL:
+        return [lo], [_k.eval_at(xs, ys, lo)]
+    x_, y_ = _arr(xs), _arr(ys)
+    sel = (x_ > lo + XTOL) & (x_ < hi - XTOL)
+    out_x = [lo] + x_[sel].tolist() + [hi]
+    out_y = (
+        [_k.eval_at(xs, ys, lo)] + y_[sel].tolist() + [_k.eval_at(xs, ys, hi)]
+    )
+    _k.COUNTERS.breakpoints_allocated += len(out_x)
+    return out_x, out_y
+
+
+# ----------------------------------------------------------------------
+# Annotated lower envelope.
+# ----------------------------------------------------------------------
+
+def envelope_fold(
+    bx: Sequence[float],
+    slope: Sequence[float],
+    icept: Sequence[float],
+    tags: Sequence[Hashable],
+    fxs: Sequence[float],
+    fys: Sequence[float],
+    new_tag: Hashable,
+    lo: float,
+    hi: float,
+) -> tuple[list[float], list[float], list[float], list[Hashable], bool]:
+    """Fold one function into an annotated envelope (see array version).
+
+    The per-interval line selection (function segment, envelope piece,
+    endpoint differences, crossing abscissa) is fully vectorized; only the
+    final emit pass — which merges consecutive same-tag pieces and is
+    inherently sequential — stays a Python loop over precomputed scalars.
+    """
+    _k.COUNTERS.envelope_merges += 1
+    np_env = len(slope)
+    nf = len(fxs)
+    _k._guard_size(2 * (np_env + nf + 2), "envelope_fold")
+
+    bx_, fxs_, fys_ = _arr(bx), _arr(fxs), _arr(fys)
+    merged = np.concatenate((bx_, fxs_))
+    merged = merged[(merged >= lo - XTOL) & (merged <= hi + XTOL)]
+    bounds = _dedupe_union(np.sort(np.clip(merged, lo, hi))).tolist()
+    if not bounds or bounds[0] > lo + XTOL:
+        bounds.insert(0, lo)
+    else:
+        bounds[0] = lo
+    if len(bounds) == 1:
+        bounds.append(bounds[0])
+    elif bounds[-1] < hi - XTOL:
+        bounds.append(hi)
+    else:
+        bounds[-1] = hi
+
+    if len(bounds) == 2 and bounds[1] - bounds[0] <= XTOL:
+        # Degenerate single-instant domain.
+        x = bounds[0]
+        new_val = _k.eval_at(fxs, fys, x)
+        if np_env == 0:
+            return [x, x], [0.0], [new_val], [new_tag], True
+        old_val = slope[0] * x + icept[0]
+        if new_val < old_val - YTOL:
+            return [x, x], [0.0], [new_val], [new_tag], True
+        return list(bx), list(slope), list(icept), list(tags), False
+
+    b = np.asarray(bounds)
+    x0 = b[:-1]
+    x1 = b[1:]
+    mid = 0.5 * (x0 + x1)
+    m = x0.size
+    if nf == 1:
+        f_sl = np.zeros(m)
+        f_ic = np.full(m, fys_[0])
+    else:
+        fp = np.clip(np.searchsorted(fxs_, mid, side="right") - 1, 0, nf - 2)
+        fdx = fxs_[fp + 1] - fxs_[fp]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            f_sl = np.where(fdx <= XTOL, 0.0, (fys_[fp + 1] - fys_[fp]) / fdx)
+        f_ic = fys_[fp] - f_sl * fxs_[fp]
+
+    out_bx: list[float] = []
+    out_slope: list[float] = []
+    out_icept: list[float] = []
+    out_tags: list[Hashable] = []
+    improved = False
+
+    def emit(px0: float, px1: float, sl: float, ic: float, tg: Hashable) -> None:
+        if px1 - px0 <= XTOL and out_slope:
+            return
+        if (
+            out_slope
+            and out_tags[-1] == tg
+            and abs(out_slope[-1] - sl) <= 1e-9
+            and abs(out_icept[-1] - ic) <= 1e-6
+        ):
+            out_bx[-1] = px1
+            return
+        if not out_bx:
+            out_bx.append(px0)
+        out_bx.append(px1)
+        out_slope.append(sl)
+        out_icept.append(ic)
+        out_tags.append(tg)
+
+    x0l, x1l = x0.tolist(), x1.tolist()
+    f_sll, f_icl = f_sl.tolist(), f_ic.tolist()
+    if np_env == 0:
+        for i in range(m):
+            emit(x0l[i], x1l[i], f_sll[i], f_icl[i], new_tag)
+        improved = True
+    else:
+        sl_arr = np.asarray(slope, dtype=np.float64)
+        ic_arr = np.asarray(icept, dtype=np.float64)
+        ep = np.clip(
+            np.searchsorted(bx_, mid, side="right") - 1, 0, np_env - 1
+        )
+        e_sl = sl_arr[ep]
+        e_ic = ic_arr[ep]
+        d0 = (f_sl * x0 + f_ic) - (e_sl * x0 + e_ic)
+        d1 = (f_sl * x1 + f_ic) - (e_sl * x1 + e_ic)
+        denom = f_sl - e_sl
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = np.where(
+                np.abs(denom) > 1e-15, (e_ic - f_ic) / denom, mid
+            )
+        x_cross = np.minimum(np.maximum(x_cross, x0), x1)
+        e_sll, e_icl = e_sl.tolist(), e_ic.tolist()
+        d0l, d1l, xcl = d0.tolist(), d1.tolist(), x_cross.tolist()
+        epl = ep.tolist()
+        for i in range(m):
+            dd0, dd1 = d0l[i], d1l[i]
+            if dd0 >= -YTOL and dd1 >= -YTOL:
+                emit(x0l[i], x1l[i], e_sll[i], e_icl[i], tags[epl[i]])
+            elif dd0 <= YTOL and dd1 <= YTOL:
+                # At or below the incumbent: only claim when strictly
+                # better somewhere on the interval.
+                if dd0 < -YTOL or dd1 < -YTOL:
+                    emit(x0l[i], x1l[i], f_sll[i], f_icl[i], new_tag)
+                    improved = True
+                else:
+                    emit(x0l[i], x1l[i], e_sll[i], e_icl[i], tags[epl[i]])
+            else:
+                xc = xcl[i]
+                if dd0 < 0:
+                    emit(x0l[i], xc, f_sll[i], f_icl[i], new_tag)
+                    emit(xc, x1l[i], e_sll[i], e_icl[i], tags[epl[i]])
+                else:
+                    emit(x0l[i], xc, e_sll[i], e_icl[i], tags[epl[i]])
+                    emit(xc, x1l[i], f_sll[i], f_icl[i], new_tag)
+                improved = True
+    _k.COUNTERS.breakpoints_allocated += len(out_bx)
+    return out_bx, out_slope, out_icept, out_tags, improved
+
+
+# ----------------------------------------------------------------------
+# Batched entry points: amortize ndarray setup across a function set.
+# ----------------------------------------------------------------------
+
+def compose_many(
+    oxs: Sequence[float],
+    oys: Sequence[float],
+    inners: Iterable[tuple[Sequence[float], Sequence[float]]],
+) -> list[tuple[list[float], list[float]]]:
+    """Compose one outer function with many inners (ragged sizes fine).
+
+    The outer function is converted to ndarrays once for the whole batch.
+    """
+    o_x, o_y = _arr(oxs), _arr(oys)
+    return [
+        _compose_arrays(o_x, o_y, _arr(ixs), _arr(iys)) for ixs, iys in inners
+    ]
+
+
+def merge_min_many(
+    functions: Iterable[tuple[Sequence[float], Sequence[float]]],
+) -> tuple[list[float], list[float]]:
+    """Left-fold pointwise minimum over a stacked function set.
+
+    Matches the array backend's sequential fold exactly (same crossing
+    insertions in the same order) while keeping the running minimum as
+    ndarrays between folds.
+    """
+    it = iter(functions)
+    try:
+        fxs, fys = next(it)
+    except StopIteration:
+        raise ValueError("merge_min_many requires at least one function")
+    xs, ys = _arr(fxs), _arr(fys)
+    for gxs, gys in it:
+        xs, ys = _merge_min_arrays(xs, ys, _arr(gxs), _arr(gys))
+    return xs.tolist(), ys.tolist()

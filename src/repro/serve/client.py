@@ -44,6 +44,14 @@ class InProcessClient:
             QueryRequest(spec.source, spec.target, spec.interval, mode, deadline)
         )
 
+    def batch(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        return self._service.batch(pairs, interval, deadline)
+
 
 class HTTPClient:
     """Stdlib client for the JSON API with retries and typed failures.
@@ -226,6 +234,40 @@ class HTTPClient:
         if deadline is not None:
             body["deadline"] = deadline
         return self.post("/v1/knn", body)
+
+    def batch(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        body: dict = {
+            "items": [
+                {"source": int(s), "target": int(t)} for s, t in pairs
+            ],
+            "start": interval.start,
+            "end": interval.end,
+        }
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self.post("/v1/batch", body)
+
+    def batch_one_to_many(
+        self,
+        source: int,
+        targets: Sequence[int],
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        body: dict = {
+            "source": source,
+            "targets": list(targets),
+            "start": interval.start,
+            "end": interval.end,
+        }
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self.post("/v1/batch", body)
 
 
 def percentile(sorted_values: Sequence[float], p: float) -> float:

@@ -26,6 +26,15 @@ Endpoints
         {"source": 0, "candidates": [3, 4, 5], "k": 2,
          "start": 420.0, "end": 540.0}
 
+``POST /v1/batch``
+    Many fastest-time queries answered as one admitted request (at most
+    ``MAX_BATCH_ITEMS``; answers come back per item, in input order).
+    Either explicit pairs or the one-to-many shorthand::
+
+        {"items": [{"source": 0, "target": 9}, {"source": 3, "target": 7}],
+         "start": 420.0, "end": 540.0}
+        {"source": 0, "targets": [7, 8, 9], "start": 420.0, "end": 540.0}
+
 ``GET /healthz``
     ``{"status": "ok", "version": <stamp>, "nodes": N}`` — cheap liveness.
 
@@ -65,6 +74,9 @@ MAX_BODY_BYTES = 64 * 1024
 
 #: Ceiling on ``targets``/``candidates`` list lengths per request.
 MAX_PROFILE_TARGETS = 256
+
+#: Ceiling on batch size — one admitted request runs the whole batch.
+MAX_BATCH_ITEMS = 256
 
 
 class BadRequest(ValueError):
@@ -130,15 +142,55 @@ def _node_id_list(body: dict, field: str, required: bool) -> tuple[int, ...] | N
     return tuple(value)
 
 
-def parse_request(body: dict, mode: str) -> QueryRequest:
+def _batch_pairs(body: dict) -> tuple[tuple[int, int], ...]:
+    """The batch's ``(source, target)`` pairs from either accepted form."""
+    items = body.get("items")
+    if items is not None:
+        if not isinstance(items, list) or not items:
+            raise BadRequest("'items' must be a non-empty list of objects")
+        if len(items) > MAX_BATCH_ITEMS:
+            raise BadRequest(
+                f"'items' has {len(items)} entries; at most "
+                f"{MAX_BATCH_ITEMS} allowed"
+            )
+        pairs = []
+        for item in items:
+            if not isinstance(item, dict):
+                raise BadRequest(
+                    f"'items' entries must be objects, got {item!r}"
+                )
+            pairs.append(
+                (_require_node_id(item, "source"), _require_node_id(item, "target"))
+            )
+        return tuple(pairs)
     source = _require_node_id(body, "source")
-    target = targets = candidates = k = None
+    targets = _node_id_list(body, "targets", required=False)
+    if targets is None:
+        raise BadRequest(
+            "batch requires either 'items' (source/target objects) or "
+            "'source' plus 'targets'"
+        )
+    if len(targets) > MAX_BATCH_ITEMS:
+        raise BadRequest(
+            f"'targets' has {len(targets)} entries; at most "
+            f"{MAX_BATCH_ITEMS} allowed"
+        )
+    return tuple((source, target) for target in targets)
+
+
+def parse_request(body: dict, mode: str) -> QueryRequest:
+    target = targets = candidates = k = pairs = None
+    if mode == "batch":
+        pairs = _batch_pairs(body)
+        source = pairs[0][0]
+    else:
+        source = _require_node_id(body, "source")
     if mode in ("allfp", "singlefp"):
         target = _require_node_id(body, "target")
     elif mode == "profile":
         # One-to-all output is unbounded over HTTP, so the list is required.
         targets = _node_id_list(body, "targets", required=True)
-    else:  # knn
+    elif mode == "knn":
         candidates = _node_id_list(body, "candidates", required=True)
         k = body.get("k")
         if not isinstance(k, int) or isinstance(k, bool) or k < 1:
@@ -161,6 +213,7 @@ def parse_request(body: dict, mode: str) -> QueryRequest:
             targets=targets,
             candidates=candidates,
             k=k,
+            pairs=pairs,
         )
     except QueryError as exc:
         raise BadRequest(str(exc)) from exc
@@ -231,6 +284,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/singlefp": "singlefp",
             "/v1/profile": "profile",
             "/v1/knn": "knn",
+            "/v1/batch": "batch",
         }
         mode = routes.get(self.path)
         if mode is None:

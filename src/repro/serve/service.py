@@ -37,6 +37,7 @@ from ..core.engine import (
     IntAllFastestPaths,
     QueryTimeout,
 )
+from ..core.batch import BatchResult, batch_fastest_times
 from ..core.knn import KnnResult, interval_knn
 from ..core.profile import ProfileResult, profile_search
 from ..core.results import AllFPResult, SearchStats, SingleFPResult
@@ -58,7 +59,7 @@ from .admission import AdmissionController, Deadline
 from .batching import ResultCache, SingleFlight
 from .metrics import MetricsRegistry
 
-MODES = ("allfp", "singlefp", "profile", "knn")
+MODES = ("allfp", "singlefp", "profile", "knn", "batch")
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,12 @@ class QueryRequest:
     restricts a ``profile`` answer to the listed nodes; ``candidates``/``k``
     parameterise ``knn``.  All three are normalised to sorted tuples so the
     coalescing/cache key is canonical.
+
+    ``pairs`` parameterises ``batch``: the ``(source, target)`` queries to
+    answer together, preserved in input order (answers come back
+    positionally), so the cache key is order-sensitive — two batches with
+    the same pairs in a different order are different requests.  ``source``
+    is conventionally the first pair's source for a batch request.
     """
 
     source: int
@@ -84,6 +91,7 @@ class QueryRequest:
     targets: tuple[int, ...] | None = None
     candidates: tuple[int, ...] | None = None
     k: int | None = None
+    pairs: tuple[tuple[int, int], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -98,6 +106,12 @@ class QueryRequest:
             object.__setattr__(
                 self, "candidates", tuple(sorted(set(self.candidates)))
             )
+        if self.pairs is not None:
+            object.__setattr__(
+                self,
+                "pairs",
+                tuple((int(s), int(t)) for s, t in self.pairs),
+            )
         if self.mode in ("allfp", "singlefp") and self.target is None:
             raise QueryError(f"mode {self.mode!r} requires a target")
         if self.mode == "knn":
@@ -105,6 +119,10 @@ class QueryRequest:
                 raise QueryError("mode 'knn' requires a candidates list")
             if self.k is None or self.k < 1:
                 raise QueryError(f"mode 'knn' requires k >= 1, got {self.k}")
+        if self.mode == "batch" and not self.pairs:
+            raise QueryError(
+                "mode 'batch' requires a non-empty pairs list"
+            )
 
     def key(self, version: int) -> tuple:
         return (
@@ -116,6 +134,7 @@ class QueryRequest:
             self.targets,
             self.candidates,
             self.k,
+            self.pairs,
             version,
         )
 
@@ -131,7 +150,7 @@ class QueryResponse:
     mid-recompute (possibly predating the latest network update).
     """
 
-    result: AllFPResult | SingleFPResult | ProfileResult | KnnResult
+    result: AllFPResult | SingleFPResult | ProfileResult | KnnResult | BatchResult
     cached: bool = False
     coalesced: bool = False
     elapsed_seconds: float = 0.0
@@ -480,6 +499,43 @@ class AllFPService:
             )
         )
 
+    def batch(
+        self,
+        pairs,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        """Answer many ``(source, target)`` queries as one admitted request.
+
+        The batch passes admission control once (one slot regardless of
+        size — size the deadline accordingly), shares the service's
+        ``SearchContext``/edge-function cache across its per-source profile
+        searches, and returns a :class:`~repro.core.batch.BatchResult` with
+        one item per pair in input order.  A deadline that trips mid-batch
+        yields per-item errors for the unfinished pairs rather than losing
+        the finished ones.
+        """
+        pairs = tuple((int(s), int(t)) for s, t in pairs)
+        if not pairs:
+            raise QueryError("batch requires at least one (source, target) pair")
+        return self.query(
+            QueryRequest(
+                pairs[0][0], None, interval, "batch", deadline, pairs=pairs
+            )
+        )
+
+    def batch_one_to_many(
+        self,
+        source: int,
+        targets,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> QueryResponse:
+        """One-to-many convenience: one source against many targets."""
+        return self.batch(
+            [(source, target) for target in targets], interval, deadline
+        )
+
     def query(self, request: QueryRequest) -> QueryResponse:
         """Answer one request through admission, cache, and coalescing.
 
@@ -742,6 +798,14 @@ class AllFPService:
                     request.source,
                     request.interval,
                     targets=request.targets,
+                    context=self._context,
+                    deadline=remaining,
+                )
+            elif request.mode == "batch":
+                result = batch_fastest_times(
+                    self._network,
+                    request.pairs,
+                    request.interval,
                     context=self._context,
                     deadline=remaining,
                 )

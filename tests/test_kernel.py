@@ -348,3 +348,239 @@ def test_legacy_mode_fixture_round_trips(legacy_mode):
     b = PiecewiseLinearFunction([(0.0, 2.0), (10.0, 2.0)])
     assert (a + b)(5.0) == pytest.approx(4.0)
     assert pointwise_minimum(a, b)(0.0) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Numpy backend: bitwise parity with the array kernel.
+#
+# The numpy implementations replicate the array kernel's floating-point
+# operation order exactly, so every answer must be bitwise identical —
+# these tests compare with ``==``, not ``approx``.
+# ----------------------------------------------------------------------
+
+needs_numpy = pytest.mark.skipif(
+    not kernel.numpy_available(), reason="numpy is not installed"
+)
+
+
+def _xy(fn) -> tuple[list[float], list[float]]:
+    pts = fn.breakpoints
+    return [p[0] for p in pts], [p[1] for p in pts]
+
+
+def _np_op(name: str):
+    module = kernel._load_numpy_backend()
+    assert module is not None
+    return getattr(module, name)
+
+
+def _pair(name: str, *args):
+    """``(array_result, numpy_result)`` for one dispatched op."""
+    return kernel._ARRAY_IMPLS[name](*args), _np_op(name)(*args)
+
+
+def _assert_kernel_invariants(xs: list[float], ys: list[float]) -> None:
+    """Shape invariants every kernel output must satisfy (both backends)."""
+    assert len(xs) == len(ys) >= 1
+    for a, b in zip(xs, xs[1:]):
+        assert b > a  # strictly increasing abscissae
+    # Continuous by construction: materialising the pair must not trip the
+    # CONTINUITY_TOL discontinuity check.
+    PiecewiseLinearFunction(list(zip(xs, ys)))
+
+
+@needs_numpy
+class TestNumpyParity:
+    @settings(max_examples=60, deadline=None)
+    @given(plf(), plf())
+    def test_merge_add_bitwise(self, a, b):
+        want, got = _pair("merge_add", *_xy(a), *_xy(b))
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    @settings(max_examples=60, deadline=None)
+    @given(plf(), plf())
+    def test_merge_min_bitwise(self, a, b):
+        want, got = _pair("merge_min", *_xy(a), *_xy(b))
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    @settings(max_examples=60, deadline=None)
+    @given(plf(), plf())
+    def test_comparisons_bitwise(self, a, b):
+        axy, bxy = _xy(a), _xy(b)
+        for name in ("lt_somewhere", "le_everywhere"):
+            for left, right in ((axy, bxy), (bxy, axy), (axy, axy)):
+                want, got = _pair(name, *left, *right, YTOL)
+                assert got == want
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_compose_bitwise(self, data):
+        inner = data.draw(monotone())
+        lo, hi = inner.value_range
+        outer = data.draw(monotone(lo - 1.0, hi + 1.0))
+        want, got = _pair("compose", *_xy(outer), *_xy(inner))
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    @settings(max_examples=60, deadline=None)
+    @given(monotone())
+    def test_inverse_bitwise(self, f):
+        want, got = _pair("inverse", *_xy(f))
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    def test_inverse_flat_raises_identically(self):
+        xs, ys = [0.0, 4.0, 6.0, 10.0], [0.0, 1.0, 1.0, 2.0]
+        with pytest.raises(Exception) as array_err:
+            kernel._ARRAY_IMPLS["inverse"](xs, ys)
+        with pytest.raises(Exception) as np_err:
+            _np_op("inverse")(xs, ys)
+        assert type(np_err.value) is type(array_err.value)
+        assert str(np_err.value) == str(array_err.value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(plf(), st.sampled_from([1e-9, 1e-3, 0.05]))
+    def test_simplify_bitwise(self, f, tol):
+        want, got = _pair("simplify", *_xy(f), tol)
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        plf(),
+        st.floats(min_value=LO, max_value=HI),
+        st.floats(min_value=LO, max_value=HI),
+    )
+    def test_restrict_bitwise(self, f, p, q):
+        lo, hi = min(p, q), max(p, q)
+        want, got = _pair("restrict", *_xy(f), lo, hi)
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(plf(), min_size=1, max_size=5))
+    def test_envelope_fold_bitwise(self, fns):
+        state_a: tuple = ([], [], [], [])
+        state_n: tuple = ([], [], [], [])
+        for tag, fn in enumerate(fns):
+            xs, ys = _xy(fn)
+            *state_a, improved_a = kernel._ARRAY_IMPLS["envelope_fold"](
+                *state_a, xs, ys, tag, LO, HI
+            )
+            *state_n, improved_n = _np_op("envelope_fold")(
+                *state_n, xs, ys, tag, LO, HI
+            )
+            assert improved_n == improved_a
+            assert state_n == state_a
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_compose_many_bitwise_ragged(self, data):
+        inners = data.draw(st.lists(monotone(), min_size=1, max_size=4))
+        lo = min(f.value_range[0] for f in inners)
+        hi = max(f.value_range[1] for f in inners)
+        outer = data.draw(monotone(lo - 1.0, hi + 1.0))
+        stacked = [_xy(f) for f in inners]
+        want, got = _pair("compose_many", *_xy(outer), stacked)
+        assert got == want
+        for xs, ys in got:
+            _assert_kernel_invariants(xs, ys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(plf(), min_size=1, max_size=5))
+    def test_merge_min_many_bitwise_ragged(self, fns):
+        stacked = [_xy(f) for f in fns]
+        want, got = _pair("merge_min_many", stacked)
+        assert got == want
+        _assert_kernel_invariants(*got)
+
+    def test_merge_min_many_empty_raises_identically(self):
+        with pytest.raises(ValueError) as array_err:
+            kernel._ARRAY_IMPLS["merge_min_many"]([])
+        with pytest.raises(ValueError) as np_err:
+            _np_op("merge_min_many")([])
+        assert str(np_err.value) == str(array_err.value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(plf(), min_size=1, max_size=4))
+    def test_envelope_fold_many_matches_loop(self, fns):
+        """The stacked fold equals folding one function at a time."""
+        stacked = [(*_xy(fn), tag) for tag, fn in enumerate(fns)]
+        previous = kernel.set_backend("numpy")
+        try:
+            many = kernel.envelope_fold_many([], [], [], [], stacked, LO, HI)
+            state: tuple = ([], [], [], [])
+            improved_any = False
+            for xs, ys, tag in stacked:
+                *state, improved = kernel.envelope_fold(
+                    *state, xs, ys, tag, LO, HI
+                )
+                improved_any = improved_any or improved
+            assert many == (*state, improved_any)
+        finally:
+            kernel.set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Backend selection and the numpy-absent fallback.
+# ----------------------------------------------------------------------
+
+class TestBackendSelection:
+    def test_set_backend_round_trip(self):
+        previous = kernel.get_backend()
+        assert kernel.set_backend("array") == previous
+        assert kernel.get_backend() == "array"
+        kernel.set_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernel.set_backend("cuda")
+
+    def test_active_backend_tracks_kernel_flag(self):
+        assert kernel.active_backend() == kernel.get_backend()
+        previous = kernel.set_kernel_enabled(False)
+        try:
+            assert kernel.active_backend() == "legacy"
+        finally:
+            kernel.set_kernel_enabled(previous)
+
+    @needs_numpy
+    def test_numpy_backend_installs_and_dispatches(self):
+        previous = kernel.set_backend("numpy")
+        try:
+            assert kernel.get_backend() == "numpy"
+            assert "kernel_np" in kernel.merge_min.__module__
+            xs, ys = kernel.merge_min(
+                [0.0, 10.0], [5.0, 1.0], [0.0, 10.0], [2.0, 2.0]
+            )
+            assert kernel.eval_at(xs, ys, 0.0) == pytest.approx(2.0)
+        finally:
+            kernel.set_backend(previous)
+
+    def test_numpy_absent_falls_back_with_note(self, monkeypatch, capsys):
+        """REPRO_FUNC_KERNEL=numpy without numpy degrades to 'array'."""
+        import sys as _sys
+
+        previous = kernel.get_backend()
+        kernel.set_backend("array")
+        # ``import numpy`` raises ImportError when sys.modules maps the
+        # name to None — this simulates an environment without numpy even
+        # if numpy is importable here.
+        monkeypatch.setitem(_sys.modules, "numpy", None)
+        try:
+            assert not kernel.numpy_available()
+            assert kernel.set_backend("numpy") == "array"
+            assert kernel.get_backend() == "array"
+            note = capsys.readouterr().err
+            assert "numpy is unavailable" in note
+            assert "falls back to 'array'" in note
+            # The dispatched ops still answer (with the array impls).
+            xs, ys = kernel.merge_min(
+                [0.0, 10.0], [5.0, 1.0], [0.0, 10.0], [2.0, 2.0]
+            )
+            assert kernel.eval_at(xs, ys, 10.0) == pytest.approx(1.0)
+        finally:
+            monkeypatch.undo()
+            kernel.set_backend(previous)
