@@ -40,7 +40,15 @@ SCHEMA_VERSION = 1
 #: ``BENCH_<name>.json`` artifact at the repo root registers its name here,
 #: so ``python benchmarks/emit_json.py`` (no arguments) validates the whole
 #: set and CI catches a driver that silently stopped emitting.
-KNOWN_BENCHMARKS = ("kernel", "func_ops", "serve", "precompute", "profile", "batch")
+KNOWN_BENCHMARKS = (
+    "kernel",
+    "func_ops",
+    "serve",
+    "precompute",
+    "profile",
+    "batch",
+    "shard",
+)
 
 _REQUIRED_TOP_KEYS = ("benchmark", "schema_version", "python", "results")
 

@@ -31,6 +31,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.func import kernel
 from repro.network.generator import MetroConfig, make_metro_network
 from repro.serve import (
     AllFPService,
@@ -122,16 +123,25 @@ def main() -> int:
         assert runs == 1, f"expected 1 engine run for {n} duplicates, got {runs}"
         print(f"coalescing ok: {n} duplicates -> 1 engine run")
 
-        # 4. /metrics reconciles with what this client sent
+        # 4. /metrics reconciles with what this client sent.  Every sample
+        # carries the kernel_backend const label now, so build names with it.
         samples = parse_metrics(client.metrics_text())
         sent = 1 + n
-        assert samples['repro_requests_total{mode="allfp"}'] == sent, samples
+
+        def sample(name: str, **labels) -> str:
+            labels["kernel_backend"] = kernel.active_backend()
+            block = ",".join(
+                f'{k}="{v}"' for k, v in sorted(labels.items())
+            )
+            return f"repro_{name}{{{block}}}"
+
+        assert samples[sample("requests_total", mode="allfp")] == sent, samples
         assert (
-            samples['repro_responses_total{mode="allfp",status="ok"}'] == sent
+            samples[sample("responses_total", mode="allfp", status="ok")] == sent
         ), samples
-        assert samples["repro_coalesced_total"] == n - 1, samples
-        assert samples["repro_engine_runs_total"] == 2, samples
-        assert samples["repro_pending_requests"] == 0, samples
+        assert samples[sample("coalesced_total")] == n - 1, samples
+        assert samples[sample("engine_runs_total")] == 2, samples
+        assert samples[sample("pending_requests")] == 0, samples
         print(f"metrics ok: {sent} requests reconciled")
 
         # 5. one-to-many endpoints: /v1/profile and /v1/knn

@@ -25,6 +25,8 @@ exit non-zero with one clean ``error:`` line on stderr — never a traceback.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -335,11 +337,21 @@ def _print_kernel_stats(stats) -> None:
 
 
 def _build_service(args: argparse.Namespace):
-    """Shared by ``serve``/``bench-load``/``chaos``: network + estimator + service."""
+    """Shared by ``serve``/``bench-load``/``chaos``: network + estimator + service.
+
+    With ``--shards N`` (N >= 1) the result is a
+    :class:`~repro.shard.tier.ShardedService` instead of a single
+    :class:`~repro.serve.AllFPService`; the estimator snapshot, when one
+    exists on disk, travels to the workers by ``mmap`` (zero-copy), a
+    parent-built estimator by shared memory, and the network itself by
+    fork (re-opened per worker for .ccam stores).
+    """
     from .serve import AllFPService, ServiceConfig
 
+    shards = getattr(args, "shards", 0)
     network = _open_network(args.network)
     estimator = None
+    snapshot_path = None
     degraded = False
     if args.estimator == "boundary":
         if isinstance(network, CCAMStore):
@@ -349,18 +361,24 @@ def _build_service(args: argparse.Namespace):
                 file=sys.stderr,
             )
         else:
-            try:
-                estimator = _boundary_estimator(network, args)
-            except ReproError as exc:
-                # A broken snapshot must not keep the service down: boot on
-                # the (admissible) naive bound and flag every answer
-                # degraded until an estimator refresh succeeds.
-                print(
-                    f"warning: boundary estimator unavailable ({exc}); "
-                    "serving degraded on the naive bound",
-                    file=sys.stderr,
-                )
-                degraded = True
+            cache = getattr(args, "estimator_cache", None)
+            if shards > 0 and cache and Path(cache).exists():
+                # Let every worker mmap the snapshot file directly —
+                # the fingerprint check happens at attach time, per worker.
+                snapshot_path = cache
+            else:
+                try:
+                    estimator = _boundary_estimator(network, args)
+                except ReproError as exc:
+                    # A broken snapshot must not keep the service down: boot
+                    # on the (admissible) naive bound and flag every answer
+                    # degraded until an estimator refresh succeeds.
+                    print(
+                        f"warning: boundary estimator unavailable ({exc}); "
+                        "serving degraded on the naive bound",
+                        file=sys.stderr,
+                    )
+                    degraded = True
     config = ServiceConfig(
         workers=args.workers,
         max_pending=args.max_pending,
@@ -372,7 +390,47 @@ def _build_service(args: argparse.Namespace):
         task_retries=args.task_retries,
         serve_stale=args.serve_stale,
     )
+    if shards > 0:
+        from .shard import ShardedService
+
+        return ShardedService(
+            network,
+            estimator,
+            config,
+            shards=shards,
+            network_path=args.network,
+            snapshot_path=snapshot_path,
+            grid=args.grid,
+            degraded=degraded,
+        )
     return AllFPService(network, estimator, config, degraded=degraded)
+
+
+def _service_counters(service) -> dict:
+    """Engine/cache/coalescing counters, summed across shards when the
+    service is a tier (dead shards contribute nothing)."""
+    stats = service.stats()
+    if "per_shard" not in stats:
+        return {
+            "engine_runs": stats["engine_runs"],
+            "result_cache_hits": stats["result_cache"]["hits"],
+            "result_cache_misses": stats["result_cache"]["misses"],
+            "coalesced": stats["single_flight"]["coalesced"],
+        }
+    totals = {
+        "engine_runs": 0,
+        "result_cache_hits": 0,
+        "result_cache_misses": 0,
+        "coalesced": 0,
+    }
+    for shard_stats in stats["per_shard"].values():
+        if shard_stats is None:
+            continue
+        totals["engine_runs"] += shard_stats["engine_runs"]
+        totals["result_cache_hits"] += shard_stats["result_cache"]["hits"]
+        totals["result_cache_misses"] += shard_stats["result_cache"]["misses"]
+        totals["coalesced"] += shard_stats["single_flight"]["coalesced"]
+    return totals
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -382,6 +440,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
     print(f"repro-allfp serving on http://{host}:{port}")
+    if getattr(args, "shards", 0) > 0:
+        print(
+            f"sharded: {args.shards} worker process(es) behind the "
+            "consistent-hash router"
+        )
     print(
         "endpoints: POST /v1/allfp, POST /v1/singlefp, POST /v1/profile, "
         "POST /v1/knn, GET /healthz, GET /metrics"
@@ -426,6 +489,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
     else:
         print(f"closed-loop: {len(queries)} queries, {args.clients} client(s)")
         report = run_closed_loop(query_fn, queries, clients=args.clients)
+    counters = _service_counters(service)  # before close: shards must be up
     service.close()
     summary = report.as_dict()
     print(
@@ -441,13 +505,32 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
             f"latency ms: p50={summary['p50_ms']:.2f} "
             f"p95={summary['p95_ms']:.2f} p99={summary['p99_ms']:.2f}"
         )
-    stats = service.stats()
     print(
-        f"engine runs: {stats['engine_runs']:.0f}  "
-        f"result cache: {stats['result_cache']['hits']} hits / "
-        f"{stats['result_cache']['misses']} misses  "
-        f"coalesced: {stats['single_flight']['coalesced']}"
+        f"engine runs: {counters['engine_runs']:.0f}  "
+        f"result cache: {counters['result_cache_hits']} hits / "
+        f"{counters['result_cache_misses']} misses  "
+        f"coalesced: {counters['coalesced']}"
     )
+    if args.json:
+        from .func import kernel
+
+        shards = getattr(args, "shards", 0)
+        payload = {
+            **summary,
+            "counters": counters,
+            "meta": {
+                # the same identity labels /metrics carries on every sample
+                "kernel_backend": kernel.active_backend(),
+                "shard_count": shards if shards > 0 else None,
+                "cpu_count": os.cpu_count(),
+                "mode": args.mode,
+                "arrivals": args.arrivals,
+            },
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -456,7 +539,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     ``docs/reliability.md``): baseline the workload fault-free, replay it
     under the fault plan, and exit non-zero on any invariant violation."""
     from . import reliability
-    from .serve.chaos import default_fault_plan, run_chaos
+    from .serve.chaos import default_fault_plan, run_chaos, run_shard_chaos
     from .workloads.queries import morning_rush_interval, random_queries
 
     if args.faults:
@@ -485,19 +568,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         min_distance=args.min_distance,
         max_distance=args.max_distance,
     )
+    shards = getattr(args, "shards", 0)
     print(
         f"chaos: {len(queries)} queries, {args.clients} client(s), "
         f"{len(plan.specs)} fault spec(s), seed {plan.seed}"
+        + (f", {shards} shard(s) with one mid-run kill" if shards > 0 else "")
     )
     try:
-        report = run_chaos(
-            service, queries, plan, clients=args.clients
-        )
+        if shards > 0:
+            report = run_shard_chaos(
+                service,
+                queries,
+                plan,
+                clients=args.clients,
+                kill_shard=args.kill_shard,
+            )
+        else:
+            report = run_chaos(service, queries, plan, clients=args.clients)
     finally:
         service.close()
     for line in report.summary_lines():
         print(line)
     return 0 if report.passed() else 1
+
+
+def _cmd_snapshot_info(args: argparse.Namespace) -> int:
+    """Describe an RPRESNAP estimator snapshot without loading its arrays.
+
+    Corruption (bad magic, truncation, inconsistent counts) surfaces as an
+    :class:`~repro.exceptions.EstimatorError`, which ``main`` turns into a
+    one-line ``error:`` message and exit code 2.
+    """
+    from .estimators.snapshot import read_header
+
+    header = read_header(args.snapshot)
+    print(f"snapshot: {args.snapshot}")
+    print(f"format: RPRESNAP v{header['version']} ({header['byteorder']}-endian)")
+    print(f"network fingerprint: {header['fingerprint']}")
+    print(f"metric: {header['metric']}")
+    print(
+        f"grid: {header['nx']}x{header['ny']} "
+        f"({header['cell_count']} cells)"
+    )
+    print(f"nodes: {header['node_count']}")
+    print(f"arrays: {header['arrays']}")
+    print(f"precompute: {header['precompute_seconds']:.2f}s")
+    print(f"size: {header['file_bytes']} bytes")
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -703,6 +820,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="answer from the last good (stale) result when a deadline trips",
         )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=0,
+            help="run N worker processes behind the consistent-hash router "
+            "(0 = single-process, the default)",
+        )
 
     serve = sub.add_parser("serve", help="run the HTTP query service")
     add_service_flags(serve)
@@ -736,6 +860,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-distance", type=float, default=0.0)
     bench.add_argument("--max-distance", type=float, default=float("inf"))
     bench.add_argument("--interval-hours", type=float, default=3.0)
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the report (with kernel/shard/cpu meta) as JSON",
+    )
     bench.set_defaults(func=_cmd_bench_load)
 
     chaos = sub.add_parser(
@@ -762,11 +892,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--min-distance", type=float, default=0.0)
     chaos.add_argument("--max-distance", type=float, default=float("inf"))
     chaos.add_argument("--interval-hours", type=float, default=3.0)
+    chaos.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        help="with --shards: which worker to hard-kill mid-run "
+        "(default: the shard owning the most workload keys)",
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     info = sub.add_parser("info", help="describe a network or database file")
     info.add_argument("--network", required=True)
     info.set_defaults(func=_cmd_info)
+
+    snap_info = sub.add_parser(
+        "snapshot-info",
+        help="describe an RPRESNAP estimator snapshot (exit 2 if corrupt)",
+    )
+    snap_info.add_argument("--snapshot", required=True, help="RPRESNAP file")
+    snap_info.set_defaults(func=_cmd_snapshot_info)
     return parser
 
 

@@ -66,6 +66,9 @@ class EstimatorTables:
     workers_used: int = 1
     loaded_from_snapshot: bool = False
     _index_of: dict[int, int] | None = field(default=None, repr=False)
+    #: Keeps the backing buffer (an ``mmap`` or shared-memory segment) alive
+    #: when the stores are zero-copy memoryviews instead of private arrays.
+    _buffer_owner: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         n = len(self.node_ids)
@@ -82,6 +85,27 @@ class EstimatorTables:
     @property
     def cell_count(self) -> int:
         return self.nx * self.ny
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across the five flat stores."""
+        return sum(
+            len(arr) * arr.itemsize
+            for arr in (
+                self.node_ids,
+                self.node_cell,
+                self.to_boundary,
+                self.from_boundary,
+                self.cell_pair,
+            )
+        )
+
+    @property
+    def zero_copy(self) -> bool:
+        """True when the stores are read-only views over a shared buffer
+        (an ``mmap``-ed snapshot or a shared-memory segment) instead of
+        per-process ``array`` copies."""
+        return isinstance(self.node_ids, memoryview)
 
     def index(self, node_id: int) -> int:
         """Dense index of a node id (:class:`EstimatorError` when unknown)."""

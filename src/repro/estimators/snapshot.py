@@ -28,11 +28,14 @@ that may no longer be admissible.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import mmap
 import os
 import struct
 import sys
 from array import array
+from multiprocessing import shared_memory
 from pathlib import Path
 
 from .. import reliability
@@ -96,10 +99,11 @@ def network_fingerprint(network) -> bytes:
     return h.digest()
 
 
-def _write_array(out, arr: array) -> None:
-    out.write(
-        _ARRAY_HEADER.pack(ord(arr.typecode), arr.itemsize, len(arr))
-    )
+def _write_array(out, arr) -> None:
+    # Accept both array-module stores and the read-only memoryviews a
+    # zero-copy (mmap/shared-memory) EstimatorTables carries.
+    typecode = getattr(arr, "typecode", None) or arr.format
+    out.write(_ARRAY_HEADER.pack(ord(typecode), arr.itemsize, len(arr)))
     out.write(arr.tobytes())
 
 
@@ -154,41 +158,167 @@ def save_tables(
         raise
 
 
-def _read_exact(f, count: int, path: Path, what: str) -> bytes:
-    data = f.read(count)
-    if len(data) != count:
+class _BufReader:
+    """Sequential cursor over a snapshot buffer with truncation checks."""
+
+    __slots__ = ("buf", "offset", "source")
+
+    def __init__(self, buf: memoryview, source: str) -> None:
+        self.buf = buf
+        self.offset = 0
+        self.source = source
+
+    def take(self, count: int, what: str) -> memoryview:
+        end = self.offset + count
+        if end > len(self.buf):
+            raise EstimatorError(
+                f"{self.source}: truncated estimator snapshot "
+                f"(while reading {what})"
+            )
+        view = self.buf[self.offset:end]
+        self.offset = end
+        return view
+
+
+def _parse_header(reader: _BufReader) -> dict:
+    """Unpack and validate the fixed header; fingerprint check is the
+    caller's (``read_header`` reports it, the loaders enforce it)."""
+    source = reader.source
+    (
+        magic,
+        version,
+        byteorder,
+        metric_code,
+        nx,
+        ny,
+        node_count,
+        cell_count,
+        v_max,
+        prep_secs,
+        stored_fingerprint,
+    ) = _HEADER.unpack(bytes(reader.take(_HEADER.size, "header")))
+    if magic != MAGIC:
+        raise EstimatorError(f"{source}: not an estimator snapshot")
+    if version != SNAPSHOT_VERSION:
         raise EstimatorError(
-            f"{path}: truncated estimator snapshot (while reading {what})"
+            f"{source}: unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
         )
-    return data
+    metric = _METRIC_NAMES.get(metric_code)
+    if metric is None:
+        raise EstimatorError(
+            f"{source}: corrupt snapshot: unknown metric code {metric_code}"
+        )
+    return {
+        "version": version,
+        "byteorder": "big" if byteorder == 1 else "little",
+        "metric": metric,
+        "nx": nx,
+        "ny": ny,
+        "node_count": node_count,
+        "cell_count": cell_count,
+        "v_max": v_max,
+        "precompute_seconds": prep_secs,
+        "fingerprint": stored_fingerprint,
+    }
 
 
-def _read_array(
-    f, path: Path, expected_typecode: str, swap: bool, what: str
-) -> array:
+def _parse_array(
+    reader: _BufReader, expected_typecode: str, swap: bool, copy: bool, what: str
+):
+    source = reader.source
     typecode_byte, itemsize, count = _ARRAY_HEADER.unpack(
-        _read_exact(f, _ARRAY_HEADER.size, path, f"{what} header")
+        bytes(reader.take(_ARRAY_HEADER.size, f"{what} header"))
     )
     typecode = chr(typecode_byte)
     if typecode != expected_typecode:
         raise EstimatorError(
-            f"{path}: corrupt snapshot: {what} has typecode {typecode!r}, "
+            f"{source}: corrupt snapshot: {what} has typecode {typecode!r}, "
             f"expected {expected_typecode!r}"
         )
-    arr = array(typecode)
-    if itemsize != arr.itemsize:
+    if itemsize != array(typecode).itemsize:
         raise EstimatorError(
-            f"{path}: snapshot written with {itemsize}-byte {typecode!r} "
-            f"items; this platform uses {arr.itemsize}"
+            f"{source}: snapshot written with {itemsize}-byte {typecode!r} "
+            f"items; this platform uses {array(typecode).itemsize}"
         )
-    arr.frombytes(_read_exact(f, itemsize * count, path, what))
+    payload = reader.take(itemsize * count, what)
+    if not copy:
+        # Zero-copy: a typed read-only view straight over the backing
+        # buffer.  The caller keeps the buffer (mmap / shared memory)
+        # alive via EstimatorTables._buffer_owner.
+        return payload.cast(typecode)
+    arr = array(typecode)
+    arr.frombytes(payload)
     if swap:
         arr.byteswap()
     return arr
 
 
+def parse_tables(
+    buf,
+    fingerprint: bytes,
+    *,
+    source: str = "<buffer>",
+    copy: bool = True,
+    owner: object | None = None,
+) -> EstimatorTables:
+    """Parse a full RPRESNAP image held in a buffer.
+
+    With ``copy=True`` (the default) every store lands in a private
+    ``array`` — byte-for-byte what :func:`load_tables` has always produced.
+    With ``copy=False`` the stores are read-only typed memoryviews straight
+    over ``buf`` (which must be read-only and outlive the tables — pass the
+    keeper as ``owner``); a snapshot written on a foreign-byteorder platform
+    cannot be viewed in place and falls back to copying.
+    """
+    view = memoryview(buf)
+    if not view.readonly and not copy:
+        view = view.toreadonly()
+    reader = _BufReader(view, source)
+    header = _parse_header(reader)
+    if header["fingerprint"] != fingerprint:
+        raise EstimatorError(
+            f"{source}: snapshot was built for a different network "
+            "(fingerprint mismatch); re-run `repro-allfp precompute`"
+        )
+    swap = (header["byteorder"] == "big") != (sys.byteorder == "big")
+    if swap:
+        copy = True  # cannot view foreign-endian payloads in place
+    arrays = {
+        what: _parse_array(reader, typecode, swap, copy, what)
+        for what, typecode in (
+            ("node_ids", NODE_ID_TYPECODE),
+            ("node_cell", CELL_TYPECODE),
+            ("to_boundary", WEIGHT_TYPECODE),
+            ("from_boundary", WEIGHT_TYPECODE),
+            ("cell_pair", WEIGHT_TYPECODE),
+        )
+    }
+    node_count, cell_count = header["node_count"], header["cell_count"]
+    if (
+        len(arrays["node_ids"]) != node_count
+        or len(arrays["node_cell"]) != node_count
+        or len(arrays["to_boundary"]) != node_count
+        or len(arrays["from_boundary"]) != node_count
+        or len(arrays["cell_pair"]) != cell_count * cell_count
+        or cell_count != header["nx"] * header["ny"]
+    ):
+        raise EstimatorError(f"{source}: corrupt snapshot: array sizes disagree")
+    return EstimatorTables(
+        nx=header["nx"],
+        ny=header["ny"],
+        metric=header["metric"],
+        v_max=header["v_max"],
+        precompute_seconds=header["precompute_seconds"],
+        workers_used=1,
+        loaded_from_snapshot=True,
+        _buffer_owner=None if copy else owner,
+        **arrays,
+    )
+
+
 def load_tables(path: str | Path, fingerprint: bytes) -> EstimatorTables:
-    """Read a snapshot, verifying format and the network fingerprint.
+    """Read a snapshot into private arrays, verifying format and fingerprint.
 
     Raises :class:`EstimatorError` — never an unpickling error or a raw
     ``struct.error`` — on any of: missing file, wrong magic, unsupported
@@ -197,74 +327,217 @@ def load_tables(path: str | Path, fingerprint: bytes) -> EstimatorTables:
     """
     path = Path(path)
     try:
-        f = open(path, "rb")
+        with open(path, "rb") as f:
+            # Payload-free fault point: a "corrupt" spec here raises loudly
+            # instead of mutating bytes — a flipped byte inside e.g. v_max
+            # would pass every header check and silently break admissibility,
+            # which is precisely the outcome injection must never create.
+            reliability.fire("repro.estimators.snapshot.load")
+            data = f.read()
     except OSError as exc:
         raise EstimatorError(f"cannot open estimator snapshot: {exc}") from None
-    with f:
-        # Payload-free fault point: a "corrupt" spec here raises loudly
-        # instead of mutating bytes — a flipped byte inside e.g. v_max
-        # would pass every header check and silently break admissibility,
-        # which is precisely the outcome injection must never create.
-        reliability.fire("repro.estimators.snapshot.load")
-        header = _read_exact(f, _HEADER.size, path, "header")
-        (
-            magic,
-            version,
-            byteorder,
-            metric_code,
-            nx,
-            ny,
-            node_count,
-            cell_count,
-            v_max,
-            prep_secs,
-            stored_fingerprint,
-        ) = _HEADER.unpack(header)
-        if magic != MAGIC:
-            raise EstimatorError(f"{path}: not an estimator snapshot")
-        if version != SNAPSHOT_VERSION:
-            raise EstimatorError(
-                f"{path}: unsupported snapshot version {version} "
-                f"(this build reads version {SNAPSHOT_VERSION})"
-            )
-        metric = _METRIC_NAMES.get(metric_code)
-        if metric is None:
-            raise EstimatorError(
-                f"{path}: corrupt snapshot: unknown metric code {metric_code}"
-            )
-        if stored_fingerprint != fingerprint:
-            raise EstimatorError(
-                f"{path}: snapshot was built for a different network "
-                "(fingerprint mismatch); re-run `repro-allfp precompute`"
-            )
-        swap = (byteorder == 1) != (sys.byteorder == "big")
-        node_ids = _read_array(f, path, NODE_ID_TYPECODE, swap, "node_ids")
-        node_cell = _read_array(f, path, CELL_TYPECODE, swap, "node_cell")
-        to_boundary = _read_array(f, path, WEIGHT_TYPECODE, swap, "to_boundary")
-        from_boundary = _read_array(
-            f, path, WEIGHT_TYPECODE, swap, "from_boundary"
+    return parse_tables(data, fingerprint, source=str(path), copy=True)
+
+
+def map_tables(path: str | Path, fingerprint: bytes) -> EstimatorTables:
+    """The zero-copy load path: ``mmap`` the snapshot read-only and build
+    :class:`EstimatorTables` whose stores are typed views over the mapping.
+
+    Every process mapping the same snapshot shares one page-cache copy of
+    the tables — N shard workers cost one table, not N.  The mapping is
+    kept alive by the returned tables (``_buffer_owner``) and unmapped
+    when they are garbage-collected.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as f:
+            reliability.fire("repro.estimators.snapshot.load")
+            mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise EstimatorError(f"cannot map estimator snapshot: {exc}") from None
+    try:
+        return parse_tables(
+            mapped, fingerprint, source=str(path), copy=False, owner=mapped
         )
-        cell_pair = _read_array(f, path, WEIGHT_TYPECODE, swap, "cell_pair")
-    if (
-        len(node_ids) != node_count
-        or len(node_cell) != node_count
-        or len(to_boundary) != node_count
-        or len(from_boundary) != node_count
-        or len(cell_pair) != cell_count * cell_count
-        or cell_count != nx * ny
-    ):
-        raise EstimatorError(f"{path}: corrupt snapshot: array sizes disagree")
-    return EstimatorTables(
-        nx=nx,
-        ny=ny,
-        metric=metric,
-        v_max=v_max,
-        node_ids=node_ids,
-        node_cell=node_cell,
-        to_boundary=to_boundary,
-        from_boundary=from_boundary,
-        cell_pair=cell_pair,
-        precompute_seconds=prep_secs,
-        workers_used=1,
-        loaded_from_snapshot=True,
+    except BaseException:
+        try:
+            mapped.close()
+        except BufferError:
+            # A view created by the failed parse is still referenced from
+            # the traceback; the mapping unmaps when the exception dies.
+            pass
+        raise
+
+
+def tables_to_bytes(tables: EstimatorTables, fingerprint: bytes) -> bytes:
+    """The exact RPRESNAP image :func:`save_tables` would write, in memory."""
+    out = io.BytesIO()
+    out.write(
+        _HEADER.pack(
+            MAGIC,
+            SNAPSHOT_VERSION,
+            0 if sys.byteorder == "little" else 1,
+            _METRIC_CODES[tables.metric],
+            tables.nx,
+            tables.ny,
+            tables.node_count,
+            tables.cell_count,
+            tables.v_max,
+            tables.precompute_seconds,
+            fingerprint,
+        )
     )
+    for arr in (
+        tables.node_ids,
+        tables.node_cell,
+        tables.to_boundary,
+        tables.from_boundary,
+        tables.cell_pair,
+    ):
+        _write_array(out, arr)
+    return out.getvalue()
+
+
+class SharedTables:
+    """Owner handle of a shared-memory RPRESNAP image.
+
+    The creating process calls :meth:`unlink` (usually via :meth:`close`)
+    exactly once when the last worker is gone; attaching processes only
+    ever ``close()`` their mapping.  See ``docs/sharding.md`` for the
+    lifecycle caveats.
+    """
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+            self._owner = False
+
+    def unlink(self) -> None:
+        self.close()
+
+
+def share_tables(tables: EstimatorTables, fingerprint: bytes) -> SharedTables:
+    """Copy ``tables`` into a named shared-memory segment (RPRESNAP image).
+
+    Returns the owner handle; workers attach by name via
+    :func:`attach_tables`.  The owner must :meth:`SharedTables.close`
+    (which unlinks) when done, or the segment outlives the process.
+    """
+    payload = tables_to_bytes(tables, fingerprint)
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    except OSError as exc:
+        raise EstimatorError(f"cannot create shared-memory tables: {exc}") from None
+    shm.buf[: len(payload)] = payload
+    return SharedTables(shm, owner=True)
+
+
+def attach_tables(
+    name: str, fingerprint: bytes, *, copy: bool = False
+) -> tuple[EstimatorTables, SharedTables]:
+    """Attach a worker to a shared-memory RPRESNAP image by segment name.
+
+    With ``copy=False`` the tables are zero-copy views over the segment
+    (the handle is kept alive by the tables); ``copy=True`` deliberately
+    materialises private arrays — the benchmark's per-process-copy
+    baseline.  The returned handle only closes, never unlinks.
+    """
+    try:
+        # track=False (3.13+) stops the resource tracker of an attaching
+        # process from destroying the segment at exit; older interpreters
+        # don't take the kwarg and the owner's unlink-on-close still wins.
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            shm = shared_memory.SharedMemory(name=name)
+    except OSError as exc:
+        raise EstimatorError(
+            f"cannot attach shared-memory tables {name!r}: {exc}"
+        ) from None
+    handle = SharedTables(shm, owner=False)
+    try:
+        view = memoryview(shm.buf).toreadonly()
+        tables = parse_tables(
+            view,
+            fingerprint,
+            source=f"shm:{name}",
+            copy=copy,
+            owner=(view, handle),
+        )
+    except BaseException:
+        handle.close()
+        raise
+    if copy:
+        view.release()  # drop the buffer export so close() can unmap
+        handle.close()
+    return tables, handle
+
+
+#: Per-array byte cost used by the header-consistency check and
+#: ``snapshot-info``: (name, typecode, count expression).
+_ARRAY_SPECS = (
+    ("node_ids", NODE_ID_TYPECODE),
+    ("node_cell", CELL_TYPECODE),
+    ("to_boundary", WEIGHT_TYPECODE),
+    ("from_boundary", WEIGHT_TYPECODE),
+    ("cell_pair", WEIGHT_TYPECODE),
+)
+
+
+def read_header(path: str | Path) -> dict:
+    """Header fields of a snapshot plus size bookkeeping, for operators.
+
+    Validates everything checkable without a network in hand: magic,
+    version, metric code, grid/cell consistency, and that the file size
+    matches what the header's counts imply.  Raises
+    :class:`EstimatorError` (one line) on any corruption.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as f:
+            head = f.read(_HEADER.size)
+    except OSError as exc:
+        raise EstimatorError(f"cannot open estimator snapshot: {exc}") from None
+    reader = _BufReader(memoryview(head), str(path))
+    header = _parse_header(reader)
+    if header["cell_count"] != header["nx"] * header["ny"]:
+        raise EstimatorError(
+            f"{path}: corrupt snapshot: cell_count {header['cell_count']} "
+            f"!= {header['nx']}x{header['ny']} grid"
+        )
+    counts = {
+        "node_ids": header["node_count"],
+        "node_cell": header["node_count"],
+        "to_boundary": header["node_count"],
+        "from_boundary": header["node_count"],
+        "cell_pair": header["cell_count"] * header["cell_count"],
+    }
+    expected = _HEADER.size + sum(
+        _ARRAY_HEADER.size + counts[name] * array(typecode).itemsize
+        for name, typecode in _ARRAY_SPECS
+    )
+    if size != expected:
+        raise EstimatorError(
+            f"{path}: corrupt snapshot: file is {size} bytes, header "
+            f"implies {expected}"
+        )
+    header["fingerprint"] = header["fingerprint"].hex()
+    header["arrays"] = len(_ARRAY_SPECS)
+    header["file_bytes"] = size
+    return header

@@ -119,6 +119,19 @@ class WorkerCrashed(ServiceError):
         self.attempts = attempts
 
 
+class ShardUnavailable(ServiceError):
+    """A shard worker process died, hung past its grace window, or was
+    skipped by its circuit breaker, and no ring successor could answer
+    either.  The router raises this only after walking the whole
+    preference list; a single dead shard normally surfaces as a
+    ``degraded_shard``-flagged answer from the next ring node instead.
+    """
+
+    def __init__(self, shard_id: int, reason: str = "worker unavailable"):
+        super().__init__(f"shard {shard_id}: {reason}")
+        self.shard_id = shard_id
+
+
 class ServeClientError(ServiceError):
     """An HTTP client call failed after exhausting its retries.
 

@@ -9,7 +9,7 @@ JSON/HTTP API.  See ``docs/serving.md``.
 
 from .admission import AdmissionController, Deadline
 from .batching import ResultCache, SingleFlight
-from .chaos import ChaosReport, default_fault_plan, run_chaos
+from .chaos import ChaosReport, default_fault_plan, run_chaos, run_shard_chaos
 from .client import (
     HTTPClient,
     InProcessClient,
@@ -54,4 +54,5 @@ __all__ = [
     "ChaosReport",
     "default_fault_plan",
     "run_chaos",
+    "run_shard_chaos",
 ]

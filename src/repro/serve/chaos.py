@@ -112,6 +112,16 @@ def default_fault_plan(seed: int = 0) -> reliability.FaultPlan:
     )
 
 
+def _round_floats(value, ndigits: int = 6):
+    if isinstance(value, float):
+        return round(value, ndigits)
+    if isinstance(value, list):
+        return [_round_floats(v, ndigits) for v in value]
+    if isinstance(value, dict):
+        return {k: _round_floats(v, ndigits) for k, v in value.items()}
+    return value
+
+
 def _canonical(result) -> str:
     """The *answer* part of a result, as comparable JSON.
 
@@ -121,38 +131,27 @@ def _canonical(result) -> str:
     different (equally admissible) estimators may break the tie
     differently — so correctness is judged on the ``border`` function, the
     optimal travel time at every leaving instant, which any exact search
-    must reproduce bit-for-bit.
+    must reproduce.  Floats are rounded to a microsecond-scale tolerance
+    (values are minutes): a cold edge-function cache rebuilds functions
+    over slightly different sub-ranges than a warm one and the answers
+    drift at the 1e-12 level — real wrongness (a missed faster path) shows
+    up orders of magnitude above the rounding.
     """
     doc = result.as_dict()
     doc.pop("stats", None)
     doc.pop("entries", None)
-    return json.dumps(doc, sort_keys=True)
+    return json.dumps(_round_floats(doc), sort_keys=True)
 
 
-def run_chaos(
-    service: AllFPService,
-    queries: Sequence[QuerySpec],
-    plan: reliability.FaultPlan,
-    clients: int = 4,
-    deadline: float | None = None,
-    join_timeout: float = DEFAULT_JOIN_TIMEOUT,
-) -> ChaosReport:
-    """Baseline the workload fault-free, then replay it under ``plan``.
-
-    The service must be fault-free when called (any previously installed
-    injector is the caller's to remove).  The injector is installed only
-    for the chaos phase and removed in a ``finally``, so a crashing harness
-    never leaves the process poisoned.
-    """
-    if clients < 1:
-        raise ValueError(f"clients must be >= 1, got {clients}")
-    report = ChaosReport(requests=len(queries))
-
-    # Phase 1: fault-free baseline, sequential.  Two passes: the first
-    # warms the shared edge-function cache (a cold-cache answer can differ
-    # from the warm steady state by an ulp — functions built over slightly
-    # different sub-ranges), the second records the steady-state answers
-    # the chaos phase must reproduce.
+def _record_baseline(
+    service, queries: Sequence[QuerySpec], deadline: float | None
+) -> list[str | None]:
+    """Fault-free baseline, sequential.  Two passes: the first warms the
+    shared edge-function cache (a cold-cache answer can differ from the
+    warm steady state by an ulp — functions built over slightly different
+    sub-ranges), the second records the steady-state answers the chaos
+    phase must reproduce.  ``None`` marks queries that are typed errors
+    even without faults (e.g. no path)."""
     baseline: list[str | None] = []
     for record in (False, True):
         if record:
@@ -166,18 +165,25 @@ def run_chaos(
                 response = service.query(request)
             except ReproError:
                 if record:
-                    # typed even without faults (e.g. no path)
                     baseline.append(None)
             else:
                 if record:
                     baseline.append(_canonical(response.result))
+    return baseline
 
-    # Drop cached results so the chaos phase actually recomputes.
-    service.invalidate()
 
-    # Phase 2: concurrent replay under the installed plan.
+def _replay(
+    service,
+    queries: Sequence[QuerySpec],
+    baseline: list[str | None],
+    report: ChaosReport,
+    clients: int,
+    deadline: float | None,
+    join_timeout: float,
+) -> None:
+    """Concurrent replay classifying every outcome into the invariant's
+    three legal buckets; anything else lands in ``report.violations``."""
     lock = threading.Lock()
-    injector = reliability.install(plan)
 
     def worker(offset: int) -> None:
         for i in range(offset, len(queries), clients):
@@ -220,26 +226,129 @@ def run_chaos(
                         if response.stale:
                             report.stale += 1
 
+    threads = [
+        threading.Thread(
+            target=worker, args=(i,), name=f"chaos-client-{i}", daemon=True
+        )
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    deadline_at = time.monotonic() + join_timeout
+    for t in threads:
+        t.join(max(0.0, deadline_at - time.monotonic()))
+    for t in threads:
+        if t.is_alive():
+            report.violations.append(
+                f"hang: {t.name} still running after {join_timeout:.0f}s"
+            )
+
+
+def run_chaos(
+    service: AllFPService,
+    queries: Sequence[QuerySpec],
+    plan: reliability.FaultPlan,
+    clients: int = 4,
+    deadline: float | None = None,
+    join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+) -> ChaosReport:
+    """Baseline the workload fault-free, then replay it under ``plan``.
+
+    The service must be fault-free when called (any previously installed
+    injector is the caller's to remove).  The injector is installed only
+    for the chaos phase and removed in a ``finally``, so a crashing harness
+    never leaves the process poisoned.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    report = ChaosReport(requests=len(queries))
+    baseline = _record_baseline(service, queries, deadline)
+
+    # Drop cached results so the chaos phase actually recomputes.
+    service.invalidate()
+
+    # Phase 2: concurrent replay under the installed plan.
+    injector = reliability.install(plan)
     started = time.monotonic()
     try:
-        threads = [
-            threading.Thread(
-                target=worker, args=(i,), name=f"chaos-client-{i}", daemon=True
-            )
-            for i in range(clients)
-        ]
-        for t in threads:
-            t.start()
-        deadline_at = time.monotonic() + join_timeout
-        for t in threads:
-            t.join(max(0.0, deadline_at - time.monotonic()))
-        for t in threads:
-            if t.is_alive():
-                report.violations.append(
-                    f"hang: {t.name} still running after {join_timeout:.0f}s"
-                )
+        _replay(
+            service, queries, baseline, report, clients, deadline, join_timeout
+        )
     finally:
         reliability.uninstall()
     report.wall_seconds = time.monotonic() - started
     report.fault_events = injector.fired
+    return report
+
+
+def run_shard_chaos(
+    service,
+    queries: Sequence[QuerySpec],
+    plan: reliability.FaultPlan | None = None,
+    clients: int = 4,
+    deadline: float | None = None,
+    kill_shard: int | None = None,
+    kill_delay: float = 0.05,
+    join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+) -> ChaosReport:
+    """The chaos invariant at shard granularity, against a
+    :class:`~repro.shard.tier.ShardedService`.
+
+    Same three-phase shape as :func:`run_chaos`, with two differences:
+
+    * the fault ``plan`` (when given) is broadcast into the worker
+      processes, not installed in the router's process;
+    * ``kill_delay`` seconds into the replay, one worker is hard-killed
+      mid-run — ``kill_shard`` picks which, defaulting to the shard that
+      owns the most workload keys so failover is actually exercised.
+
+    Failover answers must still equal the baseline (every worker holds
+    the full network), so the invariant is unchanged: correct, typed, or
+    flagged degraded — never a hang or a silent wrong answer.  The kill
+    itself counts as one fault event on top of whatever the plan fired
+    inside the workers.
+    """
+    from ..shard.ring import routing_key
+
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    report = ChaosReport(requests=len(queries))
+    baseline = _record_baseline(service, queries, deadline)
+    service.invalidate()
+
+    if kill_shard is None:
+        owners: dict[int, int] = {}
+        for spec in queries:
+            request = QueryRequest(
+                spec.source, spec.target, spec.interval, "allfp", deadline
+            )
+            owner = service.ring.preference(routing_key(request))[0]
+            owners[owner] = owners.get(owner, 0) + 1
+        kill_shard = max(owners, key=owners.get)
+
+    if plan is not None:
+        service.install_faults(plan)
+    killer = threading.Timer(kill_delay, service.kill_shard, args=(kill_shard,))
+    killer.daemon = True
+    started = time.monotonic()
+    try:
+        killer.start()
+        _replay(
+            service, queries, baseline, report, clients, deadline, join_timeout
+        )
+    finally:
+        killer.cancel()
+        fired = 0
+        if plan is not None:
+            replies = service.uninstall_faults() or {}
+            fired = sum(
+                reply.get("fired", 0)
+                for reply in replies.values()
+                if reply is not None
+            )
+    report.wall_seconds = time.monotonic() - started
+    # the kill is one fault event, on top of worker-side plan firings
+    # (collected from the uninstall_faults replies; a restarted worker's
+    # count starts over, so this is a lower bound under restarts).
+    report.fault_events = 1 + fired
     return report

@@ -64,6 +64,7 @@ from ..exceptions import (
     QueryError,
     ReproError,
     ServiceOverloaded,
+    ShardUnavailable,
 )
 from .. import reliability
 from ..timeutil import TimeInterval, parse_clock
@@ -259,15 +260,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/healthz":
             network = self.service.network
-            self._send_json(
-                200,
-                {
-                    "status": "degraded" if self.service.degraded else "ok",
-                    "degraded": self.service.degraded,
-                    "version": self.service.version,
-                    "nodes": network.node_count,
-                },
-            )
+            body = {
+                "status": "degraded" if self.service.degraded else "ok",
+                "degraded": self.service.degraded,
+                "version": self.service.version,
+                "nodes": network.node_count,
+            }
+            # The shard tier aggregates per-worker health; single-process
+            # services have no shard_health and keep the flat body.
+            shard_health = getattr(self.service, "shard_health", None)
+            if callable(shard_health):
+                body["shards"] = shard_health()
+            self._send_json(200, body)
         elif self.path == "/metrics":
             data = self.service.render_metrics().encode()
             self.send_response(200)
@@ -310,6 +314,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(
                 503, exc, {"Retry-After": f"{exc.retry_after:.3f}"}
             )
+        except ShardUnavailable as exc:
+            # Every ring candidate was down or breaker-open: the tier is
+            # temporarily unhealthy, not the request malformed.
+            self._send_error_json(503, exc)
         except QueryTimeout as exc:
             self._send_error_json(504, exc)
         except (NoPathError, NetworkError) as exc:
@@ -320,17 +328,17 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_error_json(500, exc)
         else:
-            self._send_json(
-                200,
-                {
-                    "result": response.result.as_dict(),
-                    "cached": response.cached,
-                    "coalesced": response.coalesced,
-                    "elapsed_ms": response.elapsed_seconds * 1e3,
-                    "degraded": response.degraded,
-                    "stale": response.stale,
-                },
-            )
+            body = {
+                "result": response.result.as_dict(),
+                "cached": response.cached,
+                "coalesced": response.coalesced,
+                "elapsed_ms": response.elapsed_seconds * 1e3,
+                "degraded": response.degraded,
+                "stale": response.stale,
+            }
+            if getattr(response, "degraded_shard", None) is not None:
+                body["degraded_shard"] = response.degraded_shard
+            self._send_json(200, body)
 
 
 class ServeServer(ThreadingHTTPServer):

@@ -70,8 +70,17 @@ class _Histogram:
 class MetricsRegistry:
     """Counters, gauges and histograms with Prometheus text rendering."""
 
-    def __init__(self, namespace: str = "repro") -> None:
+    def __init__(
+        self,
+        namespace: str = "repro",
+        const_labels: Mapping[str, str] | None = None,
+    ) -> None:
         self._namespace = namespace
+        #: Labels stamped onto every rendered sample (kernel backend, shard
+        #: identity, ...).  They are a render-time concern only: lookup
+        #: methods (``counter_value`` et al.) keep keying on the per-call
+        #: labels, so instrumented code never has to know about them.
+        self._const_labels = _labels_key(const_labels)
         self._lock = threading.Lock()
         self._counters: dict[str, dict[Labels, float]] = {}
         self._gauges: dict[str, float | Callable[[], float]] = {}
@@ -155,6 +164,15 @@ class MetricsRegistry:
             return hist.count if hist else 0
 
     # ------------------------------------------------------------------
+    def _merged(self, labels: Labels) -> Labels:
+        """Per-sample labels with the const labels spliced in (sorted;
+        per-sample wins on a key collision)."""
+        if not self._const_labels:
+            return labels
+        merged = dict(self._const_labels)
+        merged.update(labels)
+        return tuple(sorted(merged.items()))
+
     def render(self) -> str:
         """The Prometheus text exposition of every registered metric."""
         with self._lock:
@@ -171,27 +189,31 @@ class MetricsRegistry:
                 emit_header(name, "counter")
                 for labels, value in sorted(self._counters[name].items()):
                     lines.append(
-                        f"{ns}_{name}{_format_labels(labels)} "
+                        f"{ns}_{name}{_format_labels(self._merged(labels))} "
                         f"{_format_value(value)}"
                     )
             for name in sorted(self._gauges):
                 emit_header(name, "gauge")
                 value = self._gauges[name]
                 sampled = float(value() if callable(value) else value)
-                lines.append(f"{ns}_{name} {_format_value(sampled)}")
+                lines.append(
+                    f"{ns}_{name}{_format_labels(self._merged(()))} "
+                    f"{_format_value(sampled)}"
+                )
             for name in sorted(self._histograms):
                 emit_header(name, "histogram")
                 for labels, hist in sorted(self._histograms[name].items()):
+                    merged = self._merged(labels)
                     cumulative = 0
                     for bound, count in zip(
                         hist.bounds + (float("inf"),), hist.buckets
                     ):
                         cumulative += count
                         le = _format_labels(
-                            labels, f'le="{_format_value(bound)}"'
+                            merged, f'le="{_format_value(bound)}"'
                         )
                         lines.append(f"{ns}_{name}_bucket{le} {cumulative}")
-                    suffix = _format_labels(labels)
+                    suffix = _format_labels(merged)
                     lines.append(
                         f"{ns}_{name}_sum{suffix} {repr(hist.total)}"
                     )

@@ -53,6 +53,7 @@ from ..exceptions import (
     WorkerCrashed,
 )
 from .. import reliability
+from ..func import kernel
 from ..reliability import CircuitBreaker
 from ..timeutil import TimeInterval
 from .admission import AdmissionController, Deadline
@@ -156,6 +157,9 @@ class QueryResponse:
     elapsed_seconds: float = 0.0
     degraded: bool = False
     stale: bool = False
+    #: set by the shard router when the ring-preferred shard could not
+    #: answer and a successor served the (still exact) result instead
+    degraded_shard: int | None = None
 
 
 @dataclass(frozen=True)
@@ -182,6 +186,10 @@ class ServiceConfig:
     breaker_reset: float = 30.0
     #: serve the last good (possibly stale) result when a deadline trips
     serve_stale: bool = False
+    #: set by the shard tier on worker services; stamped as const labels
+    #: onto every /metrics sample so multi-shard scrapes are attributable
+    shard_id: int | None = None
+    shard_count: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -301,7 +309,7 @@ class AllFPService:
         )
         self._fallback_estimator: NaiveEstimator | None = None
         self._fallback_lock = threading.Lock()
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(const_labels=self._metric_labels())
         self._version = 0
         self._closed = False
         self._engine_generation = 0
@@ -348,6 +356,16 @@ class AllFPService:
             help="Faults fired by the reliability injector (0 when inactive)",
         )
         self._register_estimator_metrics()
+
+    def _metric_labels(self) -> dict[str, str]:
+        """Const labels every /metrics sample carries: which kernel backend
+        computed the answers, and — under the shard tier — which shard."""
+        labels = {"kernel_backend": kernel.active_backend()}
+        if self.config.shard_id is not None:
+            labels["shard_id"] = str(self.config.shard_id)
+        if self.config.shard_count is not None:
+            labels["shard_count"] = str(self.config.shard_count)
+        return labels
 
     def _register_estimator_metrics(self) -> None:
         """Warm-start accounting for precomputed estimators.

@@ -1,0 +1,46 @@
+"""Sharded multi-process serve tier with shared-memory estimator tables.
+
+``repro.shard`` splits one serve deployment across N worker processes,
+each hosting a full :class:`~repro.serve.service.AllFPService`, behind an
+in-process consistent-hash router:
+
+* :mod:`repro.shard.ring` — the hash ring and the per-mode routing-key
+  normalisation (cache affinity + minimal movement);
+* :mod:`repro.shard.worker` — the worker process main loop and the
+  pipe wire protocol (results as dicts, errors as typed descriptors);
+* :mod:`repro.shard.tier` — :class:`ShardedService`, the router with
+  per-shard circuit breakers, ring failover, and worker restart.
+
+See ``docs/sharding.md`` for the architecture and the shared-memory
+lifecycle rules.
+"""
+
+from .ring import DEFAULT_REPLICAS, HashRing, routing_key, stable_hash
+from .tier import ShardedService, WireResult
+from .worker import (
+    KILL_POINT,
+    WorkerBoot,
+    describe_error,
+    private_rss_kb,
+    rebuild_error,
+    request_from_wire,
+    request_to_wire,
+    run_worker,
+)
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "KILL_POINT",
+    "ShardedService",
+    "WireResult",
+    "WorkerBoot",
+    "describe_error",
+    "private_rss_kb",
+    "rebuild_error",
+    "request_from_wire",
+    "request_to_wire",
+    "routing_key",
+    "run_worker",
+    "stable_hash",
+]

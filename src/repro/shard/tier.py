@@ -1,0 +1,641 @@
+"""The sharded serve tier: N worker processes behind one in-process router.
+
+:class:`ShardedService` presents the same surface the HTTP layer and the
+clients already program against (``query`` / ``healthz`` / ``stats`` /
+``render_metrics`` / ``invalidate`` / ``close``), but fans queries out to
+worker processes over pipes, routed by the consistent-hash ring
+(:mod:`repro.shard.ring`) so each shard's edge-function and result caches
+only ever see their own keyspace and stay hot.
+
+Reliability is the PR-5 contract lifted to shard granularity:
+
+* every shard has a **circuit breaker** — consecutive dispatch failures
+  open it and the router stops offering that shard queries until the
+  reset window elapses;
+* a dead or breaker-open shard is **routed around**: the router walks the
+  ring's preference order and serves the answer from the first live
+  successor, flagging the response ``degraded`` with ``degraded_shard``
+  set to the preferred shard that could not answer (the answer itself is
+  still exact — every worker holds the full network);
+* a crashed worker is **restarted** (bounded by ``restart_limit`` per
+  shard) by the receiver thread that observed the death; its in-flight
+  requests fail over immediately rather than waiting for the restart.
+
+Typed query errors (``NoPathError``, ``QueryTimeout``, ...) are answers,
+not shard failures: they are re-raised to the caller without failover and
+without tripping the breaker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass, field
+
+from .. import reliability
+from ..exceptions import ReproError, ServiceClosed, ShardUnavailable
+from ..serve.metrics import MetricsRegistry
+from ..serve.service import QueryResponse, ServiceConfig
+from .ring import DEFAULT_REPLICAS, HashRing, routing_key
+from .worker import (
+    WorkerBoot,
+    rebuild_error,
+    request_to_wire,
+    run_worker,
+)
+
+#: Seconds past a query's deadline before the router gives up on a shard
+#: and fails over.  Worker death is detected faster (EOF on the pipe);
+#: the grace window only matters for a hung-but-alive worker.
+DEFAULT_DISPATCH_GRACE = 15.0
+
+#: Fallback dispatch timeout when the service runs without deadlines.
+DEFAULT_DISPATCH_TIMEOUT = 60.0
+
+
+class WireResult:
+    """A result that crossed the pipe as its ``as_dict()`` payload.
+
+    The HTTP layer (and the chaos harness's canonicalisation) only ever
+    consume results through ``as_dict()``, so the router hands back the
+    worker's dict verbatim instead of reconstructing engine objects.
+    """
+
+    __slots__ = ("_doc",)
+
+    def __init__(self, doc: dict) -> None:
+        self._doc = doc
+
+    def as_dict(self) -> dict:
+        return self._doc
+
+    def __getitem__(self, key):
+        return self._doc[key]
+
+    def __repr__(self) -> str:
+        return f"WireResult(keys={sorted(self._doc)})"
+
+
+class _Waiter:
+    __slots__ = ("event", "kind", "payload")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind: str | None = None
+        self.payload = None
+
+    def resolve(self, kind: str, payload) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.event.set()
+
+
+@dataclass
+class _ShardHandle:
+    """Parent-side state for one worker process."""
+
+    shard_id: int
+    process: object = None
+    conn: object = None
+    breaker: reliability.CircuitBreaker = None
+    alive: bool = False
+    boot_info: dict = field(default_factory=dict)
+    restarts: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    pending: dict = field(default_factory=dict)
+    next_id: int = 0
+    receiver: threading.Thread = None
+
+    def register(self) -> tuple[int, _Waiter]:
+        waiter = _Waiter()
+        with self.lock:
+            if not self.alive:
+                raise ShardUnavailable(self.shard_id, "worker is down")
+            req_id = self.next_id
+            self.next_id += 1
+            self.pending[req_id] = waiter
+        return req_id, waiter
+
+    def discard(self, req_id: int) -> None:
+        with self.lock:
+            self.pending.pop(req_id, None)
+
+    def fail_pending(self, reason: str) -> None:
+        with self.lock:
+            self.alive = False
+            pending, self.pending = self.pending, {}
+        for waiter in pending.values():
+            waiter.resolve("down", reason)
+
+
+class ShardedService:
+    """Route queries across ``shards`` worker processes (see module doc).
+
+    Estimator tables reach the workers by the cheapest available
+    transport, decided here once:
+
+    * ``snapshot_path`` set → each worker ``mmap``s the RPRESNAP file
+      (zero-copy, one page-cache image machine-wide);
+    * a boundary ``estimator`` with tables → the parent publishes one
+      shared-memory image (:func:`~repro.estimators.snapshot.share_tables`)
+      and workers attach read-only views (``copy_tables=True`` forces the
+      private-copy baseline the benchmark compares against);
+    * any other ``estimator`` → fork-inherited as an object;
+    * none → workers run estimator-free (or ``estimator_kind="naive"``).
+    """
+
+    def __init__(
+        self,
+        network,
+        estimator=None,
+        config: ServiceConfig | None = None,
+        *,
+        shards: int = 2,
+        network_path: str | None = None,
+        snapshot_path: str | None = None,
+        fingerprint: bytes | None = None,
+        estimator_kind: str | None = None,
+        grid: int = 6,
+        copy_tables: bool = False,
+        replicas: int = DEFAULT_REPLICAS,
+        restart_limit: int = 3,
+        dispatch_grace: float = DEFAULT_DISPATCH_GRACE,
+        breaker_failures: int = 3,
+        breaker_reset: float = 5.0,
+        fault_plan=None,
+        degraded: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.config = config or ServiceConfig()
+        self._network = network
+        self._shards = shards
+        self._grace = dispatch_grace
+        self._restart_limit = restart_limit
+        self._breaker_failures = breaker_failures
+        self._breaker_reset = breaker_reset
+        self._fault_plan = fault_plan
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._version = 1
+        self._ring = HashRing(range(shards), replicas)
+        self.metrics = MetricsRegistry()
+        self._shared = None  # SharedTables when the shm transport is used
+
+        boot_kwargs = self._plan_transport(
+            network,
+            estimator,
+            network_path=network_path,
+            snapshot_path=snapshot_path,
+            fingerprint=fingerprint,
+            estimator_kind=estimator_kind,
+            grid=grid,
+            copy_tables=copy_tables,
+            degraded=degraded,
+        )
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX fallback
+            self._ctx = multiprocessing.get_context()
+        self._boot_kwargs = boot_kwargs
+        self._handles: dict[int, _ShardHandle] = {}
+        try:
+            for sid in range(shards):
+                handle = _ShardHandle(
+                    shard_id=sid,
+                    breaker=reliability.CircuitBreaker(
+                        breaker_failures, breaker_reset
+                    ),
+                )
+                self._handles[sid] = handle
+                self._start_worker(handle)
+        except BaseException:
+            self.close()
+            raise
+        self.metrics.set_gauge("shard_count", float(shards))
+        self.metrics.set_gauge(
+            "shards_alive",
+            lambda: float(
+                sum(1 for h in self._handles.values() if h.alive)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # boot
+    # ------------------------------------------------------------------
+    def _plan_transport(
+        self,
+        network,
+        estimator,
+        *,
+        network_path,
+        snapshot_path,
+        fingerprint,
+        estimator_kind,
+        grid,
+        copy_tables,
+        degraded,
+    ) -> dict:
+        from ..estimators import snapshot as snap
+        from ..estimators.boundary import BoundaryNodeEstimator
+        from ..estimators.naive import NaiveEstimator
+
+        kwargs: dict = {
+            "grid": grid,
+            "copy_tables": copy_tables,
+            "degraded": degraded,
+        }
+        # .ccam stores must not be forked (shared fd offset): workers
+        # re-open by path.  In-memory networks fork-inherit for free.
+        if network_path is not None and self._network_needs_reopen(network):
+            kwargs["network_path"] = network_path
+        else:
+            kwargs["network"] = network
+
+        if fingerprint is None:
+            fingerprint = snap.network_fingerprint(network)
+        kwargs["fingerprint"] = fingerprint
+
+        if snapshot_path is not None:
+            kwargs["estimator"] = "boundary"
+            kwargs["snapshot_path"] = str(snapshot_path)
+        elif isinstance(estimator, BoundaryNodeEstimator):
+            tables = getattr(estimator, "tables", None)
+            if tables is not None:
+                self._shared = snap.share_tables(tables, fingerprint)
+                kwargs["estimator"] = "boundary"
+                kwargs["shm_name"] = self._shared.name
+            else:
+                kwargs["estimator_obj"] = estimator
+        elif isinstance(estimator, NaiveEstimator) or estimator_kind == "naive":
+            kwargs["estimator"] = "naive"
+        elif estimator is not None:
+            kwargs["estimator_obj"] = estimator
+        elif estimator_kind == "boundary":
+            kwargs["estimator"] = "boundary"  # each worker precomputes locally
+        return kwargs
+
+    @staticmethod
+    def _network_needs_reopen(network) -> bool:
+        try:
+            from ..storage.ccam import CCAMStore
+        except ImportError:  # pragma: no cover
+            return False
+        return isinstance(network, CCAMStore)
+
+    def _start_worker(self, handle: _ShardHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        boot = WorkerBoot(
+            shard_id=handle.shard_id,
+            shard_count=self._shards,
+            config=self.config,
+            fault_plan=self._fault_plan,
+            **self._boot_kwargs,
+        )
+        process = self._ctx.Process(
+            target=run_worker,
+            args=(boot, child_conn),
+            name=f"repro-shard-{handle.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must not hold the child's pipe end open, or worker
+        # death would never surface as EOF on parent_conn.
+        child_conn.close()
+        try:
+            kind, _, payload = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            process.join(timeout=1.0)
+            raise ShardUnavailable(
+                handle.shard_id, f"worker died during boot ({exc})"
+            ) from exc
+        if kind != "ready":
+            process.join(timeout=1.0)
+            raise ShardUnavailable(
+                handle.shard_id,
+                f"boot failed: {payload.get('type')}: {payload.get('message')}",
+            )
+        with handle.lock:
+            handle.process = process
+            handle.conn = parent_conn
+            handle.boot_info = payload
+            handle.alive = True
+        handle.receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(handle,),
+            name=f"repro-shard-recv-{handle.shard_id}",
+            daemon=True,
+        )
+        handle.receiver.start()
+
+    # ------------------------------------------------------------------
+    # receive / restart
+    # ------------------------------------------------------------------
+    def _receive_loop(self, handle: _ShardHandle) -> None:
+        conn = handle.conn
+        while True:
+            try:
+                kind, req_id, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            with handle.lock:
+                waiter = handle.pending.pop(req_id, None)
+            if waiter is not None:
+                waiter.resolve(kind, payload)
+        handle.fail_pending("worker process exited")
+        if self._closed:
+            return
+        self.metrics.inc(
+            "shard_deaths_total", labels={"shard_id": str(handle.shard_id)}
+        )
+        if handle.restarts < self._restart_limit:
+            handle.restarts += 1
+            threading.Thread(
+                target=self._restart_worker,
+                args=(handle,),
+                name=f"repro-shard-restart-{handle.shard_id}",
+                daemon=True,
+            ).start()
+
+    def _restart_worker(self, handle: _ShardHandle) -> None:
+        try:
+            handle.process.join(timeout=5.0)
+        except Exception:
+            pass
+        if self._closed:
+            return
+        try:
+            self._start_worker(handle)
+        except (ReproError, OSError):
+            return  # stays dead; the ring routes around it
+        self.metrics.inc(
+            "shard_restarts_total", labels={"shard_id": str(handle.shard_id)}
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_timeout(self, request) -> float:
+        deadline = request.deadline
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is None:
+            return DEFAULT_DISPATCH_TIMEOUT + self._grace
+        return deadline + self._grace
+
+    def _send_query(self, handle: _ShardHandle, request) -> tuple[str, object]:
+        """One attempt on one shard; ``("down", reason)`` means failover."""
+        try:
+            req_id, waiter = handle.register()
+        except ShardUnavailable as exc:
+            return "down", str(exc)
+        try:
+            with handle.lock:
+                conn = handle.conn
+            with handle.send_lock:
+                conn.send(("query", req_id, request_to_wire(request)))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            handle.discard(req_id)
+            return "down", f"pipe send failed ({exc})"
+        if not waiter.event.wait(self._dispatch_timeout(request)):
+            handle.discard(req_id)
+            return "down", "no reply within dispatch window"
+        return waiter.kind, waiter.payload
+
+    def query(self, request) -> QueryResponse:
+        """Answer one request via the ring, failing over as needed."""
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        key = routing_key(request)
+        order = self._ring.preference(key)
+        skipped: list[int] = []
+        last_reason = "no shard available"
+        for sid in order:
+            handle = self._handles[sid]
+            if not handle.alive or not handle.breaker.allow():
+                skipped.append(sid)
+                last_reason = (
+                    "worker is down"
+                    if not handle.alive
+                    else "circuit breaker open"
+                )
+                continue
+            kind, payload = self._send_query(handle, request)
+            if kind == "down":
+                handle.breaker.record_failure()
+                skipped.append(sid)
+                last_reason = str(payload)
+                self.metrics.inc(
+                    "shard_dispatch_failures_total",
+                    labels={"shard_id": str(sid)},
+                )
+                continue
+            handle.breaker.record_success()
+            self.metrics.inc(
+                "shard_requests_total",
+                labels={"shard_id": str(sid), "mode": request.mode},
+            )
+            if kind == "err":
+                # A typed answer ("no path", "timeout", ...) — every
+                # shard would say the same; do not fail over.
+                raise rebuild_error(payload)
+            failed_over = bool(skipped)
+            if failed_over:
+                for failed_sid in skipped:
+                    self.metrics.inc(
+                        "shard_failover_total",
+                        labels={"shard_id": str(failed_sid)},
+                    )
+            return QueryResponse(
+                result=WireResult(payload["result"]),
+                cached=payload["cached"],
+                coalesced=payload["coalesced"],
+                elapsed_seconds=payload["elapsed_seconds"],
+                degraded=payload["degraded"] or failed_over,
+                stale=payload["stale"],
+                degraded_shard=order[0] if failed_over else None,
+            )
+        raise ShardUnavailable(order[0], last_reason)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _control(
+        self, handle: _ShardHandle, op: str, arg=None, timeout: float = 10.0
+    ):
+        req_id, waiter = handle.register()
+        try:
+            with handle.lock:
+                conn = handle.conn
+            with handle.send_lock:
+                conn.send(("control", req_id, op, arg))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            handle.discard(req_id)
+            raise ShardUnavailable(
+                handle.shard_id, f"pipe send failed ({exc})"
+            ) from exc
+        if not waiter.event.wait(timeout):
+            handle.discard(req_id)
+            raise ShardUnavailable(handle.shard_id, f"{op} timed out")
+        if waiter.kind == "ok":
+            return waiter.payload
+        if waiter.kind == "down":
+            raise ShardUnavailable(handle.shard_id, str(waiter.payload))
+        raise rebuild_error(waiter.payload)
+
+    def _broadcast(self, op: str, arg=None, timeout: float = 10.0) -> dict:
+        """``{shard_id: reply-or-None}`` — dead shards yield ``None``."""
+        replies: dict[int, object] = {}
+        for sid, handle in self._handles.items():
+            if not handle.alive:
+                replies[sid] = None
+                continue
+            try:
+                replies[sid] = self._control(handle, op, arg, timeout)
+            except ShardUnavailable:
+                replies[sid] = None
+        return replies
+
+    # ------------------------------------------------------------------
+    # service surface (mirrors AllFPService)
+    # ------------------------------------------------------------------
+    @property
+    def network(self):
+        return self._network
+
+    @property
+    def shard_count(self) -> int:
+        return self._shards
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def degraded(self) -> bool:
+        """Degraded when any shard is down, restarted-degraded, or its
+        breaker is not closed — mirrors the single-service semantics."""
+        for handle in self._handles.values():
+            if not handle.alive:
+                return True
+            if handle.boot_info.get("degraded"):
+                return True
+            if handle.breaker.state != "closed":
+                return True
+        return False
+
+    def shard_health(self) -> list[dict]:
+        """Per-shard state for ``/healthz`` aggregation."""
+        health = []
+        for sid, handle in sorted(self._handles.items()):
+            entry = {
+                "shard_id": sid,
+                "alive": handle.alive,
+                "breaker": handle.breaker.state,
+                "restarts": handle.restarts,
+                "pid": handle.boot_info.get("pid"),
+                "tables_mode": handle.boot_info.get("tables_mode"),
+            }
+            if handle.alive:
+                try:
+                    entry.update(self._control(handle, "healthz", timeout=5.0))
+                except (ShardUnavailable, ReproError):
+                    entry["alive"] = False
+                    entry["status"] = "down"
+            else:
+                entry["status"] = "down"
+            health.append(entry)
+        return health
+
+    def meminfo(self) -> dict:
+        """Per-shard private-RSS and table-transport info (benchmarks)."""
+        return self._broadcast("meminfo")
+
+    def invalidate(self, refresh_estimator: bool = False) -> int:
+        replies = self._broadcast("invalidate", refresh_estimator)
+        dropped = 0
+        for reply in replies.values():
+            if reply is not None:
+                dropped += reply["dropped"]
+                self._version = max(self._version, reply["version"])
+        return dropped
+
+    def install_faults(self, plan) -> None:
+        """Broadcast a fault plan to every live worker (chaos harness)."""
+        self._broadcast("install_faults", plan.as_dict())
+
+    def uninstall_faults(self) -> dict:
+        """Remove worker-side fault plans; ``{shard_id: {"fired": n}}``."""
+        return self._broadcast("uninstall_faults")
+
+    def stats(self) -> dict:
+        shard_stats = self._broadcast("stats")
+        return {
+            "shards": self._shards,
+            "alive": sum(1 for h in self._handles.values() if h.alive),
+            "restarts": {
+                sid: h.restarts for sid, h in self._handles.items()
+            },
+            "per_shard": shard_stats,
+        }
+
+    def render_metrics(self) -> str:
+        """Tier router metrics plus every live shard's exposition.
+
+        Worker samples already carry ``shard_id``/``shard_count`` const
+        labels, so the concatenated text has no colliding series.
+        """
+        parts = [self.metrics.render()]
+        for reply in self._broadcast("metrics", timeout=5.0).values():
+            if reply is not None:
+                parts.append(reply["text"])
+        return "\n".join(p for p in parts if p)
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill one worker (tests and the chaos harness)."""
+        handle = self._handles[shard_id]
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for handle in getattr(self, "_handles", {}).values():
+            if handle.alive:
+                try:
+                    self._control(handle, "close", timeout=2.0)
+                except (ShardUnavailable, ReproError):
+                    pass
+        for handle in getattr(self, "_handles", {}).values():
+            process = handle.process
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            handle.fail_pending("service closed")
+            conn = handle.conn
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

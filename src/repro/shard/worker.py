@@ -1,0 +1,441 @@
+"""The shard worker process: one :class:`AllFPService` behind a pipe.
+
+Each worker is a "dumb server" in the memcached sense — it owns no routing
+logic, just answers what arrives on its :class:`multiprocessing` pipe.  The
+parent-side router (:mod:`repro.shard.tier`) speaks a tiny tuple protocol:
+
+* ``("query", req_id, wire_request)`` → ``("ok", req_id, wire_response)``
+  or ``("err", req_id, error_descriptor)``
+* ``("control", req_id, op, arg)`` for healthz / metrics / stats /
+  invalidate / meminfo / fault install / close
+
+Results cross the pipe as their ``as_dict()`` payloads and errors as typed
+descriptors (class name + salient attributes) rather than pickled objects:
+exception classes with custom ``__init__`` signatures don't survive
+unpickling, and the dict forms are exactly what the HTTP layer serves
+anyway.  The parent rebuilds typed :class:`~repro.exceptions.ReproError`
+subclasses from the descriptors so ``isinstance`` checks (and the HTTP
+status mapping) behave identically with and without ``--shards``.
+
+Estimator tables arrive one of three ways, cheapest first:
+
+* ``snapshot_path`` — the worker ``mmap``s the RPRESNAP file read-only
+  (:func:`~repro.estimators.snapshot.map_tables`); all workers share one
+  page-cache copy;
+* ``shm_name`` — the worker attaches the parent's shared-memory image
+  (:func:`~repro.estimators.snapshot.attach_tables`), zero-copy unless
+  ``copy_tables`` deliberately materialises private arrays (the
+  benchmark's per-process baseline);
+* ``estimator_obj`` — a fork-inherited estimator object (tests and
+  in-memory runs without a snapshot).
+
+A failed table load degrades to the naive bound (still admissible → still
+exact answers) instead of refusing to boot, mirroring the single-process
+CLI behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from .. import reliability
+from ..core.runtime import QueryTimeout, SearchBudgetExceeded
+from ..core.results import SearchStats
+from ..estimators.naive import NaiveEstimator
+from ..exceptions import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    NoPathError,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
+from ..timeutil import TimeInterval
+
+#: Fault point fired on every received message; an injected error here
+#: simulates a hard worker crash (``os._exit``), which the chaos harness
+#: and the shard-smoke CI job use to exercise router failover.
+KILL_POINT = "repro.shard.worker.kill"
+
+
+@dataclass
+class WorkerBoot:
+    """Everything a worker needs to build its service (fork- and
+    spawn-safe: every field is picklable or ``None``)."""
+
+    shard_id: int
+    shard_count: int
+    config: object  # ServiceConfig (imported lazily to keep forks cheap)
+    network: object | None = None
+    network_path: str | None = None
+    estimator: str | None = None  # None | "naive" | "boundary"
+    estimator_obj: object | None = None
+    snapshot_path: str | None = None
+    shm_name: str | None = None
+    fingerprint: bytes | None = None
+    grid: int = 6
+    copy_tables: bool = False
+    fault_plan: object | None = None  # reliability.FaultPlan
+    degraded: bool = field(default=False)
+
+
+def private_rss_kb() -> int:
+    """This process's private resident set in kB.
+
+    ``smaps_rollup`` (Private_Clean + Private_Dirty) is the honest number
+    for the shared-memory comparison — mmap'ed/shm pages a worker merely
+    reads stay out of it; falls back to VmRSS, then 0 on exotic systems.
+    """
+    try:
+        total = 0
+        with open("/proc/self/smaps_rollup") as f:
+            for line in f:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    total += int(line.split()[1])
+        return total
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def _load_network(path: str):
+    """Open the worker's own network handle (never share a .ccam file
+    object across processes — the store's file offset would race)."""
+    from pathlib import Path
+
+    from ..network.io import load_network
+    from ..storage.ccam import CCAMStore
+
+    if Path(path).suffix == ".ccam":
+        return CCAMStore.open(path)
+    return load_network(path)
+
+
+def _build_estimator(network, boot: WorkerBoot):
+    """Returns ``(estimator, degraded, tables_info)``."""
+    from ..estimators.boundary import BoundaryNodeEstimator
+    from ..estimators import snapshot as snap
+
+    info = {
+        "tables_mode": "none",
+        "tables_bytes": 0,
+        "tables_rss_delta_kb": 0,
+    }
+    if boot.estimator_obj is not None:
+        tables = getattr(boot.estimator_obj, "tables", None)
+        info["tables_mode"] = "inherited"
+        info["tables_bytes"] = getattr(tables, "nbytes", 0)
+        return boot.estimator_obj, False, info
+    if boot.estimator is None:
+        return None, False, info
+    if boot.estimator == "naive":
+        info["tables_mode"] = "naive"
+        return NaiveEstimator(network), False, info
+
+    # boundary estimator over shared (or deliberately copied) tables
+    rss_before = private_rss_kb()
+    try:
+        if boot.snapshot_path is not None and not boot.copy_tables:
+            tables = snap.map_tables(boot.snapshot_path, boot.fingerprint)
+            mode = "mmap"
+        elif boot.shm_name is not None:
+            tables, _handle = snap.attach_tables(
+                boot.shm_name, boot.fingerprint, copy=boot.copy_tables
+            )
+            mode = "copy" if boot.copy_tables else "shm"
+        elif boot.snapshot_path is not None:
+            tables = snap.load_tables(boot.snapshot_path, boot.fingerprint)
+            mode = "copy"
+        else:
+            estimator = BoundaryNodeEstimator(network, boot.grid, boot.grid)
+            info["tables_mode"] = "local"
+            tables = estimator.tables
+            info["tables_bytes"] = getattr(tables, "nbytes", 0)
+            info["tables_rss_delta_kb"] = private_rss_kb() - rss_before
+            return estimator, False, info
+        estimator = BoundaryNodeEstimator(
+            network, tables.nx, tables.ny, tables.metric, tables=tables
+        )
+    except ReproError as exc:
+        # Graceful degradation, same contract as a single-process boot:
+        # serve exact answers on the (admissible) naive bound, flagged.
+        info["tables_mode"] = "fallback"
+        info["error"] = str(exc)
+        return NaiveEstimator(network), True, info
+    info["tables_mode"] = mode
+    info["tables_bytes"] = tables.nbytes
+    info["tables_rss_delta_kb"] = private_rss_kb() - rss_before
+    return estimator, False, info
+
+
+# ----------------------------------------------------------------------
+# Wire forms
+# ----------------------------------------------------------------------
+def request_to_wire(request) -> dict:
+    return {
+        "source": request.source,
+        "target": request.target,
+        "start": request.interval.start,
+        "end": request.interval.end,
+        "mode": request.mode,
+        "deadline": request.deadline,
+        "targets": request.targets,
+        "candidates": request.candidates,
+        "k": request.k,
+        "pairs": request.pairs,
+    }
+
+
+def request_from_wire(doc: dict):
+    from ..serve.service import QueryRequest
+
+    return QueryRequest(
+        source=doc["source"],
+        target=doc["target"],
+        interval=TimeInterval(doc["start"], doc["end"]),
+        mode=doc["mode"],
+        deadline=doc["deadline"],
+        targets=doc["targets"],
+        candidates=doc["candidates"],
+        k=doc["k"],
+        pairs=doc["pairs"],
+    )
+
+
+def response_to_wire(response) -> dict:
+    return {
+        "result": response.result.as_dict(),
+        "cached": response.cached,
+        "coalesced": response.coalesced,
+        "elapsed_seconds": response.elapsed_seconds,
+        "degraded": response.degraded,
+        "stale": response.stale,
+    }
+
+
+def describe_error(exc: BaseException) -> dict:
+    """A picklable descriptor the parent rebuilds a typed error from."""
+    attrs: dict = {}
+    if isinstance(exc, QueryTimeout):
+        attrs["deadline"] = exc.deadline
+    elif isinstance(exc, SearchBudgetExceeded):
+        attrs["budget"] = exc.budget
+        attrs["what"] = exc.what
+    elif isinstance(exc, NoPathError):
+        attrs["source"] = exc.source
+        attrs["target"] = exc.target
+    elif isinstance(exc, EdgeNotFoundError):
+        attrs["source"] = exc.source
+        attrs["target"] = exc.target
+    elif isinstance(exc, NodeNotFoundError):
+        attrs["node_id"] = exc.node_id
+    elif isinstance(exc, ServiceOverloaded):
+        attrs["pending"] = exc.pending
+        attrs["max_pending"] = exc.max_pending
+        attrs["retry_after"] = exc.retry_after
+    elif isinstance(exc, WorkerCrashed):
+        attrs["attempts"] = exc.attempts
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "repro": isinstance(exc, ReproError),
+        "attrs": attrs,
+    }
+
+
+def rebuild_error(desc: dict) -> ReproError:
+    """The typed error a descriptor stands for.
+
+    Known classes with structured constructors are rebuilt exactly (so
+    ``isinstance`` and the HTTP status mapping keep working); anything
+    else becomes a :class:`ServiceError` carrying the original text.
+    """
+    from .. import exceptions as exc_mod
+
+    name = desc.get("type", "ReproError")
+    message = desc.get("message", "")
+    attrs = desc.get("attrs", {})
+    if name == "QueryTimeout":
+        return QueryTimeout(
+            attrs.get("deadline", 0.0), SearchStats(timed_out=True)
+        )
+    if name == "SearchBudgetExceeded":
+        return SearchBudgetExceeded(
+            attrs.get("budget", 0), SearchStats(), attrs.get("what", "max_pops")
+        )
+    if name == "NoPathError":
+        return NoPathError(attrs.get("source", -1), attrs.get("target", -1))
+    if name == "EdgeNotFoundError":
+        return EdgeNotFoundError(attrs.get("source", -1), attrs.get("target", -1))
+    if name == "NodeNotFoundError":
+        return NodeNotFoundError(attrs.get("node_id", -1))
+    if name == "ServiceOverloaded":
+        return ServiceOverloaded(
+            attrs.get("pending", 0),
+            attrs.get("max_pending", 0),
+            attrs.get("retry_after", 0.05),
+        )
+    if name == "WorkerCrashed":
+        return WorkerCrashed(attrs.get("attempts", 1), message)
+    cls = getattr(exc_mod, name, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and desc.get("repro", False)
+    ):
+        try:
+            return cls(message)
+        except TypeError:
+            pass
+    return ServiceError(f"{name}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Worker main
+# ----------------------------------------------------------------------
+def run_worker(boot: WorkerBoot, conn) -> None:
+    """Process entry point: build the service, then serve the pipe.
+
+    Exit paths: a ``close`` control (clean), EOF on the pipe (parent
+    gone), an injected :data:`KILL_POINT` fault (``os._exit(1)``, the
+    simulated hard crash), or a boot failure reported as ``boot_error``.
+    """
+    if boot.fault_plan is not None:
+        reliability.install(boot.fault_plan)
+    from ..serve.service import AllFPService
+
+    try:
+        network = (
+            boot.network
+            if boot.network is not None
+            else _load_network(boot.network_path)
+        )
+        estimator, degraded, tables_info = _build_estimator(network, boot)
+        config = replace(
+            boot.config,
+            shard_id=boot.shard_id,
+            shard_count=boot.shard_count,
+        )
+        service = AllFPService(
+            network, estimator, config, degraded=degraded or boot.degraded
+        )
+    except BaseException as exc:  # noqa: BLE001 — report, then die
+        try:
+            conn.send(
+                ("boot_error", -1, {
+                    "type": type(exc).__name__, "message": str(exc),
+                })
+            )
+            conn.close()
+        except OSError:
+            pass
+        os._exit(3)
+
+    ready = {
+        "shard_id": boot.shard_id,
+        "pid": os.getpid(),
+        "degraded": service.degraded,
+        "rss_kb": private_rss_kb(),
+        **tables_info,
+    }
+    conn.send(("ready", -1, ready))
+
+    send_lock = threading.Lock()
+
+    def reply(kind: str, req_id: int, payload) -> None:
+        with send_lock:
+            try:
+                conn.send((kind, req_id, payload))
+            except (OSError, ValueError):
+                pass  # parent is gone; the recv loop will exit next
+
+    def handle_query(req_id: int, doc: dict) -> None:
+        try:
+            response = service.query(request_from_wire(doc))
+            reply("ok", req_id, response_to_wire(response))
+        except BaseException as exc:  # noqa: BLE001 — descriptors, not pickles
+            reply("err", req_id, describe_error(exc))
+
+    pool = ThreadPoolExecutor(
+        max_workers=max(2, service.config.workers),
+        thread_name_prefix=f"repro-shard-{boot.shard_id}",
+    )
+    running = True
+    while running:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            reliability.fire(KILL_POINT)
+        except BaseException:  # noqa: BLE001 — any injected error = crash
+            os._exit(1)
+        kind = message[0]
+        if kind == "query":
+            _, req_id, doc = message
+            pool.submit(handle_query, req_id, doc)
+            continue
+        _, req_id, op, arg = message
+        try:
+            if op == "close":
+                reply("ok", req_id, {})
+                running = False
+            elif op == "healthz":
+                reply("ok", req_id, {
+                    "shard_id": boot.shard_id,
+                    "pid": os.getpid(),
+                    "status": "degraded" if service.degraded else "ok",
+                    "degraded": service.degraded,
+                    "version": service.version,
+                })
+            elif op == "metrics":
+                reply("ok", req_id, {"text": service.render_metrics()})
+            elif op == "stats":
+                reply("ok", req_id, service.stats())
+            elif op == "invalidate":
+                dropped = service.invalidate(refresh_estimator=bool(arg))
+                reply("ok", req_id, {
+                    "dropped": dropped, "version": service.version,
+                })
+            elif op == "meminfo":
+                reply("ok", req_id, {
+                    "pid": os.getpid(),
+                    "rss_kb": private_rss_kb(),
+                    **tables_info,
+                })
+            elif op == "install_faults":
+                reliability.install(reliability.FaultPlan.from_dict(arg))
+                reply("ok", req_id, {})
+            elif op == "uninstall_faults":
+                fired = reliability.fired_total()
+                reliability.uninstall()
+                reply("ok", req_id, {"fired": fired})
+            else:
+                reply("err", req_id, {
+                    "type": "ServiceError",
+                    "message": f"unknown control op {op!r}",
+                    "repro": True,
+                    "attrs": {},
+                })
+        except BaseException as exc:  # noqa: BLE001
+            reply("err", req_id, describe_error(exc))
+    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        service.close()
+    except Exception:
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -190,9 +190,12 @@ class TestBatchService:
         assert response.result.items[0].reachable
 
     def test_metrics_labelled_by_mode(self, service, interval):
+        from repro.func import kernel
+
         service.batch([(0, 9)], interval)
         text = service.render_metrics()
-        assert 'responses_total{mode="batch",status="ok"}' in text
+        kb = f'kernel_backend="{kernel.active_backend()}"'
+        assert f'responses_total{{{kb},mode="batch",status="ok"}}' in text
 
 
 # ----------------------------------------------------------------------

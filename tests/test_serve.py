@@ -10,6 +10,7 @@ import urllib.request
 import pytest
 
 from repro.core.engine import IntAllFastestPaths, QueryTimeout
+from repro.func import kernel
 from repro.exceptions import (
     ServiceClosed,
     ServiceOverloaded,
@@ -535,15 +536,17 @@ class TestHTTP:
             assert status == 200
             ok += 1
         samples = parse_metrics(client.metrics_text())
-        assert samples['repro_requests_total{mode="allfp"}'] == ok
+        kb = f'kernel_backend="{kernel.active_backend()}"'
+        assert samples[f'repro_requests_total{{{kb},mode="allfp"}}'] == ok
         assert (
-            samples['repro_responses_total{mode="allfp",status="ok"}'] == ok
+            samples[f'repro_responses_total{{{kb},mode="allfp",status="ok"}}']
+            == ok
         )
         # Two of the five were repeats served from the result cache.
-        assert samples["repro_result_cache_hits_total"] == 2
-        assert samples["repro_engine_runs_total"] == 3
-        assert samples["repro_pending_requests"] == 0
-        count_key = 'repro_request_latency_seconds_count{mode="allfp"}'
+        assert samples[f"repro_result_cache_hits_total{{{kb}}}"] == 2
+        assert samples[f"repro_engine_runs_total{{{kb}}}"] == 3
+        assert samples[f"repro_pending_requests{{{kb}}}"] == 0
+        count_key = f'repro_request_latency_seconds_count{{{kb},mode="allfp"}}'
         assert samples[count_key] == ok
 
 

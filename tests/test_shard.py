@@ -1,0 +1,506 @@
+"""Sharded serve tier: hash ring, snapshot transports, router, failover."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.results import SearchStats
+from repro.core.runtime import QueryTimeout
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators import snapshot as snap
+from repro.exceptions import (
+    EstimatorError,
+    NodeNotFoundError,
+    NoPathError,
+    ServiceOverloaded,
+    ShardUnavailable,
+    WorkerCrashed,
+)
+from repro.serve import AllFPService, ServiceConfig, parse_metrics
+from repro.serve.chaos import _canonical, run_shard_chaos
+from repro.serve.service import QueryRequest
+from repro.shard import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    ShardedService,
+    describe_error,
+    rebuild_error,
+    routing_key,
+    stable_hash,
+)
+from repro.timeutil import TimeInterval
+from repro.workloads.queries import morning_rush_interval, random_queries
+
+
+@pytest.fixture
+def interval():
+    return TimeInterval.from_clock("7:00", "8:00")
+
+
+@pytest.fixture(scope="module")
+def tier(metro_tiny):
+    """One 2-shard tier over metro_tiny, shared-memory tables transport."""
+    estimator = BoundaryNodeEstimator(metro_tiny, 4, 4)
+    service = ShardedService(
+        metro_tiny,
+        estimator,
+        ServiceConfig(workers=2),
+        shards=2,
+        breaker_reset=0.5,
+    )
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def single(metro_tiny):
+    """The single-process reference the tier must agree with."""
+    service = AllFPService(
+        metro_tiny, BoundaryNodeEstimator(metro_tiny, 4, 4),
+        ServiceConfig(workers=2),
+    )
+    yield service
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_across_processes(self):
+        """The ring owes its cache affinity to sha256, not the per-process
+        salted ``hash()`` — the same keys map identically in a fresh
+        interpreter."""
+        keys = [f"src:{i}" for i in range(64)]
+        local = HashRing(range(4)).assignment(keys)
+        code = (
+            "import json, sys\n"
+            "from repro.shard import HashRing\n"
+            "keys = json.loads(sys.stdin.read())\n"
+            "print(json.dumps(HashRing(range(4)).assignment(keys)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            input=json.dumps(keys),
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        assert json.loads(out) == local
+
+    def test_balanced_assignment(self):
+        """No shard owns more than 2x the mean over 10k keys."""
+        keys = [f"src:{i}" for i in range(10_000)]
+        for shards in (2, 3, 4, 8):
+            ring = HashRing(range(shards))
+            counts = {sid: 0 for sid in range(shards)}
+            for owner in ring.assignment(keys).values():
+                counts[owner] += 1
+            mean = len(keys) / shards
+            assert max(counts.values()) < 2 * mean, (shards, counts)
+
+    def test_minimal_movement_on_removal(self):
+        """Removing a shard moves exactly the keys it owned — everyone
+        else keeps their shard (and their warm caches)."""
+        keys = [f"src:{i}" for i in range(10_000)]
+        ring = HashRing(range(4))
+        before = ring.assignment(keys)
+        ring.remove(1)
+        after = ring.assignment(keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        owned_by_removed = [k for k in keys if before[k] == 1]
+        assert set(moved) == set(owned_by_removed)
+        # this deterministic configuration also meets the ≤ keys/N bound
+        assert len(moved) <= len(keys) / 4
+        assert all(after[k] != 1 for k in keys)
+
+    def test_preference_walks_distinct_shards(self):
+        ring = HashRing(range(3))
+        order = ring.preference("src:42")
+        assert sorted(order) == [0, 1, 2]
+        assert ring.node_for("src:42") == order[0]
+
+    def test_add_is_idempotent_and_remove_unknown_is_noop(self):
+        ring = HashRing(range(2))
+        ring.add(1)
+        ring.remove(99)
+        assert ring.shard_ids == (0, 1)
+        with pytest.raises(ValueError, match="at least one"):
+            HashRing([])
+
+    def test_stable_hash_is_sha256_based(self):
+        assert stable_hash("x") == int.from_bytes(
+            __import__("hashlib").sha256(b"x").digest()[:8], "big"
+        )
+
+
+class TestRoutingKey:
+    def test_source_modes_share_a_key(self, interval):
+        allfp = QueryRequest(7, 9, interval)
+        profile = QueryRequest(7, None, interval, mode="profile")
+        knn = QueryRequest(
+            7, None, interval, mode="knn", candidates=(1, 2), k=1
+        )
+        assert (
+            routing_key(allfp)
+            == routing_key(profile)
+            == routing_key(knn)
+            == "src:7"
+        )
+
+    def test_singlefp_routes_by_pair(self, interval):
+        request = QueryRequest(3, 5, interval, mode="singlefp")
+        assert routing_key(request) == "pair:3:5"
+        assert routing_key(QueryRequest(5, 3, interval, mode="singlefp")) != (
+            routing_key(request)
+        )
+
+    def test_batch_routes_by_sorted_distinct_sources(self, interval):
+        a = QueryRequest(
+            5, None, interval, mode="batch", pairs=((5, 1), (0, 2), (5, 3))
+        )
+        b = QueryRequest(
+            0, None, interval, mode="batch", pairs=((0, 9), (5, 8))
+        )
+        assert routing_key(a) == routing_key(b) == "group:0,5"
+
+
+# ----------------------------------------------------------------------
+# Snapshot transports (mmap / shared memory)
+# ----------------------------------------------------------------------
+class TestSnapshotTransports:
+    @pytest.fixture(scope="class")
+    def snapshot(self, metro_tiny, tmp_path_factory):
+        estimator = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        path = tmp_path_factory.mktemp("snap") / "est.snap"
+        estimator.save_snapshot(path)
+        return path, snap.network_fingerprint(metro_tiny)
+
+    def test_map_tables_matches_load_tables(self, snapshot):
+        path, fp = snapshot
+        loaded = snap.load_tables(path, fp)
+        mapped = snap.map_tables(path, fp)
+        assert mapped.zero_copy and not loaded.zero_copy
+        assert mapped.nbytes == loaded.nbytes
+        for name in (
+            "node_ids", "node_cell", "to_boundary", "from_boundary", "cell_pair"
+        ):
+            assert list(getattr(mapped, name)) == list(getattr(loaded, name))
+
+    def test_mapped_tables_are_read_only(self, snapshot):
+        path, fp = snapshot
+        mapped = snap.map_tables(path, fp)
+        with pytest.raises(TypeError):
+            mapped.cell_pair[0] = 1.0
+
+    def test_share_and_attach_round_trip(self, snapshot, metro_tiny):
+        path, fp = snapshot
+        tables = snap.load_tables(path, fp)
+        shared = snap.share_tables(tables, fp)
+        try:
+            attached, handle = snap.attach_tables(shared.name, fp)
+            assert attached.zero_copy
+            assert list(attached.cell_pair) == list(tables.cell_pair)
+            estimator = BoundaryNodeEstimator(
+                metro_tiny, tables.nx, tables.ny, tables=attached
+            )
+            assert estimator.tables is attached
+            # release every view over the segment before detaching, the
+            # order the worker teardown follows too
+            del estimator, attached
+            import gc
+
+            gc.collect()
+            handle.close()
+        finally:
+            shared.close()
+
+    def test_attach_copy_mode_detaches_immediately(self, snapshot):
+        path, fp = snapshot
+        tables = snap.load_tables(path, fp)
+        shared = snap.share_tables(tables, fp)
+        try:
+            copied, handle = snap.attach_tables(shared.name, fp, copy=True)
+            assert not copied.zero_copy
+            assert list(copied.to_boundary) == list(tables.to_boundary)
+        finally:
+            shared.close()
+
+    def test_fingerprint_mismatch_rejected(self, snapshot):
+        path, _ = snapshot
+        with pytest.raises(EstimatorError, match="fingerprint"):
+            snap.map_tables(path, b"\x00" * 32)
+
+    def test_read_header_fields(self, snapshot):
+        path, fp = snapshot
+        header = snap.read_header(path)
+        assert header["version"] == 1
+        assert header["nx"] == header["ny"] == 3
+        assert header["cell_count"] == 9
+        assert header["fingerprint"] == fp.hex()
+        assert header["arrays"] == 5
+        assert header["file_bytes"] == path.stat().st_size
+
+    def test_read_header_detects_truncation(self, snapshot, tmp_path):
+        path, _ = snapshot
+        stub = tmp_path / "trunc.snap"
+        stub.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(EstimatorError, match="header implies"):
+            snap.read_header(stub)
+
+    def test_read_header_detects_bad_magic(self, snapshot, tmp_path):
+        path, _ = snapshot
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTASNAP"
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(EstimatorError, match="not an estimator snapshot"):
+            snap.read_header(bad)
+
+
+# ----------------------------------------------------------------------
+# Wire protocol: typed errors across the pipe
+# ----------------------------------------------------------------------
+class TestErrorWire:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            NodeNotFoundError(42),
+            NoPathError(3, 9),
+            ServiceOverloaded(65, 64, 0.1),
+            WorkerCrashed(2, "boom"),
+            QueryTimeout(1.5, SearchStats(timed_out=True)),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_round_trip_preserves_type(self, error):
+        rebuilt = rebuild_error(describe_error(error))
+        assert type(rebuilt) is type(error)
+
+    def test_attributes_survive(self):
+        rebuilt = rebuild_error(describe_error(NodeNotFoundError(42)))
+        assert rebuilt.node_id == 42
+        rebuilt = rebuild_error(describe_error(ServiceOverloaded(65, 64, 0.1)))
+        assert (rebuilt.pending, rebuilt.max_pending) == (65, 64)
+        assert rebuilt.retry_after == pytest.approx(0.1)
+        rebuilt = rebuild_error(describe_error(QueryTimeout(1.5, SearchStats(timed_out=True))))
+        assert rebuilt.deadline == pytest.approx(1.5)
+
+    def test_unknown_type_degrades_to_service_error(self):
+        from repro.exceptions import ServiceError
+
+        rebuilt = rebuild_error(
+            {"type": "SomethingNew", "message": "huh", "attrs": {}}
+        )
+        assert isinstance(rebuilt, ServiceError)
+        assert "SomethingNew" in str(rebuilt)
+
+
+# ----------------------------------------------------------------------
+# The tier end to end
+# ----------------------------------------------------------------------
+class TestShardedService:
+    def test_boot_health(self, tier):
+        health = tier.shard_health()
+        assert [h["shard_id"] for h in health] == [0, 1]
+        assert all(h["alive"] for h in health)
+        assert all(h["tables_mode"] == "shm" for h in health)
+        assert not tier.degraded
+
+    @pytest.mark.parametrize("mode", ["allfp", "singlefp", "profile", "knn", "batch"])
+    def test_answer_parity_with_single_process(
+        self, tier, single, interval, mode
+    ):
+        kwargs = {
+            "allfp": dict(target=99),
+            "singlefp": dict(target=42, mode="singlefp"),
+            "profile": dict(target=None, mode="profile", targets=(5, 27, 99)),
+            "knn": dict(
+                target=None, mode="knn", candidates=(12, 34, 56, 78), k=2
+            ),
+            "batch": dict(
+                target=None, mode="batch", pairs=((0, 9), (3, 7))
+            ),
+        }[mode]
+        request = QueryRequest(0, interval=interval, **kwargs)
+        sharded = tier.query(request)
+        reference = single.query(request)
+        assert _canonical(sharded.result) == _canonical(reference.result)
+        assert not sharded.degraded
+
+    def test_typed_error_crosses_the_pipe(self, tier, interval):
+        with pytest.raises(NodeNotFoundError) as exc_info:
+            tier.query(QueryRequest(10 ** 9, 5, interval))
+        assert exc_info.value.node_id == 10 ** 9
+
+    def test_metrics_carry_shard_labels(self, tier, interval):
+        tier.query(QueryRequest(1, 50, interval))
+        text = tier.render_metrics()
+        assert 'shard_id="0"' in text and 'shard_id="1"' in text
+        assert 'shard_count="2"' in text
+        assert "repro_shard_requests_total" in text
+        # the concatenated exposition stays parseable, no colliding series
+        samples = parse_metrics(text)
+        assert any("shard_id" in name for name in samples)
+
+    def test_result_cache_affinity(self, tier, interval):
+        request = QueryRequest(2, 88, interval)
+        first = tier.query(request)
+        second = tier.query(request)
+        assert not first.cached
+        assert second.cached  # same key -> same shard -> warm cache
+
+    def test_invalidate_broadcasts(self, tier, interval):
+        request = QueryRequest(3, 77, interval)
+        tier.query(request)
+        assert tier.invalidate() >= 1
+        assert not tier.query(request).cached
+
+    def test_stats_aggregates_shards(self, tier):
+        stats = tier.stats()
+        assert stats["shards"] == 2
+        assert set(stats["per_shard"]) == {0, 1}
+
+    def test_kill_failover_and_restart(self, metro_tiny, interval):
+        """The PR-5 ladder at shard level: kill -> failover (flagged
+        degraded, exact answer) -> automatic restart -> clean again."""
+        estimator = BoundaryNodeEstimator(metro_tiny, 4, 4)
+        tier = ShardedService(
+            metro_tiny,
+            estimator,
+            ServiceConfig(workers=2),
+            shards=2,
+            breaker_reset=0.2,
+        )
+        single = AllFPService(
+            metro_tiny,
+            BoundaryNodeEstimator(metro_tiny, 4, 4),
+            ServiceConfig(workers=2),
+        )
+        try:
+            request = None
+            for source in range(60):
+                candidate = QueryRequest(source, 99, interval)
+                if tier.ring.preference(routing_key(candidate))[0] == 0:
+                    request = candidate
+                    break
+            assert request is not None
+            tier.kill_shard(0)
+            response = tier.query(request)  # before the restart completes
+            assert response.degraded
+            assert response.degraded_shard == 0
+            assert _canonical(response.result) == _canonical(
+                single.query(request).result
+            )
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if all(h["alive"] for h in tier.shard_health()):
+                    break
+                time.sleep(0.05)
+            health = tier.shard_health()
+            assert all(h["alive"] for h in health), health
+            assert health[0]["restarts"] == 1
+            # breaker may need its reset window before closing again
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                response = tier.query(request)
+                if not response.degraded:
+                    break
+                time.sleep(0.05)
+            assert not response.degraded
+            assert response.degraded_shard is None
+        finally:
+            tier.close()
+            single.close()
+
+    def test_all_shards_down_raises_shard_unavailable(
+        self, metro_tiny, interval
+    ):
+        tier = ShardedService(
+            metro_tiny,
+            None,
+            ServiceConfig(workers=1),
+            shards=1,
+            restart_limit=0,
+        )
+        try:
+            tier.kill_shard(0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if not tier._handles[0].alive:
+                    break
+                time.sleep(0.02)
+            with pytest.raises(ShardUnavailable):
+                tier.query(QueryRequest(0, 99, interval))
+            assert tier.degraded
+        finally:
+            tier.close()
+
+    def test_close_is_idempotent(self, metro_tiny):
+        tier = ShardedService(metro_tiny, None, ServiceConfig(workers=1), shards=1)
+        tier.close()
+        tier.close()
+
+
+# ----------------------------------------------------------------------
+# Shard chaos
+# ----------------------------------------------------------------------
+class TestShardChaos:
+    def test_kill_one_shard_mid_run_invariant_holds(self, metro_tiny):
+        interval = morning_rush_interval(2.0)
+        queries = random_queries(metro_tiny, 16, interval, seed=1)
+        tier = ShardedService(
+            metro_tiny,
+            BoundaryNodeEstimator(metro_tiny, 4, 4),
+            ServiceConfig(workers=2),
+            shards=2,
+            breaker_reset=0.2,
+        )
+        try:
+            report = run_shard_chaos(
+                tier, queries, plan=None, clients=4, kill_delay=0.0
+            )
+        finally:
+            tier.close()
+        assert report.passed(), report.violations
+        assert report.requests == 16
+        assert report.fault_events >= 1
+
+
+# ----------------------------------------------------------------------
+# snapshot-info CLI
+# ----------------------------------------------------------------------
+class TestSnapshotInfoCLI:
+    @pytest.fixture(scope="class")
+    def snapshot_file(self, metro_tiny, tmp_path_factory):
+        estimator = BoundaryNodeEstimator(metro_tiny, 3, 3)
+        path = tmp_path_factory.mktemp("snapcli") / "est.snap"
+        estimator.save_snapshot(path)
+        return path
+
+    def test_prints_header_fields(self, snapshot_file, capsys):
+        assert main(["snapshot-info", "--snapshot", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "RPRESNAP v1" in out
+        assert "3x3" in out
+        assert "nodes: 100" in out
+        assert f"{snapshot_file.stat().st_size} bytes" in out
+
+    def test_corrupt_file_exits_2(self, snapshot_file, tmp_path, capsys):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(snapshot_file.read_bytes()[:64])
+        assert main(["snapshot-info", "--snapshot", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["snapshot-info", "--snapshot", str(tmp_path / "nope.snap")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
