@@ -48,6 +48,7 @@ KNOWN_BENCHMARKS = (
     "profile",
     "batch",
     "shard",
+    "overlay",
 )
 
 _REQUIRED_TOP_KEYS = ("benchmark", "schema_version", "python", "results")

@@ -42,19 +42,68 @@ from .timeutil import TimeInterval, format_duration, parse_clock
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    config = (
-        MetroConfig.paper_scale(seed=args.seed)
-        if args.paper_scale
-        else MetroConfig(
+    if args.metro_scale and args.paper_scale:
+        raise ReproError("--metro-scale and --paper-scale are mutually exclusive")
+    if args.metro_scale:
+        config = MetroConfig.metro_scale(seed=args.seed)
+    elif args.paper_scale:
+        config = MetroConfig.paper_scale(seed=args.seed)
+    else:
+        config = MetroConfig(
             width=args.width, height=args.height, spacing=args.spacing, seed=args.seed
         )
-    )
-    network = make_metro_network(config)
+    if args.format == "osm-text":
+        # Stream straight to disk: metro-scale graphs never materialize
+        # as Python objects on this path.
+        from .network.generator import emit_metro_lines
+
+        nodes = ways = 0
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for line in emit_metro_lines(config):
+                handle.write(line + "\n")
+                if line.startswith("node "):
+                    nodes += 1
+                elif line.startswith("way "):
+                    ways += 1
+        print(f"wrote {args.out}: {nodes} nodes, {ways} ways (importer text)")
+        return 0
+    if args.metro_scale:
+        # The object-graph generator would allocate ~100k node/edge objects
+        # twice over; go through the streaming importer instead.
+        from .network.generator import emit_metro_lines
+        from .network.importer import parse_lines
+
+        network, _ = parse_lines(emit_metro_lines(config))
+    else:
+        network = make_metro_network(config)
     save_network(network, args.out)
     print(
         f"wrote {args.out}: {network.node_count} nodes, "
         f"{network.edge_count} directed edges"
     )
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from .network.importer import import_network
+
+    network, stats = import_network(args.input)
+    if Path(args.out).suffix == ".ccam":
+        store = CCAMStore.build(network, args.out)
+        store.close()
+    else:
+        save_network(network, args.out)
+    print(
+        f"imported {args.input}: {stats.nodes} nodes, {stats.ways} ways, "
+        f"{stats.edges} directed edges "
+        f"({stats.highway_edges} highway, {stats.local_edges} local)"
+    )
+    if stats.skipped_duplicates or stats.skipped_self_loops:
+        print(
+            f"skipped: {stats.skipped_duplicates} duplicate edge(s), "
+            f"{stats.skipped_self_loops} self-loop(s)"
+        )
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -135,6 +184,120 @@ def _cmd_precompute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_overlay(args: argparse.Namespace) -> int:
+    """Build the multi-level overlay + boundary tables, write one v2 snapshot.
+
+    The output file serves double duty: ``--estimator-cache`` readers see the
+    ordinary boundary tables, ``--overlay-cache`` readers ``mmap`` the
+    appended overlay section.
+    """
+    from .estimators import snapshot as snap
+    from .hierarchy import MultiLevelOverlay
+
+    network = _open_network(args.network)
+    if isinstance(network, CCAMStore):
+        raise ReproError(
+            "overlay construction needs the full graph; "
+            "pass the .json network instead of a .ccam database"
+        )
+    horizon = TimeInterval(0.0, args.horizon_hours * 60.0)
+    estimator = BoundaryNodeEstimator(
+        network, args.grid, args.grid, workers=args.workers
+    )
+    estimator.precompute()
+    tables = estimator.tables
+    if tables is None:
+        raise ReproError("overlay snapshots require the 'array' precompute backend")
+    overlay = MultiLevelOverlay.build(
+        network,
+        levels=args.levels,
+        nx=args.overlay_grid,
+        fanout=args.fanout,
+        horizon=horizon,
+        workers=args.workers,
+    )
+    snap.save_tables(
+        tables, args.out, snap.network_fingerprint(network), overlay=overlay
+    )
+    size = Path(args.out).stat().st_size
+    print(
+        f"wrote {args.out}: RPRESNAP v2, {size} bytes "
+        f"(estimator {args.grid}x{args.grid}, overlay below)"
+    )
+    for level in overlay.levels:
+        nx, ny = overlay.level_dims(level.level)
+        print(
+            f"level {level.level}: {nx}x{ny} cells, "
+            f"{level.shortcut_count} shortcuts, "
+            f"{level.breakpoint_count} breakpoints"
+        )
+    print(
+        f"build: {overlay.stats.build_seconds:.2f}s "
+        f"({args.workers} worker(s), "
+        f"{sum(lv.profile_searches for lv in overlay.stats.levels)} "
+        f"profile searches)"
+    )
+    return 0
+
+
+def _overlay_for(network, args: argparse.Namespace, estimator=None):
+    """Honor ``--overlay-levels``/``--overlay-cache`` (None = overlay off).
+
+    Mirrors :func:`_boundary_estimator`'s cache semantics: an existing cache
+    file is mapped (fingerprint-checked, zero-copy); a missing one with
+    ``--overlay-levels N`` triggers an in-process build, persisted as a
+    combined v2 snapshot when a cache path was given.
+    """
+    cache = getattr(args, "overlay_cache", None)
+    levels = getattr(args, "overlay_levels", 0)
+    if not cache and levels <= 0:
+        return None
+    from .estimators import snapshot as snap
+
+    if cache and Path(cache).exists():
+        overlay = snap.map_overlay(cache, network)
+        print(
+            f"overlay cache hit: {cache} ({overlay.level_count} level(s), "
+            f"{sum(lv.shortcut_count for lv in overlay.levels)} shortcuts)",
+            file=sys.stderr,
+        )
+        return overlay
+    if levels <= 0:
+        raise ReproError(
+            f"overlay cache {cache} does not exist; pass --overlay-levels N "
+            "to build it (or repro-allfp build-overlay)"
+        )
+    from .hierarchy import MultiLevelOverlay
+
+    overlay = MultiLevelOverlay.build(
+        network, levels=levels, workers=getattr(args, "precompute_workers", 1)
+    )
+    if cache:
+        tables = getattr(estimator, "tables", None)
+        if tables is None:
+            # A v2 snapshot always carries estimator tables in front of the
+            # overlay section; build the boundary tables if the query ran
+            # on another estimator.
+            helper = BoundaryNodeEstimator(network, args.grid, args.grid)
+            helper.precompute()
+            tables = helper.tables
+        snap.save_tables(
+            tables, cache, snap.network_fingerprint(network), overlay=overlay
+        )
+        print(
+            f"overlay cache miss: built {overlay.level_count} level(s) in "
+            f"{overlay.stats.build_seconds:.2f}s and wrote {cache}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"overlay: built {overlay.level_count} level(s) in "
+            f"{overlay.stats.build_seconds:.2f}s",
+            file=sys.stderr,
+        )
+    return overlay
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     network = _open_network(args.network)
     interval = TimeInterval(
@@ -162,8 +325,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
             estimator = _boundary_estimator(network, args)
     else:
         estimator = NaiveEstimator(network)
+    overlay = None
+    if backward:
+        if getattr(args, "overlay_cache", None) or getattr(
+            args, "overlay_levels", 0
+        ):
+            print(
+                "note: the overlay is ignored with --constraint arrival "
+                "(shortcuts store forward arrival functions)",
+                file=sys.stderr,
+            )
+    else:
+        overlay = _overlay_for(network, args, estimator)
     if backward:
         engine = ArrivalIntAllFastestPaths(network, estimator)
+    elif overlay is not None:
+        from .hierarchy.engine import OverlayEngine
+
+        engine = OverlayEngine(overlay, estimator)
     else:
         engine = IntAllFastestPaths(network, estimator)
     if args.mode == "singlefp":
@@ -352,6 +531,8 @@ def _build_service(args: argparse.Namespace):
     network = _open_network(args.network)
     estimator = None
     snapshot_path = None
+    overlay = None
+    overlay_path = None
     degraded = False
     if args.estimator == "boundary":
         if isinstance(network, CCAMStore):
@@ -379,6 +560,22 @@ def _build_service(args: argparse.Namespace):
                         file=sys.stderr,
                     )
                     degraded = True
+    overlay_cache = getattr(args, "overlay_cache", None)
+    overlay_levels = getattr(args, "overlay_levels", 0)
+    if shards > 0 and (overlay_cache or overlay_levels > 0):
+        if overlay_cache and not Path(overlay_cache).exists():
+            # Build it now so every worker can mmap the same file.
+            _overlay_for(network, args, estimator)
+        if overlay_cache and Path(overlay_cache).exists():
+            overlay_path = overlay_cache
+        else:
+            print(
+                "note: --overlay-levels with --shards needs --overlay-cache "
+                "(workers mmap the snapshot); running without the overlay",
+                file=sys.stderr,
+            )
+    elif shards == 0:
+        overlay = _overlay_for(network, args, estimator)
     config = ServiceConfig(
         workers=args.workers,
         max_pending=args.max_pending,
@@ -400,10 +597,13 @@ def _build_service(args: argparse.Namespace):
             shards=shards,
             network_path=args.network,
             snapshot_path=snapshot_path,
+            overlay_path=overlay_path,
             grid=args.grid,
             degraded=degraded,
         )
-    return AllFPService(network, estimator, config, degraded=degraded)
+    return AllFPService(
+        network, estimator, config, degraded=degraded, overlay=overlay
+    )
 
 
 def _service_counters(service) -> dict:
@@ -614,6 +814,26 @@ def _cmd_snapshot_info(args: argparse.Namespace) -> int:
     print(f"arrays: {header['arrays']}")
     print(f"precompute: {header['precompute_seconds']:.2f}s")
     print(f"size: {header['file_bytes']} bytes")
+    overlay = header.get("overlay")
+    if overlay is not None:
+        base_nx, base_ny = overlay["base_grid"]
+        lo, hi = overlay["horizon"]
+        print(
+            f"overlay: {overlay['levels']} level(s), base grid "
+            f"{base_nx}x{base_ny}, fanout {overlay['fanout']}, "
+            f"horizon [{lo:.1f}, {hi:.1f}] min, "
+            f"build {overlay['build_seconds']:.2f}s"
+        )
+        for level in overlay["level_details"]:
+            print(
+                f"  level {level['level']}: {level['nx']}x{level['ny']} "
+                f"({level['cells']} cells), "
+                f"{level['boundary_nodes']} boundary nodes, "
+                f"{level['shortcuts']} shortcuts, "
+                f"{level['breakpoints']} breakpoints, "
+                f"{level['profile_searches']} profile searches, "
+                f"{level['build_seconds']:.2f}s"
+            )
     return 0
 
 
@@ -652,7 +872,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper-matching 14.5k-node configuration",
     )
+    gen.add_argument(
+        "--metro-scale",
+        action="store_true",
+        help="emit the 100k+-node metro configuration through the "
+        "streaming generator",
+    )
+    gen.add_argument(
+        "--format",
+        choices=("json", "osm-text"),
+        default="json",
+        help="output format: .json network or importer node/way text",
+    )
     gen.set_defaults(func=_cmd_generate)
+
+    imp = sub.add_parser(
+        "import",
+        help="stream an OSM-flavored node/way text file into a network",
+    )
+    imp.add_argument("input", help="node/way text file (see docs/hierarchy.md)")
+    imp.add_argument(
+        "--out",
+        required=True,
+        help="output path: .ccam builds a disk database, anything else "
+        "writes the .json network",
+    )
+    imp.set_defaults(func=_cmd_import)
 
     build = sub.add_parser("build-ccam", help="build a CCAM disk database")
     build.add_argument("--network", required=True, help="input .json network")
@@ -694,6 +939,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prep.set_defaults(func=_cmd_precompute)
 
+    def add_overlay_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--overlay-levels",
+            type=int,
+            default=0,
+            metavar="N",
+            help="answer through an N-level overlay hierarchy (0 = off)",
+        )
+        p.add_argument(
+            "--overlay-cache",
+            default=None,
+            metavar="PATH",
+            help="v2 snapshot with an overlay section: mmap it when "
+            "present (fingerprint-checked), build and write it when "
+            "missing and --overlay-levels > 0",
+        )
+
+    build_ov = sub.add_parser(
+        "build-overlay",
+        help="build a multi-level overlay and write a v2 snapshot "
+        "(estimator tables + overlay in one file)",
+    )
+    build_ov.add_argument("--network", required=True, help="input .json network")
+    build_ov.add_argument("--out", required=True, help="output snapshot path")
+    build_ov.add_argument(
+        "--levels", type=int, default=2, help="overlay level count"
+    )
+    build_ov.add_argument(
+        "--grid", type=int, default=6, help="boundary-estimator grid size"
+    )
+    build_ov.add_argument(
+        "--overlay-grid",
+        type=int,
+        default=8,
+        help="base partition size for level 0 (coarsened by --fanout per level)",
+    )
+    build_ov.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="cells merged per axis at each level",
+    )
+    build_ov.add_argument(
+        "--horizon-hours",
+        type=float,
+        default=48.0,
+        help="departure-time coverage of the shortcut functions",
+    )
+    build_ov.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the per-cell profile-search fan-out",
+    )
+    build_ov.set_defaults(func=_cmd_build_overlay)
+
     query = sub.add_parser("query", help="run an allFP or singleFP query")
     query.add_argument("--network", required=True, help=".json or .ccam input")
     query.add_argument("--source", type=int, required=True)
@@ -714,6 +1015,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--grid", type=int, default=6, help="boundary grid size")
     add_estimator_cache_flags(query)
+    add_overlay_flags(query)
     query.set_defaults(func=_cmd_query)
 
     profile = sub.add_parser(
@@ -782,6 +1084,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--grid", type=int, default=6, help="boundary grid size")
         add_estimator_cache_flags(p)
+        add_overlay_flags(p)
         p.add_argument("--workers", type=int, default=4)
         p.add_argument(
             "--max-pending",

@@ -65,6 +65,18 @@ class DominanceStore:
             )
         return xs, ys
 
+    def max_at(self, node: int) -> float:
+        """Largest value of the node's envelope (``inf`` when empty).
+
+        Envelopes are pointwise minima of non-decreasing arrival functions,
+        hence non-decreasing themselves: the maximum is the last ordinate.
+        A candidate label whose arrival is everywhere at or above this value
+        is dominated without comparing functions — the engine uses it as a
+        scalar pre-test before composing a new arrival at all.
+        """
+        env = self._envelopes.get(node)
+        return float("inf") if env is None else env[1][-1]
+
     def is_dominated(self, node: int, arrival: MonotonePiecewiseLinear) -> bool:
         """True when ``arrival`` is nowhere strictly below the node's envelope."""
         env = self._envelopes.get(node)

@@ -32,7 +32,7 @@ from ..exceptions import NoPathError, QueryError
 from ..func.envelope import AnnotatedEnvelope
 from ..func.monotone import identity
 from ..timeutil import EPS, TimeInterval
-from .dominance import DominanceStore
+from .dominance import _DOM_TOL, DominanceStore
 from .labels import LabelQueue, PathLabel
 from .results import (
     AllFPEntry,
@@ -208,6 +208,12 @@ class IntAllFastestPaths:
         queue.push(PathLabel.make((source,), identity(lo, hi), est(source)))
         stats.labels_generated += 1
 
+        # Hierarchical query graphs can trim a label's out-edges using the
+        # node it arrived from (e.g. suppressing chained same-cell
+        # shortcuts); plain networks just ignore the predecessor.
+        outgoing_from = getattr(self._network, "outgoing_from", None)
+        outgoing = self._network.outgoing
+
         while queue:
             label = queue.pop()
             if label.f_min >= border.max_value() - EPS:
@@ -230,10 +236,40 @@ class IntAllFastestPaths:
             run.tick()
 
             arr_lo, arr_hi = label.arrival.value_range
-            for edge in self._network.outgoing(label.end):
+            travel_lb = label.f_min - label.estimate
+            path = label.path
+            edges = (
+                outgoing(label.end)
+                if outgoing_from is None
+                else outgoing_from(
+                    label.end, path[-2] if len(path) > 1 else None
+                )
+            )
+            for edge in edges:
                 if edge.target in label.path:
                     continue  # FIFO makes non-simple paths never faster
                 stats.labels_generated += 1
+                # Overlay shortcuts carry a precomputed fastest traversal;
+                # a label that cannot beat the border even at that speed
+                # skips the compose entirely (a lower bound on the full
+                # f_min check below, so exactness is untouched).
+                mtt = getattr(edge, "min_tt", None)
+                if (
+                    mtt is not None
+                    and travel_lb + mtt + est(edge.target)
+                    >= border.max_value() - EPS
+                ):
+                    stats.pruned_bound += 1
+                    continue
+                # Scalar dominance pre-test: the composed arrival will be
+                # everywhere >= arr_lo + (the edge's fastest traversal), so
+                # when the target's envelope never exceeds that the label is
+                # dominated before it exists — no compose, no allocation.
+                if self._prune and arr_lo + (mtt or 0.0) >= dominance.max_at(
+                    edge.target
+                ) - _DOM_TOL:
+                    stats.pruned_dominated += 1
+                    continue
                 edge_fn = run.edge_arrival(edge, arr_lo, arr_hi)
                 new_arrival = edge_fn.compose(label.arrival).simplify()
                 if self._prune and dominance.is_dominated(

@@ -23,6 +23,23 @@ from_boundary, cell_pair``.  The fingerprint pins a snapshot to one exact
 network (nodes, edges, distances, speed patterns, calendar); loading against
 anything else refuses with a clear error instead of silently serving bounds
 that may no longer be admissible.
+
+**Version 2** appends an optional multi-level overlay section after the
+estimator arrays, so one file warm-boots both the boundary estimator and
+the hierarchy (see ``docs/hierarchy.md``):
+
+.. code-block:: text
+
+    ovly magic     4 bytes  b"OVLY"
+    level_count    u16      | base_nx u16 | base_ny u16 | fanout u16
+    horizon_lo/hi  f64 f64
+    build_secs     f64
+    per level:     nx u16 | ny u16 | cells u32 | boundary u32
+                   | build_secs f64 | searches u64
+                   5 × array: src(q) dst(q) off(q) xs(d) ys(d)
+
+Version-1 files (no overlay) remain byte-identical to what this module has
+always written; the reader accepts both versions.
 """
 
 from __future__ import annotations
@@ -48,10 +65,26 @@ from .precompute import (
 )
 
 MAGIC = b"RPRESNAP"
+#: Version written when no overlay is attached (the historical format).
 SNAPSHOT_VERSION = 1
+#: Version written when an overlay section follows the estimator arrays.
+SNAPSHOT_VERSION_OVERLAY = 2
+_SUPPORTED_VERSIONS = (SNAPSHOT_VERSION, SNAPSHOT_VERSION_OVERLAY)
 
 _HEADER = struct.Struct("<8sHBBHHIIdd32s")
 _ARRAY_HEADER = struct.Struct("<BBQ")
+
+OVERLAY_MAGIC = b"OVLY"
+_OVERLAY_HEADER = struct.Struct("<4sHHHHddd")
+_LEVEL_HEADER = struct.Struct("<HHIIdQ")
+#: (name, typecode) of the five flat stores of one overlay level.
+_LEVEL_ARRAY_SPECS = (
+    ("src", "q"),
+    ("dst", "q"),
+    ("off", "q"),
+    ("xs", "d"),
+    ("ys", "d"),
+)
 
 _METRIC_CODES = {"time": 0, "distance": 1}
 _METRIC_NAMES = {code: name for name, code in _METRIC_CODES.items()}
@@ -107,8 +140,43 @@ def _write_array(out, arr) -> None:
     out.write(arr.tobytes())
 
 
+def _write_overlay_section(out, overlay) -> None:
+    """Append the v2 overlay section for a ``MultiLevelOverlay``."""
+    horizon = overlay.horizon
+    out.write(
+        _OVERLAY_HEADER.pack(
+            OVERLAY_MAGIC,
+            overlay.level_count,
+            overlay.grid.shape[0],
+            overlay.grid.shape[1],
+            overlay.fanout,
+            horizon.start,
+            horizon.end,
+            overlay.stats.build_seconds,
+        )
+    )
+    for level in overlay.levels:
+        stats = level.stats
+        out.write(
+            _LEVEL_HEADER.pack(
+                level.nx,
+                level.ny,
+                stats.cells,
+                stats.boundary_nodes,
+                stats.build_seconds,
+                stats.profile_searches,
+            )
+        )
+        for arr in (level.src, level.dst, level.off, level.xs, level.ys):
+            reliability.fire("repro.estimators.snapshot.save")
+            _write_array(out, arr)
+
+
 def save_tables(
-    tables: EstimatorTables, path: str | Path, fingerprint: bytes
+    tables: EstimatorTables,
+    path: str | Path,
+    fingerprint: bytes,
+    overlay=None,
 ) -> None:
     """Write ``tables`` to ``path`` in the versioned binary format.
 
@@ -116,6 +184,10 @@ def save_tables(
     are fsynced, and only then renamed over ``path`` with ``os.replace``.
     A process killed mid-save leaves either the old snapshot or no
     snapshot — never a truncated ``RPRESNAP`` file.
+
+    With ``overlay`` (a :class:`~repro.hierarchy.overlay.MultiLevelOverlay`)
+    the file is written as version 2 with the overlay section appended;
+    without it the output is byte-identical to the historical version 1.
     """
     if len(fingerprint) != 32:
         raise EstimatorError("network fingerprint must be a 32-byte sha256")
@@ -126,7 +198,9 @@ def save_tables(
             out.write(
                 _HEADER.pack(
                     MAGIC,
-                    SNAPSHOT_VERSION,
+                    SNAPSHOT_VERSION
+                    if overlay is None
+                    else SNAPSHOT_VERSION_OVERLAY,
                     0 if sys.byteorder == "little" else 1,
                     _METRIC_CODES[tables.metric],
                     tables.nx,
@@ -147,6 +221,8 @@ def save_tables(
             ):
                 reliability.fire("repro.estimators.snapshot.save")
                 _write_array(out, arr)
+            if overlay is not None:
+                _write_overlay_section(out, overlay)
             out.flush()
             os.fsync(out.fileno())
         os.replace(tmp, path)
@@ -199,10 +275,11 @@ def _parse_header(reader: _BufReader) -> dict:
     ) = _HEADER.unpack(bytes(reader.take(_HEADER.size, "header")))
     if magic != MAGIC:
         raise EstimatorError(f"{source}: not an estimator snapshot")
-    if version != SNAPSHOT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise EstimatorError(
             f"{source}: unsupported snapshot version {version} "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"(this build reads versions "
+            f"{' and '.join(str(v) for v in _SUPPORTED_VERSIONS)})"
         )
     metric = _METRIC_NAMES.get(metric_code)
     if metric is None:
@@ -365,6 +442,191 @@ def map_tables(path: str | Path, fingerprint: bytes) -> EstimatorTables:
         except BufferError:
             # A view created by the failed parse is still referenced from
             # the traceback; the mapping unmaps when the exception dies.
+            pass
+        raise
+
+
+def _skip_arrays(reader: _BufReader, count: int) -> list[tuple[str, int]]:
+    """Advance past ``count`` encoded arrays, returning (typecode, len)."""
+    seen = []
+    for _ in range(count):
+        typecode_byte, itemsize, n = _ARRAY_HEADER.unpack(
+            bytes(reader.take(_ARRAY_HEADER.size, "array header"))
+        )
+        reader.take(itemsize * n, "array payload")
+        seen.append((chr(typecode_byte), n))
+    return seen
+
+
+def _parse_overlay_section(reader: _BufReader, network, swap: bool, copy: bool):
+    """Parse the v2 overlay section into a ``MultiLevelOverlay``."""
+    source = reader.source
+    (
+        magic,
+        level_count,
+        base_nx,
+        base_ny,
+        fanout,
+        horizon_lo,
+        horizon_hi,
+        build_seconds,
+    ) = _OVERLAY_HEADER.unpack(
+        bytes(reader.take(_OVERLAY_HEADER.size, "overlay header"))
+    )
+    if magic != OVERLAY_MAGIC:
+        raise EstimatorError(
+            f"{source}: corrupt snapshot: bad overlay section magic"
+        )
+    if level_count < 1 or fanout < 2 or base_nx < 1 or base_ny < 1:
+        raise EstimatorError(
+            f"{source}: corrupt snapshot: implausible overlay header "
+            f"({level_count} levels, {base_nx}x{base_ny} grid, "
+            f"fanout {fanout})"
+        )
+    # Deferred import: the hierarchy package imports this module's loaders.
+    from ..exceptions import QueryError
+    from ..hierarchy.overlay import (
+        LevelStats,
+        MultiLevelOverlay,
+        OverlayLevel,
+        OverlayStats,
+    )
+    from ..timeutil import TimeInterval
+    from .grid import GridPartition
+
+    grid = GridPartition(network, base_nx, base_ny)
+    levels = []
+    stats = OverlayStats(build_seconds=build_seconds)
+    for k in range(level_count):
+        (nx, ny, cells, boundary_nodes, level_seconds, searches) = (
+            _LEVEL_HEADER.unpack(
+                bytes(
+                    reader.take(_LEVEL_HEADER.size, f"overlay level {k} header")
+                )
+            )
+        )
+        arrays = {
+            name: _parse_array(
+                reader, typecode, swap, copy, f"overlay level {k} {name}"
+            )
+            for name, typecode in _LEVEL_ARRAY_SPECS
+        }
+        level_stats = LevelStats(
+            level=k,
+            nx=nx,
+            ny=ny,
+            cells=cells,
+            boundary_nodes=boundary_nodes,
+            shortcuts=len(arrays["src"]),
+            breakpoints=len(arrays["xs"]),
+            profile_searches=searches,
+            build_seconds=level_seconds,
+        )
+        try:
+            level = OverlayLevel(
+                k,
+                nx,
+                ny,
+                arrays["src"],
+                arrays["dst"],
+                arrays["off"],
+                arrays["xs"],
+                arrays["ys"],
+                level_stats,
+            )
+        except QueryError as exc:
+            raise EstimatorError(
+                f"{source}: corrupt snapshot: {exc}"
+            ) from None
+        levels.append(level)
+        stats.levels.append(level_stats)
+    if reader.offset != len(reader.buf):
+        raise EstimatorError(
+            f"{source}: corrupt snapshot: "
+            f"{len(reader.buf) - reader.offset} trailing bytes after overlay"
+        )
+    return MultiLevelOverlay(
+        network,
+        grid,
+        fanout,
+        TimeInterval(horizon_lo, horizon_hi),
+        levels,
+        stats,
+    )
+
+
+def _overlay_from_buffer(
+    buf, network, *, source: str, copy: bool, owner: object | None
+):
+    view = memoryview(buf)
+    if not view.readonly and not copy:
+        view = view.toreadonly()
+    reader = _BufReader(view, source)
+    header = _parse_header(reader)
+    if header["version"] != SNAPSHOT_VERSION_OVERLAY:
+        raise EstimatorError(
+            f"{source}: snapshot has no overlay section (version "
+            f"{header['version']}); build one with `repro-allfp "
+            "build-overlay`"
+        )
+    if header["fingerprint"] != network_fingerprint(network):
+        raise EstimatorError(
+            f"{source}: snapshot was built for a different network "
+            "(fingerprint mismatch); re-run `repro-allfp build-overlay`"
+        )
+    swap = (header["byteorder"] == "big") != (sys.byteorder == "big")
+    if swap:
+        copy = True  # cannot view foreign-endian payloads in place
+    _skip_arrays(reader, len(_ARRAY_SPECS))
+    overlay = _parse_overlay_section(reader, network, swap, copy)
+    if not copy:
+        # The arrays are views over the caller's buffer: keep it mapped for
+        # the overlay's lifetime (same idiom as EstimatorTables).
+        overlay._buffer_owner = owner
+    return overlay
+
+
+def load_overlay(path: str | Path, network):
+    """Read the overlay section of a v2 snapshot into private arrays.
+
+    Verifies the fingerprint against ``network`` and raises
+    :class:`EstimatorError` (one line) on a missing file, a version-1
+    snapshot, truncation, or any corruption.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as f:
+            reliability.fire("repro.estimators.snapshot.load")
+            data = f.read()
+    except OSError as exc:
+        raise EstimatorError(f"cannot open estimator snapshot: {exc}") from None
+    return _overlay_from_buffer(
+        data, network, source=str(path), copy=True, owner=None
+    )
+
+
+def map_overlay(path: str | Path, network):
+    """Zero-copy overlay load: shortcut arrays are views over an ``mmap``.
+
+    N serve workers mapping the same snapshot share one page-cache copy of
+    every level's shortcut functions; per-node edge objects still
+    materialise lazily per process, but only for nodes a query touches.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as f:
+            reliability.fire("repro.estimators.snapshot.load")
+            mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise EstimatorError(f"cannot map estimator snapshot: {exc}") from None
+    try:
+        return _overlay_from_buffer(
+            mapped, network, source=str(path), copy=False, owner=mapped
+        )
+    except BaseException:
+        try:
+            mapped.close()
+        except BufferError:
             pass
         raise
 
@@ -532,12 +794,93 @@ def read_header(path: str | Path) -> dict:
         _ARRAY_HEADER.size + counts[name] * array(typecode).itemsize
         for name, typecode in _ARRAY_SPECS
     )
-    if size != expected:
-        raise EstimatorError(
-            f"{path}: corrupt snapshot: file is {size} bytes, header "
-            f"implies {expected}"
-        )
+    if header["version"] == SNAPSHOT_VERSION:
+        if size != expected:
+            raise EstimatorError(
+                f"{path}: corrupt snapshot: file is {size} bytes, header "
+                f"implies {expected}"
+            )
+    else:
+        header["overlay"] = _read_overlay_header(path, size, expected)
     header["fingerprint"] = header["fingerprint"].hex()
     header["arrays"] = len(_ARRAY_SPECS)
     header["file_bytes"] = size
     return header
+
+
+def _read_overlay_header(path: Path, size: int, estimator_bytes: int) -> dict:
+    """Walk a v2 file's overlay section for ``snapshot-info`` (no network).
+
+    Validates structure and total size; returns the section summary.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise EstimatorError(f"cannot open estimator snapshot: {exc}") from None
+    reader = _BufReader(memoryview(data), str(path))
+    reader.take(_HEADER.size, "header")
+    _skip_arrays(reader, len(_ARRAY_SPECS))
+    if reader.offset != estimator_bytes:
+        raise EstimatorError(
+            f"{path}: corrupt snapshot: estimator arrays occupy "
+            f"{reader.offset - _HEADER.size} bytes, header implies "
+            f"{estimator_bytes - _HEADER.size}"
+        )
+    (
+        magic,
+        level_count,
+        base_nx,
+        base_ny,
+        fanout,
+        horizon_lo,
+        horizon_hi,
+        build_seconds,
+    ) = _OVERLAY_HEADER.unpack(
+        bytes(reader.take(_OVERLAY_HEADER.size, "overlay header"))
+    )
+    if magic != OVERLAY_MAGIC:
+        raise EstimatorError(
+            f"{path}: corrupt snapshot: bad overlay section magic"
+        )
+    levels = []
+    for k in range(level_count):
+        (nx, ny, cells, boundary_nodes, level_seconds, searches) = (
+            _LEVEL_HEADER.unpack(
+                bytes(
+                    reader.take(_LEVEL_HEADER.size, f"overlay level {k} header")
+                )
+            )
+        )
+        arrays = _skip_arrays(reader, len(_LEVEL_ARRAY_SPECS))
+        for (name, want), (got, _n) in zip(_LEVEL_ARRAY_SPECS, arrays):
+            if got != want:
+                raise EstimatorError(
+                    f"{path}: corrupt snapshot: overlay level {k} {name} "
+                    f"has typecode {got!r}, expected {want!r}"
+                )
+        levels.append(
+            {
+                "level": k,
+                "nx": nx,
+                "ny": ny,
+                "cells": cells,
+                "boundary_nodes": boundary_nodes,
+                "shortcuts": arrays[0][1],
+                "breakpoints": arrays[3][1],
+                "profile_searches": searches,
+                "build_seconds": level_seconds,
+            }
+        )
+    if reader.offset != size:
+        raise EstimatorError(
+            f"{path}: corrupt snapshot: file is {size} bytes, overlay "
+            f"section implies {reader.offset}"
+        )
+    return {
+        "levels": level_count,
+        "base_grid": [base_nx, base_ny],
+        "fanout": fanout,
+        "horizon": [horizon_lo, horizon_hi],
+        "build_seconds": build_seconds,
+        "level_details": levels,
+    }

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import os
 import sys
+from bisect import bisect_left, bisect_right
 from typing import Hashable, Iterable, Sequence
 
 from ..exceptions import FunctionShapeError, NotMonotoneError
@@ -456,10 +457,11 @@ def compose(
     hi = iys[ni - 1]
     xs: list[float] = []
     ys: list[float] = []
-    oj = 0  # outer evaluation cursor (mid values are nondecreasing)
-    op = 0  # outer breakpoint cursor for preimage generation
-    while op < no and oxs[op] <= lo + XTOL:
-        op += 1
+    # Both cursors only ever move forward, so start them at the window:
+    # with a full-horizon outer function (an overlay shortcut profile) a
+    # zero start would pay a linear scan up to ``lo`` on every compose.
+    oj = max(0, bisect_right(oxs, lo) - 1)  # outer evaluation cursor
+    op = bisect_right(oxs, lo + XTOL)  # outer breakpoint preimage cursor
 
     def outer_at(v: float) -> float:
         nonlocal oj
@@ -562,15 +564,10 @@ def restrict(
     """Restrict to ``[lo, hi]`` (caller guarantees containment)."""
     if hi - lo <= XTOL:
         return [lo], [eval_at(xs, ys, lo)]
-    out_x: list[float] = [lo]
-    out_y: list[float] = [eval_at(xs, ys, lo)]
-    for i in range(len(xs)):
-        x = xs[i]
-        if lo + XTOL < x < hi - XTOL:
-            out_x.append(x)
-            out_y.append(ys[i])
-    out_x.append(hi)
-    out_y.append(eval_at(xs, ys, hi))
+    i = bisect_right(xs, lo + XTOL)
+    j = bisect_left(xs, hi - XTOL, i)
+    out_x: list[float] = [lo, *xs[i:j], hi]
+    out_y: list[float] = [eval_at(xs, ys, lo), *ys[i:j], eval_at(xs, ys, hi)]
     COUNTERS.breakpoints_allocated += len(out_x)
     return out_x, out_y
 

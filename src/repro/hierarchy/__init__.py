@@ -18,9 +18,24 @@ Travel times are exact (each shortcut is the pointwise minimum over all
 intra-fragment paths); reported paths contain shortcut hops, which
 :meth:`HierarchicalEngine.expand_path` re-expands to concrete road segments
 for any departure instant.
+
+The single-level scheme scales to metro-size networks via
+:class:`MultiLevelOverlay` (``overlay.py``): nested grid partitions with
+per-level boundary-to-boundary shortcut functions built bottom-up and kept
+in flat arrays, queried by :class:`OverlayEngine` which climbs levels
+instead of flooding the flat graph.
 """
 
 from .index import HierarchicalIndex, ShortcutEdge
-from .engine import HierarchicalEngine
+from .overlay import MultiLevelOverlay, OverlayLevel, OverlayStats
+from .engine import HierarchicalEngine, OverlayEngine
 
-__all__ = ["HierarchicalIndex", "ShortcutEdge", "HierarchicalEngine"]
+__all__ = [
+    "HierarchicalIndex",
+    "ShortcutEdge",
+    "HierarchicalEngine",
+    "MultiLevelOverlay",
+    "OverlayLevel",
+    "OverlayStats",
+    "OverlayEngine",
+]

@@ -13,13 +13,18 @@ from __future__ import annotations
 from ..core.astar import fixed_departure_query
 from ..core.engine import IntAllFastestPaths
 from ..core.results import AllFPResult, SingleFPResult
-from ..core.runtime import DEFAULT_EDGE_CACHE_SIZE, EdgeFunctionCache
+from ..core.runtime import (
+    DEFAULT_EDGE_CACHE_SIZE,
+    EdgeFunctionCache,
+    SearchContext,
+)
 from ..estimators.base import LowerBoundEstimator
 from ..estimators.naive import NaiveEstimator
 from ..exceptions import NetworkError, QueryError
 from ..network.model import CapeCodNetwork, Edge
 from ..timeutil import TimeInterval
 from .index import HierarchicalIndex, ShortcutEdge
+from .overlay import MultiLevelOverlay
 
 
 class _HybridQueryGraph:
@@ -43,6 +48,18 @@ class _HybridQueryGraph:
         return self._network.max_speed()
 
     def outgoing(self, node: int):
+        return self.outgoing_from(node, None)
+
+    def outgoing_from(self, node: int, prev: int | None):
+        """Edges leaving ``node`` for a label that arrived from ``prev``.
+
+        When the label entered this fragment over a shortcut (``prev`` in
+        the same non-endpoint fragment — the only intra-fragment move the
+        hybrid graph exposes there), its same-fragment shortcuts are
+        suppressed: two chained exact intra-fragment functions are
+        pointwise >= the direct shortcut the fragment's entry node already
+        relaxed, so the chained labels can never improve any answer.
+        """
         cell = self._index.cell_of(node)
         if cell in self._full_cells:
             # Street level: all original edges; crossing edges land on
@@ -54,7 +71,8 @@ class _HybridQueryGraph:
             for e in self._network.outgoing(node)
             if self._index.cell_of(e.target) != cell
         ]
-        edges.extend(self._index.shortcuts_from(node))
+        if prev is None or self._index.cell_of(prev) != cell:
+            edges.extend(self._index.shortcuts_from(node))
         return edges
 
 
@@ -197,6 +215,229 @@ class HierarchicalEngine:
                 )
             view = _FragmentView(
                 network, self._index.fragment_members(cell)
+            )
+            leg = fixed_departure_query(view, u, v, clock)
+            result.extend(leg.path[1:])
+            clock = leg.arrival
+        return tuple(result)
+
+
+class _OverlayQueryGraph:
+    """Multi-level hybrid view: the search climbs to the coarsest level
+    whose cell contains neither endpoint.
+
+    A node in the source or target *base* cell exposes all its street
+    edges.  Any other node is seen at its *effective level* — the highest
+    level ``k`` whose cell around the node contains neither the source nor
+    the target — and exposes exactly its street edges that cross the
+    level-``k`` cell border plus its level-``k`` shortcuts.  Nesting makes
+    this exact: every node the search reaches at effective level ``k`` got
+    there over an edge crossing a level-``k`` border (or a level-``k``
+    shortcut), hence is a level-``k`` boundary node and has shortcuts.
+    """
+
+    __slots__ = ("_overlay", "_network", "_endpoint_cells")
+
+    def __init__(
+        self, overlay: MultiLevelOverlay, source: int, target: int
+    ) -> None:
+        self._overlay = overlay
+        self._network = overlay.network
+        self._endpoint_cells = [
+            {overlay.cell_at(source, k), overlay.cell_at(target, k)}
+            for k in range(overlay.level_count)
+        ]
+
+    @property
+    def calendar(self):
+        return self._network.calendar
+
+    @property
+    def node_count(self) -> int:
+        return self._network.node_count
+
+    def location(self, node: int) -> tuple[float, float]:
+        return self._network.location(node)
+
+    def max_speed(self) -> float:
+        return self._network.max_speed()
+
+    def outgoing(self, node: int):
+        return self.outgoing_from(node, None)
+
+    def outgoing_from(self, node: int, prev: int | None):
+        """Edges leaving ``node`` for a label that arrived from ``prev``.
+
+        Suppresses the level-``k`` clique when the label entered the
+        level-``k`` cell over one of its shortcuts — detected as ``prev``
+        sharing the cell, since crossing street edges by construction
+        leave it (and nodes of an endpoint cell never share a
+        non-endpoint effective-level cell).  Exactness: chaining two
+        exact intra-cell earliest-arrival functions is pointwise >= the
+        direct shortcut, which the cell's entry node relaxed when it was
+        expanded, so every suppressed label is dominated by a generated
+        one.
+        """
+        overlay = self._overlay
+        cells = self._endpoint_cells
+        if overlay.cell_at(node, 0) in cells[0]:
+            return self._network.outgoing(node)
+        level = 0
+        for k in range(overlay.level_count - 1, 0, -1):
+            if overlay.cell_at(node, k) not in cells[k]:
+                level = k
+                break
+        cell = overlay.cell_at(node, level)
+        edges: list[Edge | ShortcutEdge] = [
+            e
+            for e in self._network.outgoing(node)
+            if overlay.cell_at(e.target, level) != cell
+        ]
+        if prev is None or overlay.cell_at(prev, level) != cell:
+            edges.extend(overlay.shortcuts_from(node, level))
+        return edges
+
+
+class OverlayEngine:
+    """allFP/singleFP queries climbing a :class:`MultiLevelOverlay`.
+
+    Travel times equal the flat engine's exactly (see the exactness
+    argument in ``overlay.py``); reported paths may take shortcut hops —
+    :meth:`expand_path` materialises street-level hops for a departure
+    instant.  Pass a service's :class:`~repro.core.runtime.SearchContext`
+    to share its warm street-edge cache and default budgets (shortcut
+    edges bypass the cache via their ``arrival_function`` provider, so
+    sharing one cache across hybrid views is sound).
+    """
+
+    def __init__(
+        self,
+        overlay: MultiLevelOverlay,
+        estimator: LowerBoundEstimator | None = None,
+        prune: bool = True,
+        *,
+        max_pops: int | None = None,
+        deadline: float | None = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
+        context: SearchContext | None = None,
+    ) -> None:
+        self._overlay = overlay
+        self._estimator = estimator
+        self._prune = prune
+        self._max_pops = (
+            max_pops
+            if max_pops is not None
+            else (context.max_pops if context is not None else None)
+        )
+        self._deadline = (
+            deadline
+            if deadline is not None
+            else (context.deadline if context is not None else None)
+        )
+        self._edge_cache = (
+            context.edge_cache
+            if context is not None
+            else EdgeFunctionCache(
+                overlay.network.calendar, edge_cache_size
+            )
+        )
+
+    @property
+    def overlay(self) -> MultiLevelOverlay:
+        return self._overlay
+
+    @property
+    def edge_cache(self) -> EdgeFunctionCache:
+        return self._edge_cache
+
+    # ------------------------------------------------------------------
+    def _engine_for(self, source: int, target: int) -> IntAllFastestPaths:
+        graph = _OverlayQueryGraph(self._overlay, source, target)
+        estimator = self._estimator or NaiveEstimator(graph)
+        return IntAllFastestPaths(
+            graph,
+            estimator,
+            prune=self._prune,
+            max_pops=self._max_pops,
+            deadline=self._deadline,
+            edge_cache=self._edge_cache,
+        )
+
+    def _check_horizon(self, interval: TimeInterval) -> None:
+        horizon = self._overlay.horizon
+        if interval.start < horizon.start or interval.end > horizon.end:
+            raise QueryError(
+                f"query interval {interval} outside the overlay horizon "
+                f"{horizon}; rebuild the overlay accordingly"
+            )
+
+    def all_fastest_paths(
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> AllFPResult:
+        """allFP over the overlay (paths may contain shortcut hops)."""
+        self._check_horizon(interval)
+        return self._engine_for(source, target).all_fastest_paths(
+            source, target, interval, deadline=deadline
+        )
+
+    def single_fastest_path(
+        self,
+        source: int,
+        target: int,
+        interval: TimeInterval,
+        deadline: float | None = None,
+    ) -> SingleFPResult:
+        """singleFP over the overlay."""
+        self._check_horizon(interval)
+        return self._engine_for(source, target).single_fastest_path(
+            source, target, interval, deadline=deadline
+        )
+
+    # ------------------------------------------------------------------
+    def _shortcut_level(self, u: int, v: int) -> int | None:
+        """The lowest level storing a shortcut ``u -> v``, or ``None``."""
+        for k in range(self._overlay.level_count):
+            for sc in self._overlay.shortcuts_from(u, k):
+                if sc.target == v:
+                    return k
+        return None
+
+    def expand_path(
+        self, path: tuple[int, ...], depart: float
+    ) -> tuple[int, ...]:
+        """Replace shortcut hops with street-level hops for one departure.
+
+        A level-``k`` shortcut's function is the exact street-level
+        earliest arrival between its endpoints within the level-``k``
+        cell, so re-running a fixed-departure search over the street
+        subgraph of that cell (at the instant the plan reaches the hop)
+        reproduces the path the shortcut summarised.
+        """
+        network = self._overlay.network
+        result: list[int] = [path[0]]
+        clock = depart
+        for u, v in zip(path, path[1:]):
+            if network.has_edge(u, v):
+                edge = network.find_edge(u, v)
+                from ..patterns.travel_time import traverse
+
+                clock = traverse(
+                    edge.distance, edge.pattern, network.calendar, clock
+                )
+                result.append(v)
+                continue
+            level = self._shortcut_level(u, v)
+            if level is None:
+                raise QueryError(
+                    f"hop {u}->{v} is neither an edge nor a stored "
+                    "overlay shortcut"
+                )
+            view = _FragmentView(
+                network, self._overlay.members_at(u, level)
             )
             leg = fixed_departure_query(view, u, v, clock)
             result.extend(leg.path[1:])

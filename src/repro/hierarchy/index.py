@@ -37,24 +37,42 @@ class ShortcutEdge:
     #: Distinguishes shortcut functions from pattern-derived ones in the
     #: engine's edge-function cache.
     cache_tag: int = 1
+    #: Fastest-ever traversal, precomputed so the engine's pre-compose
+    #: bound prune pays a field read instead of a function allocation.
+    min_tt: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        profile = self.profile
+        object.__setattr__(
+            self,
+            "min_tt",
+            min(y - x for x, y in zip(profile._xs, profile._ys)),
+        )
 
     def arrival_function(
         self, lo: float, hi: float
     ) -> MonotonePiecewiseLinear:
-        """The stored profile, validated to cover the requested window."""
-        if lo < self.profile.x_min - 1e-6 or hi > self.profile.x_max + 1e-6:
+        """The stored profile, after checking it covers ``[lo, hi]``.
+
+        The profile spans the whole build horizon (days) while a label's
+        window is minutes, but returning it unclipped is free: ``compose``
+        seeks to the inner window with a bisect, so downstream cost scales
+        with the window's breakpoints, not the horizon's.
+        """
+        profile = self.profile
+        if lo < profile.x_min - 1e-6 or hi > profile.x_max + 1e-6:
             raise QueryError(
                 f"shortcut {self.source}->{self.target} only covers "
-                f"departures in [{self.profile.x_min}, {self.profile.x_max}]; "
+                f"departures in [{profile.x_min}, {profile.x_max}]; "
                 f"requested [{lo}, {hi}] — rebuild the HierarchicalIndex "
                 "with a wider horizon"
             )
-        return self.profile
+        return profile
 
     @property
     def min_travel_time(self) -> float:
         """Fastest-ever traversal of the shortcut (used for diagnostics)."""
-        return self.profile.minus_identity().min_value()
+        return self.min_tt
 
 
 @dataclass

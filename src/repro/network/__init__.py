@@ -9,10 +9,12 @@ extract (see the substitution table in DESIGN.md §3), and JSON serialization.
 from .model import Node, Edge, CapeCodNetwork
 from .generator import (
     MetroConfig,
+    emit_metro_lines,
     make_metro_network,
     make_grid_network,
     paper_example_network,
 )
+from .importer import ImportStats, import_network, parse_lines, write_lines
 from .io import save_network, load_network
 from .stats import network_stats, NetworkStats, ClassStats
 
@@ -21,9 +23,14 @@ __all__ = [
     "Edge",
     "CapeCodNetwork",
     "MetroConfig",
+    "emit_metro_lines",
     "make_metro_network",
     "make_grid_network",
     "paper_example_network",
+    "ImportStats",
+    "import_network",
+    "parse_lines",
+    "write_lines",
     "save_network",
     "load_network",
     "network_stats",

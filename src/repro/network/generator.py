@@ -90,6 +90,23 @@ class MetroConfig:
             seed=seed,
         )
 
+    @classmethod
+    def metro_scale(cls, seed: int = 0) -> "MetroConfig":
+        """A 100k+-node configuration (ROADMAP item 2's target scale).
+
+        320 × 320 = 102,400 nodes.  Intended for
+        :func:`emit_metro_lines` + the streaming importer rather than
+        :func:`make_metro_network` — the emitter never materialises the
+        grid, so generation is O(1) memory on top of the output.
+        """
+        return cls(
+            width=320,
+            height=320,
+            spacing=0.125,
+            vertical_keep=0.17,
+            seed=seed,
+        )
+
     def _auto_rows(self) -> tuple[int, ...]:
         if self.highway_rows is not None:
             return self.highway_rows
@@ -201,6 +218,90 @@ def make_metro_network(
                 add_local(a, b, bidirectional=True)
 
     return net
+
+
+def _hash01(seed: int, *keys: int) -> float:
+    """A deterministic value in [0, 1) from (seed, keys) — splitmix64 mix.
+
+    The streaming emitter uses per-coordinate hashes instead of a
+    sequential PRNG so any node's position is recomputable in O(1) while
+    ways are being emitted — no grid of positions is ever materialised.
+    """
+    z = (seed & 0xFFFFFFFFFFFFFFFF) ^ 0x9E3779B97F4A7C15
+    for key in keys:
+        z = (z + (key & 0xFFFFFFFFFFFFFFFF) + 0x9E3779B97F4A7C15) & (
+            0xFFFFFFFFFFFFFFFF
+        )
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        z ^= z >> 31
+    return z / 2**64
+
+
+def emit_metro_lines(config: MetroConfig | None = None):
+    """Stream a seeded metro-size network in importer text format.
+
+    Yields ``node``/``way`` lines for :mod:`repro.network.importer` —
+    jittered grid streets (alternating one-way rows), thinned two-way
+    vertical streets, and highway corridors tagged ``motorway`` (the
+    importer classifies each corridor segment inbound/outbound and local
+    streets city/outside from the geometry it accumulates).  Unlike
+    :func:`make_metro_network` this never builds Python node/edge objects:
+    jitter comes from per-node hashes of ``config.seed``, so memory stays
+    O(1) regardless of ``MetroConfig.metro_scale()``-sized grids.
+    """
+    cfg = config or MetroConfig()
+    if cfg.width < 2 or cfg.height < 2:
+        raise NetworkError("metro grid needs width >= 2 and height >= 2")
+    hw_rows = set(cfg._auto_rows())
+    hw_cols = set(cfg._auto_cols())
+
+    def node_id(row: int, col: int) -> int:
+        return row * cfg.width + col
+
+    def position(row: int, col: int) -> tuple[float, float]:
+        jx = (2.0 * _hash01(cfg.seed, 1, row, col) - 1.0) * cfg.jitter
+        jy = (2.0 * _hash01(cfg.seed, 2, row, col) - 1.0) * cfg.jitter
+        return (
+            (col + jx) * cfg.spacing,
+            (row + jy) * cfg.spacing,
+        )
+
+    for row in range(cfg.height):
+        for col in range(cfg.width):
+            x, y = position(row, col)
+            yield f"node {node_id(row, col)} {x!r} {y!r}"
+
+    # Horizontal streets: one way per row keeps the file O(rows + kept
+    # verticals) lines instead of O(edges).
+    for row in range(cfg.height):
+        chain = [node_id(row, col) for col in range(cfg.width)]
+        if row in hw_rows:
+            yield "way twoway motorway " + " ".join(map(str, chain))
+        elif not cfg.oneway_local:
+            yield "way twoway residential " + " ".join(map(str, chain))
+        elif (row % 2 == 0):
+            yield "way oneway residential " + " ".join(map(str, chain))
+        else:
+            yield "way oneway residential " + " ".join(
+                map(str, reversed(chain))
+            )
+
+    # Vertical streets: corridors and the two backbone columns are full
+    # chains; other columns keep individual segments by hash.
+    for col in range(cfg.width):
+        chain = [node_id(row, col) for row in range(cfg.height)]
+        if col in hw_cols:
+            yield "way twoway motorway " + " ".join(map(str, chain))
+        elif col in (0, cfg.width - 1):  # connectivity backbone
+            yield "way twoway residential " + " ".join(map(str, chain))
+        else:
+            for row in range(cfg.height - 1):
+                if _hash01(cfg.seed, 3, row, col) < cfg.vertical_keep:
+                    yield (
+                        f"way twoway residential "
+                        f"{node_id(row, col)} {node_id(row + 1, col)}"
+                    )
 
 
 def make_grid_network(

@@ -1,0 +1,226 @@
+"""Streaming importer for an OSM-flavored node/way text format.
+
+Real metro extracts (OSM, TIGER/Line) arrive as node lists plus *ways* —
+ordered node chains tagged with a highway class.  :func:`import_network`
+builds a :class:`~repro.network.model.CapeCodNetwork` from that shape in
+one pass with O(edges) memory: lines are consumed from an iterator (never
+buffered), every way segment becomes directed edges immediately, and the
+only auxiliary state is the node table the network keeps anyway.
+
+Format (one record per line, ``#`` starts a comment)::
+
+    node <id> <x> <y>
+    way <oneway|twoway> <highway-tag> <n1> <n2> ... <nk>
+
+Nodes must precede the first way — the importer derives the CBD centroid
+and city radius from the node bounding box before classifying any edge.
+Highway tags map onto the paper's Table 1 road classes: ``motorway``,
+``trunk``, ``primary`` (and their ``_link`` variants) become
+INBOUND/OUTBOUND_HIGHWAY per segment by whether the segment heads toward
+the centroid; every other tag is LOCAL_CITY when the segment midpoint
+falls inside the city radius, LOCAL_OUTSIDE beyond it.  Edge length is the
+Euclidean node distance; duplicate segments and self-loops are skipped and
+counted rather than fatal (real extracts contain both).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..exceptions import NetworkError, NodeNotFoundError
+from ..patterns.categories import Calendar, workweek_calendar
+from ..patterns.schema import RoadClass, table1_schema
+from ..patterns.speed import CapeCodPattern
+from .model import CapeCodNetwork
+
+#: OSM highway tags treated as highway corridors (classified per segment
+#: as inbound/outbound); every other tag is a local street.
+HIGHWAY_TAGS = frozenset(
+    {
+        "motorway",
+        "trunk",
+        "primary",
+        "motorway_link",
+        "trunk_link",
+        "primary_link",
+    }
+)
+
+
+@dataclass
+class ImportStats:
+    """What one import pass saw (returned alongside the network)."""
+
+    lines: int = 0
+    nodes: int = 0
+    ways: int = 0
+    edges: int = 0
+    highway_edges: int = 0
+    local_edges: int = 0
+    skipped_duplicates: int = 0
+    skipped_self_loops: int = 0
+
+
+def _error(line_no: int, message: str) -> NetworkError:
+    return NetworkError(f"line {line_no}: {message}")
+
+
+def parse_lines(
+    lines: Iterable[str],
+    schema: dict[RoadClass, CapeCodPattern] | None = None,
+    calendar: Calendar | None = None,
+) -> tuple[CapeCodNetwork, ImportStats]:
+    """Build a network from an iterator of importer-format lines.
+
+    The iterator is consumed exactly once and never materialised; memory is
+    the network under construction plus one line.
+    """
+    patterns = schema or table1_schema()
+    net = CapeCodNetwork(calendar or workweek_calendar())
+    stats = ImportStats()
+
+    # Filled when the first way is seen; ways before nodes are an error
+    # because classification needs the finished bounding box.
+    center: tuple[float, float] | None = None
+    city_radius = 0.0
+    min_x = min_y = math.inf
+    max_x = max_y = -math.inf
+
+    def finalize_geometry(line_no: int) -> None:
+        nonlocal center, city_radius
+        if stats.nodes == 0:
+            raise _error(line_no, "way before any node")
+        cx = (min_x + max_x) / 2.0
+        cy = (min_y + max_y) / 2.0
+        center = (cx, cy)
+        city_radius = max(max_x - cx, max_y - cy, 1e-12) / 3.0
+
+    def classify(a: int, b: int, tag: str) -> RoadClass:
+        ax, ay = net.location(a)
+        bx, by = net.location(b)
+        assert center is not None
+        if tag in HIGHWAY_TAGS:
+            da = math.hypot(ax - center[0], ay - center[1])
+            db = math.hypot(bx - center[0], by - center[1])
+            return (
+                RoadClass.INBOUND_HIGHWAY
+                if db < da
+                else RoadClass.OUTBOUND_HIGHWAY
+            )
+        mx, my = (ax + bx) / 2.0, (ay + by) / 2.0
+        in_city = math.hypot(mx - center[0], my - center[1]) <= city_radius
+        return RoadClass.LOCAL_CITY if in_city else RoadClass.LOCAL_OUTSIDE
+
+    def add_segment(a: int, b: int, tag: str, line_no: int) -> None:
+        if a == b:
+            stats.skipped_self_loops += 1
+            return
+        if net.has_edge(a, b):
+            stats.skipped_duplicates += 1
+            return
+        cls = classify(a, b, tag)
+        net.add_edge(a, b, net.euclidean(a, b), patterns[cls], cls)
+        stats.edges += 1
+        if cls.is_highway:
+            stats.highway_edges += 1
+        else:
+            stats.local_edges += 1
+
+    for line_no, raw in enumerate(lines, start=1):
+        stats.lines = line_no
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        kind = fields[0]
+        if kind == "node":
+            if center is not None:
+                raise _error(line_no, "node after the first way")
+            if len(fields) != 4:
+                raise _error(
+                    line_no, f"node needs 'node <id> <x> <y>', got {line!r}"
+                )
+            try:
+                node_id = int(fields[1])
+                x, y = float(fields[2]), float(fields[3])
+            except ValueError:
+                raise _error(
+                    line_no, f"malformed node record {line!r}"
+                ) from None
+            net.add_node(node_id, x, y)
+            stats.nodes += 1
+            min_x, max_x = min(min_x, x), max(max_x, x)
+            min_y, max_y = min(min_y, y), max(max_y, y)
+        elif kind == "way":
+            if center is None:
+                finalize_geometry(line_no)
+            if len(fields) < 5:
+                raise _error(
+                    line_no,
+                    "way needs 'way <oneway|twoway> <tag> <n1> <n2> ...', "
+                    f"got {line!r}",
+                )
+            direction, tag = fields[1], fields[2]
+            if direction not in ("oneway", "twoway"):
+                raise _error(
+                    line_no,
+                    f"way direction must be oneway or twoway, got "
+                    f"{direction!r}",
+                )
+            try:
+                chain = [int(f) for f in fields[3:]]
+            except ValueError:
+                raise _error(
+                    line_no, f"malformed way node list {line!r}"
+                ) from None
+            for node in chain:
+                try:
+                    net.location(node)
+                except NodeNotFoundError:
+                    raise _error(
+                        line_no, f"way references unknown node {node}"
+                    ) from None
+            stats.ways += 1
+            for a, b in zip(chain, chain[1:]):
+                add_segment(a, b, tag, line_no)
+                if direction == "twoway":
+                    add_segment(b, a, tag, line_no)
+        else:
+            raise _error(
+                line_no, f"unknown record type {kind!r} (want node or way)"
+            )
+    return net, stats
+
+
+def import_network(
+    path,
+    schema: dict[RoadClass, CapeCodPattern] | None = None,
+    calendar: Calendar | None = None,
+) -> tuple[CapeCodNetwork, ImportStats]:
+    """Import a network from an importer-format text file (streaming)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return parse_lines(handle, schema=schema, calendar=calendar)
+
+
+def write_lines(network: CapeCodNetwork) -> Iterator[str]:
+    """The importer-format lines describing ``network`` (for round-trips).
+
+    Each directed edge becomes its own one-segment ``oneway`` way; road
+    classes map back to representative tags (highways to ``motorway``,
+    locals to ``residential``).  Re-importing reproduces the topology and
+    the class mix, not byte-identical distances (the importer recomputes
+    Euclidean lengths).
+    """
+    for node in network.nodes():
+        yield f"node {node.id} {node.x!r} {node.y!r}"
+    for edge in network.edges():
+        road_class = edge.road_class
+        tag = (
+            "motorway"
+            if road_class is not None and road_class.is_highway
+            else "residential"
+        )
+        yield f"way oneway {tag} {edge.source} {edge.target}"

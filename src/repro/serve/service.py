@@ -269,6 +269,13 @@ class AllFPService:
         back to a weaker (but admissible) bound.  Every response carries
         ``degraded=True`` until :meth:`invalidate` successfully refreshes
         the estimator.
+    overlay:
+        A :class:`~repro.hierarchy.overlay.MultiLevelOverlay` built (or
+        mapped from a v2 snapshot) for this exact network.  When given,
+        ``allfp``/``singlefp`` requests run on
+        :class:`~repro.hierarchy.engine.OverlayEngine` — climbing levels
+        instead of flooding the flat graph — with identical answers; the
+        one-to-many modes are unaffected.
     """
 
     def __init__(
@@ -277,10 +284,13 @@ class AllFPService:
         estimator: LowerBoundEstimator | None = None,
         config: ServiceConfig | None = None,
         degraded: bool = False,
+        *,
+        overlay=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._network = network
         self._estimator = estimator
+        self._overlay = overlay
         self._boot_degraded = degraded
         self._edge_cache = _SharedEdgeFunctionCache(
             network.calendar, self.config.edge_cache_size
@@ -718,7 +728,7 @@ class AllFPService:
         )
         return copy.copy(self._fallback()), True
 
-    def _engine(self) -> IntAllFastestPaths:
+    def _engine(self):
         engine = getattr(self._local, "engine", None)
         if getattr(self._local, "generation", None) != self._engine_generation:
             engine = None
@@ -734,12 +744,24 @@ class AllFPService:
             engine = None
         if engine is None:
             estimator, degraded = self._worker_estimator()
-            engine = IntAllFastestPaths(
-                self._network,
-                estimator,
-                prune=self.config.prune,
-                context=self._context,
-            )
+            if self._overlay is not None:
+                from ..hierarchy.engine import OverlayEngine
+
+                # Same shared context: warm street-edge cache and default
+                # budgets; answers equal the flat engine's exactly.
+                engine = OverlayEngine(
+                    self._overlay,
+                    estimator,
+                    prune=self.config.prune,
+                    context=self._context,
+                )
+            else:
+                engine = IntAllFastestPaths(
+                    self._network,
+                    estimator,
+                    prune=self.config.prune,
+                    context=self._context,
+                )
             self._local.engine = engine
             self._local.degraded = degraded
         return engine
@@ -881,6 +903,9 @@ class AllFPService:
         return {
             "version": self._version,
             "degraded": self.degraded,
+            "overlay_levels": (
+                self._overlay.level_count if self._overlay is not None else 0
+            ),
             "admission": self._admission.snapshot(),
             "single_flight": self._single_flight.snapshot(),
             "result_cache": self._result_cache.snapshot(),

@@ -154,6 +154,7 @@ class ShardedService:
         shards: int = 2,
         network_path: str | None = None,
         snapshot_path: str | None = None,
+        overlay_path: str | None = None,
         fingerprint: bytes | None = None,
         estimator_kind: str | None = None,
         grid: int = 6,
@@ -188,6 +189,7 @@ class ShardedService:
             estimator,
             network_path=network_path,
             snapshot_path=snapshot_path,
+            overlay_path=overlay_path,
             fingerprint=fingerprint,
             estimator_kind=estimator_kind,
             grid=grid,
@@ -231,6 +233,7 @@ class ShardedService:
         *,
         network_path,
         snapshot_path,
+        overlay_path,
         fingerprint,
         estimator_kind,
         grid,
@@ -257,6 +260,8 @@ class ShardedService:
             fingerprint = snap.network_fingerprint(network)
         kwargs["fingerprint"] = fingerprint
 
+        if overlay_path is not None:
+            kwargs["overlay_path"] = str(overlay_path)
         if snapshot_path is not None:
             kwargs["estimator"] = "boundary"
             kwargs["snapshot_path"] = str(snapshot_path)
@@ -540,6 +545,7 @@ class ShardedService:
                 "restarts": handle.restarts,
                 "pid": handle.boot_info.get("pid"),
                 "tables_mode": handle.boot_info.get("tables_mode"),
+                "overlay_mode": handle.boot_info.get("overlay_mode", "none"),
             }
             if handle.alive:
                 try:

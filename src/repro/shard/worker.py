@@ -81,6 +81,8 @@ class WorkerBoot:
     copy_tables: bool = False
     fault_plan: object | None = None  # reliability.FaultPlan
     degraded: bool = field(default=False)
+    #: v2 snapshot whose overlay section the worker mmaps for warm boot.
+    overlay_path: str | None = None
 
 
 def private_rss_kb() -> int:
@@ -177,6 +179,32 @@ def _build_estimator(network, boot: WorkerBoot):
     info["tables_bytes"] = tables.nbytes
     info["tables_rss_delta_kb"] = private_rss_kb() - rss_before
     return estimator, False, info
+
+
+def _load_overlay(network, boot: WorkerBoot):
+    """Returns ``(overlay, degraded, overlay_info)`` — mmap'ed warm boot.
+
+    A failed overlay load falls back to flat-graph queries (still exact,
+    only slower), flagged degraded — the same graceful-degradation
+    contract as a failed estimator-table load.
+    """
+    from ..estimators import snapshot as snap
+
+    if boot.overlay_path is None:
+        return None, False, {"overlay_mode": "none"}
+    try:
+        overlay = snap.map_overlay(boot.overlay_path, network)
+    except ReproError as exc:
+        return None, True, {"overlay_mode": "fallback", "overlay_error": str(exc)}
+    return (
+        overlay,
+        False,
+        {
+            "overlay_mode": "mmap",
+            "overlay_levels": overlay.level_count,
+            "overlay_shortcuts": overlay.stats.shortcuts,
+        },
+    )
 
 
 # ----------------------------------------------------------------------
@@ -322,13 +350,19 @@ def run_worker(boot: WorkerBoot, conn) -> None:
             else _load_network(boot.network_path)
         )
         estimator, degraded, tables_info = _build_estimator(network, boot)
+        overlay, overlay_degraded, overlay_info = _load_overlay(network, boot)
+        tables_info = {**tables_info, **overlay_info}
         config = replace(
             boot.config,
             shard_id=boot.shard_id,
             shard_count=boot.shard_count,
         )
         service = AllFPService(
-            network, estimator, config, degraded=degraded or boot.degraded
+            network,
+            estimator,
+            config,
+            degraded=degraded or overlay_degraded or boot.degraded,
+            overlay=overlay,
         )
     except BaseException as exc:  # noqa: BLE001 — report, then die
         try:

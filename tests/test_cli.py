@@ -412,3 +412,210 @@ class TestBenchLoad:
         out = capsys.readouterr().out
         assert "open-loop" in out
         assert "requests:" in out
+
+
+class TestImportVerb:
+    @pytest.fixture(scope="class")
+    def text_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-import") / "net.txt"
+        code = main(
+            [
+                "generate",
+                "--out",
+                str(path),
+                "--width",
+                "8",
+                "--height",
+                "8",
+                "--format",
+                "osm-text",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_generate_osm_text(self, text_file):
+        body = text_file.read_text(encoding="utf-8")
+        assert body.startswith("node ")
+        assert "\nway " in body
+
+    def test_import_to_json(self, text_file, tmp_path, capsys):
+        out = tmp_path / "imported.json"
+        code = main(["import", str(text_file), "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "64 nodes" in text
+        assert "directed edges" in text
+
+    def test_import_to_ccam(self, text_file, tmp_path, capsys):
+        out = tmp_path / "imported.ccam"
+        code = main(["import", str(text_file), "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_imported_network_queryable(self, text_file, tmp_path, capsys):
+        out = tmp_path / "imported.json"
+        assert main(["import", str(text_file), "--out", str(out)]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "--network",
+                str(out),
+                "--source",
+                "0",
+                "--target",
+                "63",
+            ]
+        )
+        assert code == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_malformed_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("way oneway residential 0 1\n", encoding="utf-8")
+        code = main(["import", str(bad), "--out", str(tmp_path / "x.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 1" in err
+
+
+class TestOverlayVerbs:
+    @pytest.fixture(scope="class")
+    def overlay_snapshot(self, network_json, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-overlay") / "net.ovl"
+        code = main(
+            [
+                "build-overlay",
+                "--network",
+                str(network_json),
+                "--out",
+                str(path),
+                "--levels",
+                "2",
+                "--overlay-grid",
+                "6",
+                "--grid",
+                "4",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_build_overlay_reports_levels(self, overlay_snapshot, capsys):
+        assert overlay_snapshot.exists()
+
+    def test_snapshot_info_shows_overlay(self, overlay_snapshot, capsys):
+        code = main(["snapshot-info", "--snapshot", str(overlay_snapshot)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RPRESNAP v2" in out
+        assert "overlay: 2 level(s)" in out
+        assert "level 0:" in out and "level 1:" in out
+        assert "shortcuts" in out
+
+    def test_query_with_overlay_cache_matches_flat(
+        self, network_json, overlay_snapshot, capsys
+    ):
+        argv = [
+            "query",
+            "--network",
+            str(network_json),
+            "--source",
+            "0",
+            "--target",
+            "99",
+        ]
+        assert main(argv) == 0
+        flat = capsys.readouterr().out
+        assert (
+            main(argv + ["--overlay-cache", str(overlay_snapshot)]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "overlay cache hit" in captured.err
+        flat_best = next(l for l in flat.splitlines() if l.startswith("best:"))
+        ovl_best = next(
+            l for l in captured.out.splitlines() if l.startswith("best:")
+        )
+        assert flat_best.split(";")[0] == ovl_best.split(";")[0]
+
+    def test_overlay_levels_builds_and_caches(
+        self, network_json, tmp_path, capsys
+    ):
+        cache = tmp_path / "fresh.ovl"
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "50",
+                "--mode",
+                "singlefp",
+                "--overlay-levels",
+                "1",
+                "--overlay-cache",
+                str(cache),
+            ]
+        )
+        assert code == 0
+        assert "overlay cache miss" in capsys.readouterr().err
+        assert cache.exists()
+
+    def test_missing_cache_without_levels_exits_2(
+        self, network_json, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "query",
+                "--network",
+                str(network_json),
+                "--source",
+                "0",
+                "--target",
+                "5",
+                "--overlay-cache",
+                str(tmp_path / "nope.ovl"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_exits_2(
+        self, overlay_snapshot, tmp_path, capsys
+    ):
+        data = overlay_snapshot.read_bytes()
+        bad = tmp_path / "bad.ovl"
+        bad.write_bytes(data[: len(data) // 2])
+        code = main(["snapshot-info", "--snapshot", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_bench_load_with_overlay(
+        self, network_json, overlay_snapshot, capsys
+    ):
+        code = main(
+            [
+                "bench-load",
+                "--network",
+                str(network_json),
+                "--queries",
+                "4",
+                "--clients",
+                "1",
+                "--interval-hours",
+                "1",
+                "--overlay-cache",
+                str(overlay_snapshot),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "overlay cache hit" in captured.err
+        assert "throughput:" in captured.out

@@ -183,7 +183,10 @@ class TestShortcutEdgeType:
         assert shortcut.source == 1
         assert shortcut.target == 2
         assert shortcut.cache_tag == 1
+        # Any covered window gets the stored profile back unclipped
+        # (compose seeks to the window itself); uncovered windows raise.
         assert shortcut.arrival_function(10.0, 50.0) is fn
+        assert shortcut.arrival_function(0.0, 100.0) is fn
 
 
 class TestIndexPersistence:

@@ -1,0 +1,189 @@
+"""Tests for the streaming node/way importer (``repro.network.importer``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.generator import MetroConfig, emit_metro_lines
+from repro.network.importer import (
+    HIGHWAY_TAGS,
+    import_network,
+    parse_lines,
+    write_lines,
+)
+from repro.patterns.schema import RoadClass
+
+
+def _square(tag="residential", direction="twoway"):
+    """A 2x2 unit square with one way around the rim."""
+    return [
+        "node 0 0.0 0.0",
+        "node 1 1.0 0.0",
+        "node 2 1.0 1.0",
+        "node 3 0.0 1.0",
+        f"way {direction} {tag} 0 1 2 3 0",
+    ]
+
+
+class TestParsing:
+    def test_counts(self):
+        net, stats = parse_lines(_square())
+        assert net.node_count == 4
+        assert stats.nodes == 4
+        assert stats.ways == 1
+        # A twoway 4-segment chain yields 8 directed edges.
+        assert stats.edges == net.edge_count == 8
+
+    def test_oneway_halves_edges(self):
+        net, stats = parse_lines(_square(direction="oneway"))
+        assert stats.edges == 4
+        assert net.has_edge(0, 1) and not net.has_edge(1, 0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        lines = ["# header", "", *_square(), "   # trailing"]
+        _net, stats = parse_lines(lines)
+        assert stats.nodes == 4 and stats.ways == 1
+
+    def test_distances_are_euclidean(self):
+        net, _stats = parse_lines(_square())
+        assert net.find_edge(0, 1).distance == pytest.approx(1.0)
+        lines = _square() + ["way oneway residential 0 2"]
+        net, _stats = parse_lines(lines)
+        assert net.find_edge(0, 2).distance == pytest.approx(2**0.5)
+
+    def test_float_coordinates_preserved(self):
+        lines = [
+            "node 0 0.1234567890123 -7.75",
+            "node 1 2.5 3.25",
+            "way oneway residential 0 1",
+        ]
+        net, _stats = parse_lines(lines)
+        assert net.location(0) == (0.1234567890123, -7.75)
+
+    def test_streaming_consumes_an_iterator(self):
+        net, _stats = parse_lines(iter(_square()))
+        assert net.node_count == 4
+
+    def test_import_network_reads_file(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("\n".join(_square()) + "\n", encoding="utf-8")
+        net, stats = import_network(path)
+        assert net.node_count == 4 and stats.edges == 8
+
+
+class TestClassification:
+    def test_highway_tags_map_to_highway_classes(self):
+        for tag in HIGHWAY_TAGS:
+            net, stats = parse_lines(_square(tag=tag))
+            assert stats.highway_edges == stats.edges
+            classes = {e.road_class for e in net.edges()}
+            assert classes <= {
+                RoadClass.INBOUND_HIGHWAY,
+                RoadClass.OUTBOUND_HIGHWAY,
+            }
+
+    def test_highway_direction_is_per_segment(self):
+        # 0 is the centroid-most node: 1 -> 0 heads inbound, 0 -> 1 out.
+        lines = [
+            "node 0 0.0 0.0",
+            "node 1 9.0 0.0",
+            "node 2 -9.0 0.0",
+            "node 3 0.0 9.0",
+            "node 4 0.0 -9.0",
+            "way twoway motorway 1 0",
+        ]
+        net, _stats = parse_lines(lines)
+        assert net.find_edge(1, 0).road_class is RoadClass.INBOUND_HIGHWAY
+        assert net.find_edge(0, 1).road_class is RoadClass.OUTBOUND_HIGHWAY
+
+    def test_local_split_by_city_radius(self):
+        # Radius is a third of the bbox half-extent: a rim segment lies
+        # outside it, a center segment inside.
+        lines = [
+            "node 0 0.0 0.0",
+            "node 1 0.5 0.0",
+            "node 2 30.0 30.0",
+            "node 3 -30.0 -30.0",
+            "way oneway residential 0 1",
+            "way oneway residential 2 3",  # long, midpoint at the center
+            "way oneway residential 3 2",
+        ]
+        net, _stats = parse_lines(lines)
+        assert net.find_edge(0, 1).road_class is RoadClass.LOCAL_CITY
+        rim = [
+            "node 0 0.0 0.0",
+            "node 1 30.0 30.0",
+            "node 2 29.0 30.0",
+            "way oneway residential 1 2",
+        ]
+        net, _stats = parse_lines(rim)
+        assert net.find_edge(1, 2).road_class is RoadClass.LOCAL_OUTSIDE
+
+    def test_duplicates_and_self_loops_counted_not_fatal(self):
+        lines = _square() + [
+            "way oneway residential 0 1",  # duplicate of a rim segment
+            "way oneway residential 2 2",  # self-loop
+        ]
+        net, stats = parse_lines(lines)
+        assert stats.skipped_duplicates == 1
+        assert stats.skipped_self_loops == 1
+        assert stats.edges == net.edge_count == 8
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        ("lines", "fragment"),
+        [
+            (["way oneway residential 0 1"], "way before any node"),
+            (_square() + ["node 9 0.0 0.0"], "node after the first way"),
+            (["node 0 0.0"], "node needs"),
+            (["node zero 0.0 0.0"], "malformed node record"),
+            (["node 0 0.0 0.0", "node 1 1.0 1.0", "way oneway residential 0"],
+             "way needs"),
+            (["node 0 0.0 0.0", "node 1 1.0 1.0", "way back residential 0 1"],
+             "direction must be oneway or twoway"),
+            (["node 0 0.0 0.0", "node 1 1.0 1.0", "way oneway residential 0 x"],
+             "malformed way node list"),
+            (["node 0 0.0 0.0", "node 1 1.0 1.0", "way oneway residential 0 7"],
+             "unknown node 7"),
+            (["street 0 1"], "unknown record type"),
+        ],
+    )
+    def test_malformed_input(self, lines, fragment):
+        with pytest.raises(NetworkError, match=fragment):
+            parse_lines(lines)
+
+    def test_errors_carry_line_numbers(self):
+        lines = _square() + ["way oneway residential 0 99"]
+        with pytest.raises(NetworkError, match=r"line 6:"):
+            parse_lines(lines)
+
+
+class TestRoundTrip:
+    def test_write_then_parse_reproduces_topology(self):
+        net, _stats = parse_lines(_square(tag="motorway"))
+        again, stats = parse_lines(write_lines(net))
+        assert again.node_count == net.node_count
+        assert again.edge_count == net.edge_count
+        for edge in net.edges():
+            twin = again.find_edge(edge.source, edge.target)
+            assert twin.distance == pytest.approx(edge.distance)
+            assert twin.road_class.is_highway == edge.road_class.is_highway
+
+    def test_metro_generator_emits_importable_lines(self):
+        config = MetroConfig(width=10, height=10, seed=5)
+        net, stats = parse_lines(emit_metro_lines(config))
+        assert net.node_count == 100
+        assert stats.highway_edges > 0 and stats.local_edges > 0
+        # The street graph must be usable end to end.
+        from repro.core.astar import fixed_departure_query
+
+        result = fixed_departure_query(net, 0, 99, 420.0)
+        assert result.arrival > 420.0
+
+    def test_emit_lines_are_deterministic(self):
+        config = MetroConfig(width=8, height=8, seed=7)
+        assert list(emit_metro_lines(config)) == list(
+            emit_metro_lines(config)
+        )

@@ -5,9 +5,12 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import NetworkError
 from repro.network.generator import MetroConfig, make_metro_network, paper_example_network
+from repro.network.importer import parse_lines
 from repro.network.io import load_network, save_network
 from repro.patterns.travel_time import traverse
 from repro.timeutil import parse_clock
@@ -71,6 +74,82 @@ class TestRoundTrip:
         loaded = load_network(path)
         assert loaded.edge_count == 3
         assert loaded.find_edge(0, 2).distance == 6.0
+
+
+coordinates = st.floats(
+    min_value=-500.0,
+    max_value=500.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+@st.composite
+def importer_networks(draw):
+    """A small random network built through the importer path.
+
+    Nodes get arbitrary (finite) float coordinates; a random set of way
+    chains connects them, mixing highway and local tags and both
+    directions — exactly what ``repro-allfp import`` produces.
+    """
+    count = draw(st.integers(min_value=2, max_value=8))
+    xs = draw(
+        st.lists(coordinates, min_size=count, max_size=count, unique=True)
+    )
+    ys = draw(
+        st.lists(coordinates, min_size=count, max_size=count, unique=True)
+    )
+    lines = [f"node {i} {xs[i]!r} {ys[i]!r}" for i in range(count)]
+    chain_count = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(chain_count):
+        chain = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=count - 1),
+                min_size=2,
+                max_size=5,
+            )
+        )
+        direction = draw(st.sampled_from(["oneway", "twoway"]))
+        tag = draw(st.sampled_from(["motorway", "primary", "residential"]))
+        lines.append(f"way {direction} {tag} {' '.join(map(str, chain))}")
+    network, _stats = parse_lines(lines)
+    return network
+
+
+class TestRoundTripProperties:
+    """write -> read -> write is byte-stable and loses nothing."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(network=importer_networks())
+    def test_importer_output_round_trips_byte_stable(
+        self, network, tmp_path_factory
+    ):
+        tmp = tmp_path_factory.mktemp("roundtrip")
+        first, second = tmp / "a.json", tmp / "b.json"
+        save_network(network, first)
+        loaded = load_network(first)
+        save_network(loaded, second)
+        assert first.read_bytes() == second.read_bytes()
+        assert loaded.node_count == network.node_count
+        assert loaded.edge_count == network.edge_count
+        for nid in network.node_ids():
+            # Float coordinates survive exactly, not approximately.
+            assert loaded.location(nid) == network.location(nid)
+        for edge in network.edges():
+            twin = loaded.find_edge(edge.source, edge.target)
+            assert twin.distance == edge.distance
+            assert twin.road_class == edge.road_class
+
+    def test_metro_round_trip_byte_stable(self, tmp_path, metro):
+        _net, path = metro
+        loaded = load_network(path)
+        again = tmp_path / "again.json"
+        save_network(loaded, again)
+        assert path.read_bytes() == again.read_bytes()
 
 
 class TestFormatValidation:
