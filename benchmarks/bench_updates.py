@@ -1,0 +1,221 @@
+"""Live-update benchmark — writes ``BENCH_updates.json``.
+
+Measures what a localized incident costs to absorb: a cluster of
+edge-pattern mutations confined to one partition cell (at most 5% of the
+network's edges), applied to a service built on the 24x24 metro network
+with a boundary estimator and a two-level overlay.
+
+Two legs on the same mutated network:
+
+* **delta** — :meth:`BoundaryNodeEstimator.refresh_delta` +
+  :meth:`MultiLevelOverlay.refresh_delta`: only the estimator cells and
+  overlay shortcut rows the incident touches are recomputed, everything
+  else gets the admissibility-preserving slack correction;
+* **full** — :meth:`BoundaryNodeEstimator.refresh` (complete precompute)
+  + :meth:`MultiLevelOverlay.build` from scratch, the pre-delta baseline.
+
+Gates (enforced in quick mode too — the network is the same):
+
+* the delta leg must be at least **5x** faster than the full rebuild
+  (``meta.speedup_delta_vs_full``);
+* post-update answers through the delta-refreshed estimator and overlay
+  must be **byte-identical** to the from-scratch rebuild on every sampled
+  pair (``meta.answers_checked``), and the spliced overlay arrays must be
+  byte-identical to freshly built ones.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from emit_json import emit_bench_json
+
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.func import kernel
+from repro.hierarchy import MultiLevelOverlay, OverlayEngine
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.serve.updates import (
+    EdgeMutation,
+    MutationBatch,
+    apply_batch,
+    slowdown_pattern,
+)
+from repro.timeutil import TimeInterval
+
+WIDTH = HEIGHT = 24
+SEED = 23
+GRID = 6
+OVERLAY_NX = 8
+OVERLAY_LEVELS = 2
+HORIZON = TimeInterval(0.0, 48 * 60.0)
+INTERVAL = TimeInterval(7 * 60.0, 9 * 60.0)
+SPEEDUP_GATE = 5.0
+
+
+def incident_batch(network, overlay) -> MutationBatch:
+    """Every edge inside one level-0 cell, slowed to crawl — a localized
+    incident by construction (both endpoints share the cell), capped at
+    5% of the network's directed edges."""
+    edges = list(network.edges())
+    by_cell: dict[int, list] = {}
+    for edge in edges:
+        cell = overlay.cell_at(edge.source, 0)
+        if cell == overlay.cell_at(edge.target, 0):
+            by_cell.setdefault(cell, []).append(edge)
+    cell, members = max(by_cell.items(), key=lambda item: len(item[1]))
+    cap = max(1, len(edges) // 20)
+    members = members[:cap]
+    print(
+        f"incident: {len(members)} edge(s) in cell {cell} "
+        f"({len(members) / len(edges):.1%} of {len(edges)} edges)"
+    )
+    return MutationBatch(
+        tuple(
+            EdgeMutation(e.source, e.target, slowdown_pattern(e.pattern, 0.25))
+            for e in members
+        )
+    )
+
+
+def check_answers(network, delta_est, delta_ovl, full_est, full_ovl, pairs):
+    """Post-update answers must be byte-identical across the two legs."""
+    from repro.serve.chaos import _canonical
+
+    checked = 0
+    delta_engine = OverlayEngine(delta_ovl, delta_est)
+    full_engine = OverlayEngine(full_ovl, full_est)
+    flat_engine = IntAllFastestPaths(network, full_est)
+    for source, target in pairs:
+        a = _canonical(delta_engine.all_fastest_paths(source, target, INTERVAL))
+        b = _canonical(full_engine.all_fastest_paths(source, target, INTERVAL))
+        c = _canonical(flat_engine.all_fastest_paths(source, target, INTERVAL))
+        assert a == b == c, f"answers diverge on {source}->{target}"
+        checked += 1
+    for spliced, fresh in zip(delta_ovl.levels, full_ovl.levels):
+        for attr in ("src", "dst", "off", "xs", "ys"):
+            assert bytes(getattr(spliced, attr)) == bytes(
+                getattr(fresh, attr)
+            ), f"overlay level {spliced.level} array {attr} diverges"
+    return checked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    workers = min(4, os.cpu_count() or 1)
+    pair_count = 4 if args.quick else 10
+
+    network = make_metro_network(MetroConfig(width=WIDTH, height=HEIGHT, seed=SEED))
+    print(
+        f"network: {WIDTH}x{HEIGHT} metro, {network.node_count} nodes, "
+        f"{len(list(network.edges()))} edges; workers={workers}"
+    )
+    t0 = time.perf_counter()
+    estimator = BoundaryNodeEstimator(network, GRID, GRID, workers=workers)
+    estimator.precompute()
+    overlay = MultiLevelOverlay.build(
+        network,
+        levels=OVERLAY_LEVELS,
+        nx=OVERLAY_NX,
+        horizon=HORIZON,
+        workers=workers,
+    )
+    build_seconds = time.perf_counter() - t0
+    print(f"initial build: {build_seconds:.2f}s")
+
+    batch = incident_batch(network, overlay)
+    t0 = time.perf_counter()
+    applied = apply_batch(network, batch)
+    apply_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    estimator.refresh_delta(applied, workers=workers)
+    cells = overlay.refresh_delta(applied, workers=workers)
+    delta_seconds = time.perf_counter() - t0
+    print(f"delta re-customization: {delta_seconds:.3f}s ({cells} overlay cell(s))")
+
+    full_estimator = BoundaryNodeEstimator(network, GRID, GRID, workers=workers)
+    t0 = time.perf_counter()
+    full_estimator.precompute()
+    full_overlay = MultiLevelOverlay.build(
+        network,
+        levels=OVERLAY_LEVELS,
+        nx=OVERLAY_NX,
+        horizon=HORIZON,
+        workers=workers,
+    )
+    full_seconds = time.perf_counter() - t0
+    print(f"full rebuild: {full_seconds:.3f}s")
+
+    speedup = full_seconds / delta_seconds if delta_seconds > 0 else float("inf")
+    nodes = network.node_count
+    rng_pairs = [
+        (batch.mutations[0].source, batch.mutations[0].target),
+        (0, nodes - 1),
+    ]
+    step = max(1, nodes // pair_count)
+    rng_pairs += [(i, nodes - 1 - i) for i in range(1, nodes // 2, step)][
+        : pair_count - 2
+    ]
+    checked = check_answers(
+        network, estimator, overlay, full_estimator, full_overlay, rng_pairs
+    )
+    print(f"answers checked: {checked} pair(s), byte-identical across legs")
+    print(f"speedup delta vs full: {speedup:.1f}x (gate {SPEEDUP_GATE:.0f}x)")
+    assert speedup >= SPEEDUP_GATE, (
+        f"delta re-customization only {speedup:.2f}x faster than a full "
+        f"rebuild (gate {SPEEDUP_GATE}x)"
+    )
+
+    results = [
+        {
+            "name": "apply_batch",
+            "seconds": apply_seconds,
+            "mutations": len(batch),
+        },
+        {
+            "name": "delta_recustomization",
+            "seconds": delta_seconds,
+            "overlay_cells_recomputed": cells,
+        },
+        {"name": "full_rebuild", "seconds": full_seconds},
+        {"name": "initial_build", "seconds": build_seconds},
+    ]
+    meta = {
+        "speedup_delta_vs_full": speedup,
+        "answers_checked": checked,
+        "mutated_edges": len(batch),
+        "edge_fraction": len(batch) / len(list(network.edges())),
+        "network": f"{WIDTH}x{HEIGHT}",
+        "kernel_backend": kernel.active_backend(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+    }
+    path = emit_bench_json(
+        "updates",
+        results,
+        scale="quick" if args.quick else "small",
+        quick=args.quick,
+        meta=meta,
+    )
+    print(f"wrote {path}")
+    print(json.dumps(meta, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

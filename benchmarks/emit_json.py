@@ -49,6 +49,7 @@ KNOWN_BENCHMARKS = (
     "batch",
     "shard",
     "overlay",
+    "updates",
 )
 
 _REQUIRED_TOP_KEYS = ("benchmark", "schema_version", "python", "results")

@@ -15,6 +15,8 @@ Installed as ``repro-allfp``::
     repro-allfp info --network metro.json
     repro-allfp serve --network metro.json --port 8080 \\
         --estimator boundary --estimator-cache metro.est
+    repro-allfp replay-updates --url http://127.0.0.1:8080 \\
+        --trace incident.jsonl --speed 10
     repro-allfp bench-load --network metro.json --clients 4 --queries 50
     repro-allfp chaos --network metro.json --estimator boundary --queries 40
 
@@ -647,7 +649,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     print(
         "endpoints: POST /v1/allfp, POST /v1/singlefp, POST /v1/profile, "
-        "POST /v1/knn, GET /healthz, GET /metrics"
+        "POST /v1/knn, POST /v1/updates, GET /healthz, GET /metrics"
     )
     try:
         server.serve_forever()
@@ -679,6 +681,42 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
     )
     client = InProcessClient(service)
     query_fn = lambda spec: client.query(spec, mode=args.mode)  # noqa: E731
+    applier = None
+    if getattr(args, "updates_trace", None):
+        import threading
+        import time as _time
+
+        from .serve.updates import load_trace
+
+        trace = load_trace(args.updates_trace)
+        speed = args.updates_speed
+        if speed <= 0:
+            raise ReproError(f"--updates-speed must be > 0, got {speed:g}")
+        print(
+            f"live updates: {len(trace)} batch(es), "
+            f"{sum(len(e.batch) for e in trace)} mutation(s) from "
+            f"{args.updates_trace} at {speed:g}x"
+        )
+
+        def _apply_trace() -> None:
+            t0 = _time.monotonic()
+            for event in trace:
+                delay = event.at / speed - (_time.monotonic() - t0)
+                if delay > 0:
+                    _time.sleep(delay)
+                try:
+                    service.apply_updates(event.batch)
+                except ReproError as exc:
+                    print(
+                        f"warning: update batch at t={event.at:g}s failed: "
+                        f"{exc}",
+                        file=sys.stderr,
+                    )
+
+        applier = threading.Thread(
+            target=_apply_trace, name="bench-load-updates", daemon=True
+        )
+        applier.start()
     if args.arrivals == "poisson":
         schedule = poisson_arrivals(args.rate, args.duration, seed=args.seed)
         print(
@@ -689,7 +727,16 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
     else:
         print(f"closed-loop: {len(queries)} queries, {args.clients} client(s)")
         report = run_closed_loop(query_fn, queries, clients=args.clients)
+    if applier is not None:
+        applier.join(timeout=120.0)
+        if applier.is_alive():
+            print(
+                "warning: update applier still running after 120s; "
+                "meta counts what landed so far",
+                file=sys.stderr,
+            )
     counters = _service_counters(service)  # before close: shards must be up
+    update_stats = service.stats().get("updates") or {}
     service.close()
     summary = report.as_dict()
     print(
@@ -711,6 +758,13 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
         f"{counters['result_cache_misses']} misses  "
         f"coalesced: {counters['coalesced']}"
     )
+    if update_stats.get("batches_applied"):
+        print(
+            f"updates: {update_stats['batches_applied']} batch(es), "
+            f"{update_stats['mutations_applied']} mutation(s) applied, "
+            f"max staleness "
+            f"{update_stats['max_staleness_seconds'] * 1e3:.1f}ms"
+        )
     if args.json:
         from .func import kernel
 
@@ -725,6 +779,10 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
                 "cpu_count": os.cpu_count(),
                 "mode": args.mode,
                 "arrivals": args.arrivals,
+                "applied_mutations": update_stats.get("mutations_applied", 0),
+                "max_staleness_seconds": update_stats.get(
+                    "max_staleness_seconds", 0.0
+                ),
             },
         }
         Path(args.json).write_text(
@@ -792,6 +850,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed() else 1
 
 
+def _cmd_replay_updates(args: argparse.Namespace) -> int:
+    """Replay a timestamped incident trace against a running server.
+
+    Each trace line is POSTed to ``/v1/updates`` at its recorded offset
+    (compressed by ``--speed``); a rejected batch — validation error,
+    unknown edge, overload past the client's retry budget — stops the
+    replay with one ``error:`` line and exit code 2.
+    """
+    import time as _time
+
+    from .serve.client import HTTPClient
+    from .serve.updates import load_trace
+
+    if args.speed <= 0:
+        raise ReproError(f"--speed must be > 0, got {args.speed:g}")
+    events = load_trace(args.trace)
+    client = HTTPClient(args.url, timeout=args.timeout)
+    print(
+        f"replaying {args.trace}: {len(events)} batch(es), "
+        f"{sum(len(e.batch) for e in events)} mutation(s) "
+        f"against {args.url}"
+        + (f" at {args.speed:g}x" if args.speed != 1.0 else "")
+    )
+    started = _time.monotonic()
+    version = None
+    for event in events:
+        delay = event.at / args.speed - (_time.monotonic() - started)
+        if delay > 0:
+            _time.sleep(delay)
+        status, body = client.updates(event.batch)
+        if status != 200:
+            detail = body.get("error") or body
+            raise ReproError(
+                f"update batch at t={event.at:g}s rejected: "
+                f"HTTP {status}: {detail}"
+            )
+        version = body.get("version")
+        print(
+            f"t={event.at:g}s: applied {body.get('applied', len(event.batch))} "
+            f"mutation(s) -> network version {version} "
+            f"(staleness {body.get('staleness_seconds', 0.0):.3f}s)"
+        )
+    print(
+        f"replay complete: network version {version} "
+        f"after {_time.monotonic() - started:.2f}s"
+    )
+    return 0
+
+
 def _cmd_snapshot_info(args: argparse.Namespace) -> int:
     """Describe an RPRESNAP estimator snapshot without loading its arrays.
 
@@ -801,10 +908,40 @@ def _cmd_snapshot_info(args: argparse.Namespace) -> int:
     """
     from .estimators.snapshot import read_header
 
+    import time as _time
+
     header = read_header(args.snapshot)
     print(f"snapshot: {args.snapshot}")
     print(f"format: RPRESNAP v{header['version']} ({header['byteorder']}-endian)")
     print(f"network fingerprint: {header['fingerprint']}")
+    mtime = Path(args.snapshot).stat().st_mtime
+    age_minutes = max(0.0, _time.time() - mtime) / 60.0
+    print(
+        "built: "
+        f"{_time.strftime('%Y-%m-%d %H:%M:%S', _time.gmtime(mtime))} UTC "
+        f"({format_duration(age_minutes)} ago)"
+    )
+    print(
+        "network version: base 0 at this fingerprint "
+        "(live updates advance network_applied_version on /metrics)"
+    )
+    if getattr(args, "network", None):
+        from .estimators.snapshot import network_fingerprint
+
+        network = _open_network(args.network)
+        if isinstance(network, CCAMStore):
+            raise ReproError(
+                "fingerprint cross-check needs the full graph; "
+                "pass the .json network instead of a .ccam database"
+            )
+        actual = network_fingerprint(network).hex()
+        if actual != header["fingerprint"]:
+            raise ReproError(
+                f"fingerprint MISMATCH: {args.network} hashes to {actual}, "
+                f"snapshot pins {header['fingerprint']} — rebuild the "
+                "snapshot or pass the network it was built from"
+            )
+        print(f"network check: {args.network} matches the pinned fingerprint")
     print(f"metric: {header['metric']}")
     print(
         f"grid: {header['nx']}x{header['ny']} "
@@ -1169,6 +1306,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the report (with kernel/shard/cpu meta) as JSON",
     )
+    bench.add_argument(
+        "--updates-trace",
+        default=None,
+        metavar="PATH",
+        help="replay this incident trace (JSONL) against the service while "
+        "the load runs; the JSON meta records applied mutations and max "
+        "observed staleness",
+    )
+    bench.add_argument(
+        "--updates-speed",
+        type=float,
+        default=1.0,
+        help="time compression for --updates-trace offsets",
+    )
     bench.set_defaults(func=_cmd_bench_load)
 
     chaos = sub.add_parser(
@@ -1213,7 +1364,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="describe an RPRESNAP estimator snapshot (exit 2 if corrupt)",
     )
     snap_info.add_argument("--snapshot", required=True, help="RPRESNAP file")
+    snap_info.add_argument(
+        "--network",
+        default=None,
+        help="cross-check the snapshot's pinned fingerprint against this "
+        ".json network (exit 2 on mismatch)",
+    )
     snap_info.set_defaults(func=_cmd_snapshot_info)
+
+    replay = sub.add_parser(
+        "replay-updates",
+        help="replay a timestamped incident trace against a running server",
+    )
+    replay.add_argument(
+        "--url", required=True, help="server base URL, e.g. http://127.0.0.1:8080"
+    )
+    replay.add_argument(
+        "--trace",
+        required=True,
+        help="JSONL incident trace: one {'at': seconds, 'mutations': [...]} "
+        "object per line",
+    )
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="time compression: 10 fires a t=5s event at 0.5s",
+    )
+    replay.add_argument(
+        "--timeout", type=float, default=60.0, help="per-request seconds"
+    )
+    replay.set_defaults(func=_cmd_replay_updates)
     return parser
 
 

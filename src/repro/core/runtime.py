@@ -153,6 +153,14 @@ class EdgeFunctionCache:
     def __len__(self) -> int:
         return len(self._cache)
 
+    def clear(self) -> int:
+        """Drop every memoised function (call after an edge-pattern update:
+        entries are keyed by ``(source, target)``, so a mutated edge would
+        otherwise keep serving its pre-update arrival function)."""
+        dropped = len(self._cache)
+        self._cache.clear()
+        return dropped
+
     def snapshot(self) -> dict[str, int]:
         """A point-in-time view of the cache counters (for services/metrics)."""
         return {

@@ -59,7 +59,7 @@ from ..network.model import CapeCodNetwork
 from .base import LowerBoundEstimator
 from .grid import GridPartition
 from .naive import NaiveEstimator
-from .precompute import EstimatorTables, compute_tables
+from .precompute import EstimatorTables, compute_tables, refresh_tables_delta
 
 INF = float("inf")
 
@@ -290,6 +290,33 @@ class BoundaryNodeEstimator(LowerBoundEstimator):
         self._naive = NaiveEstimator(self._network)
         self._v_max = self._network.max_speed()
         self.precompute()
+
+    def refresh_delta(self, mutations, workers: int | None = None) -> None:
+        """Targeted refresh after edge-pattern mutations (§2.2 updates).
+
+        Only the cells containing a mutated edge's endpoints are
+        recomputed; every other entry gets the admissibility-preserving
+        slack correction (see
+        :func:`~repro.estimators.precompute.refresh_tables_delta`).  The
+        naive component is rebuilt too, so a mutation that raises the
+        network-wide ``v_max`` cannot leave an inadmissible Euclidean
+        bound behind.  Falls back to a full :meth:`refresh` for the dict
+        backend or when nothing was precomputed yet.
+        """
+        if self._tables is None:
+            self.refresh()
+            return
+        tables = refresh_tables_delta(
+            self._tables,
+            self._network,
+            self._grid,
+            mutations,
+            workers=workers if workers is not None else self._workers,
+        )
+        self._naive = NaiveEstimator(self._network)
+        self._v_max = self._network.max_speed()
+        self._target_col = None
+        self._adopt_tables(tables)
 
     # ------------------------------------------------------------------
     # Snapshot persistence

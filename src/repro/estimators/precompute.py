@@ -240,6 +240,35 @@ def _make_pool(workers: int, state: dict):
         return None
 
 
+def _run_cell_tasks(
+    state: dict,
+    tasks: list[tuple[int, list[int], list[int]]],
+    workers: int,
+) -> tuple[
+    Iterable[tuple[int, list[tuple[int, float, float]], list[float]]], int
+]:
+    """Fan per-cell jobs across the PR 3 process pool (serial fallback)."""
+    pool = _make_pool(workers, state) if workers > 1 and len(tasks) > 1 else None
+    if pool is not None:
+        chunksize = max(1, len(tasks) // (workers * 4))
+        try:
+            return pool.map(_cell_task, tasks, chunksize=chunksize), workers
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # A dead worker (or a poisoned task) leaves the parallel run
+            # unusable; recompute serially below rather than failing the
+            # whole precompute.
+            pass
+        finally:
+            # terminate() (not close()) so workers that died or are stuck
+            # mid-task are reaped — a failed parallel precompute must never
+            # leave orphaned worker processes behind.
+            pool.terminate()
+            pool.join()
+    return (_cell_job(state, *task) for task in tasks), 1
+
+
 def compute_tables(
     network,
     grid: GridPartition,
@@ -284,30 +313,7 @@ def compute_tables(
         "cell_count": n_cells,
     }
 
-    workers_used = 1
-    results: Iterable[tuple[int, list[tuple[int, float, float]], list[float]]] | None
-    results = None
-    pool = _make_pool(workers, state) if workers > 1 and len(tasks) > 1 else None
-    if pool is not None:
-        chunksize = max(1, len(tasks) // (workers * 4))
-        try:
-            results = pool.map(_cell_task, tasks, chunksize=chunksize)
-            workers_used = workers
-        except KeyboardInterrupt:
-            raise
-        except Exception:
-            # A dead worker (or a poisoned task) leaves the parallel run
-            # unusable; recompute serially below rather than failing the
-            # whole precompute.
-            results = None
-        finally:
-            # terminate() (not close()) so workers that died or are stuck
-            # mid-task are reaped — a failed parallel precompute must never
-            # leave orphaned worker processes behind.
-            pool.terminate()
-            pool.join()
-    if results is None:
-        results = (_cell_job(state, *task) for task in tasks)
+    results, workers_used = _run_cell_tasks(state, tasks, workers)
 
     for cell_index, member_rows, row in results:
         for m, d_from, d_to in member_rows:
@@ -331,4 +337,138 @@ def compute_tables(
         cell_pair=cell_pair,
         precompute_seconds=time.perf_counter() - started,
         workers_used=workers_used,
+    )
+
+
+def refresh_tables_delta(
+    tables: EstimatorTables,
+    network,
+    grid: GridPartition,
+    mutations,
+    workers: int = 1,
+) -> EstimatorTables:
+    """Admissibility-preserving delta refresh after edge-pattern mutations.
+
+    ``mutations`` is a sequence of applied-mutation records (``source``,
+    ``target``, ``distance``, ``old_pattern``, ``new_pattern`` — see
+    :class:`repro.serve.updates.AppliedMutation`).  Instead of re-running
+    every cell's Dijkstras, the refresh
+
+    1. computes the **global slack** ``Δ = Σ max(0, old_w − new_w)`` over
+       the mutated edges (``w = distance / max_speed``) and subtracts it,
+       clamped at zero, from every finite table entry.  The Dijkstra paths
+       behind each entry are simple, so a mutation can shorten any of them
+       by at most its own weight drop; the corrected entries therefore
+       remain lower bounds.  Speed *decreases* need no correction at all —
+       true travel times only grew, so the old bounds still hold;
+    2. re-runs the per-cell jobs **exactly**, but only for cells that
+       contain an endpoint of a mutated edge, restoring local tightness
+       through the same process pool as :func:`compute_tables`.
+
+    Admissible bounds keep A* exact, so post-refresh answers are identical
+    to a from-scratch rebuild; only estimator tightness (search effort)
+    can differ, and only far away from the incident.  The returned tables
+    are always private arrays — safe even when ``tables`` is a read-only
+    zero-copy view over an ``mmap`` or shared-memory snapshot.
+    """
+    started = time.perf_counter()
+    metric = tables.metric
+    if metric != "time":
+        # Distance weights ignore speed patterns entirely: only the stored
+        # v_max (used by snapshot writers) needs to track the network.
+        return EstimatorTables(
+            nx=tables.nx,
+            ny=tables.ny,
+            metric=metric,
+            v_max=network.max_speed(),
+            node_ids=tables.node_ids,
+            node_cell=tables.node_cell,
+            to_boundary=tables.to_boundary,
+            from_boundary=tables.from_boundary,
+            cell_pair=tables.cell_pair,
+            precompute_seconds=tables.precompute_seconds,
+            workers_used=tables.workers_used,
+            loaded_from_snapshot=tables.loaded_from_snapshot,
+            _buffer_owner=tables._buffer_owner,
+        )
+
+    slack = 0.0
+    touched_cells: set[int] = set()
+    for m in mutations:
+        touched_cells.add(grid.cell_of_node(m.source))
+        touched_cells.add(grid.cell_of_node(m.target))
+        old_w = m.distance / m.old_pattern.max_speed()
+        new_w = m.distance / m.new_pattern.max_speed()
+        if new_w < old_w:
+            slack += old_w - new_w
+
+    # Private, writable copies (the input stores may be read-only views).
+    node_ids = array(NODE_ID_TYPECODE, tables.node_ids)
+    node_cell = array(CELL_TYPECODE, tables.node_cell)
+    to_boundary = array(WEIGHT_TYPECODE, tables.to_boundary)
+    from_boundary = array(WEIGHT_TYPECODE, tables.from_boundary)
+    cell_pair = array(WEIGHT_TYPECODE, tables.cell_pair)
+
+    if slack > 0.0:
+        for arr in (to_boundary, from_boundary, cell_pair):
+            for i, w in enumerate(arr):
+                if w < INF:
+                    arr[i] = w - slack if w > slack else 0.0
+
+    ids, fwd, bwd = build_weighted_adjacency(network, metric)
+    if ids != list(node_ids):
+        raise EstimatorError(
+            "delta refresh requires an unchanged node set; "
+            "topology mutations need a full refresh()"
+        )
+    index_of = {nid: i for i, nid in enumerate(ids)}
+    n = len(ids)
+    n_cells = grid.cell_count
+    is_boundary = bytearray(n)
+    tasks: list[tuple[int, list[int], list[int]]] = []
+    for cell in grid.cells():
+        if not cell.members or not cell.boundary:
+            continue
+        boundary = sorted(index_of[b] for b in cell.boundary)
+        for b in boundary:
+            is_boundary[b] = 1
+        if cell.index in touched_cells:
+            members = sorted(index_of[m] for m in cell.members)
+            tasks.append((cell.index, boundary, members))
+
+    state = {
+        "fwd": fwd,
+        "bwd": bwd,
+        "node_cell": node_cell,
+        "is_boundary": bytes(is_boundary),
+        "cell_count": n_cells,
+    }
+    results, workers_used = _run_cell_tasks(state, tasks, workers)
+
+    for cell_index, member_rows, row in results:
+        for m_idx, d_from, d_to in member_rows:
+            from_boundary[m_idx] = d_from
+            to_boundary[m_idx] = d_to
+        base = cell_index * n_cells
+        for c2, w in enumerate(row):
+            cell_pair[base + c2] = w if w < INF else INF
+
+    return EstimatorTables(
+        nx=tables.nx,
+        ny=tables.ny,
+        metric=metric,
+        v_max=network.max_speed(),
+        node_ids=node_ids,
+        node_cell=node_cell,
+        to_boundary=to_boundary,
+        from_boundary=from_boundary,
+        cell_pair=cell_pair,
+        precompute_seconds=tables.precompute_seconds
+        + (time.perf_counter() - started),
+        workers_used=max(tables.workers_used, workers_used),
+        # The new stores are private arrays, but straggler engine clones
+        # may still hold views over the old zero-copy buffer; keeping its
+        # owner referenced here prevents the segment from being torn down
+        # under them (and the BufferError its __del__ would raise mid-GC).
+        _buffer_owner=tables._buffer_owner,
     )

@@ -132,6 +132,22 @@ class ShardUnavailable(ServiceError):
         self.shard_id = shard_id
 
 
+class StalenessExceeded(ServiceError):
+    """A query opted into ``max_staleness`` and the service's applied
+    network version is older than the caller tolerates (accepted
+    mutations are still pending).  Maps to HTTP 503 with a Retry-After
+    hint; the client may retry, relax the bound, or drop it.
+    """
+
+    def __init__(self, staleness: float, max_staleness: float):
+        super().__init__(
+            f"service is {staleness:.3f}s stale "
+            f"(max_staleness={max_staleness:.3f}s)"
+        )
+        self.staleness = staleness
+        self.max_staleness = max_staleness
+
+
 class ServeClientError(ServiceError):
     """An HTTP client call failed after exhausting its retries.
 

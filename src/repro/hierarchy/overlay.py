@@ -358,11 +358,13 @@ class MultiLevelOverlay:
         horizon: TimeInterval,
         levels: list[OverlayLevel],
         stats: OverlayStats | None = None,
+        horizon_pad: float = 720.0,
     ) -> None:
         self._network = network
         self._grid = grid
         self._fanout = fanout
         self._horizon = horizon
+        self._horizon_pad = horizon_pad
         self.levels = levels
         self.stats = stats or OverlayStats(
             levels=[lv.stats for lv in levels]
@@ -459,7 +461,9 @@ class MultiLevelOverlay:
         deadline_at = None if deadline is None else started + deadline
         grid = GridPartition(network, nx, ny)
         horizon = horizon or TimeInterval(0.0, days(2))
-        overlay = cls(network, grid, fanout, horizon, [], OverlayStats())
+        overlay = cls(
+            network, grid, fanout, horizon, [], OverlayStats(), horizon_pad
+        )
         overlay.stats.workers_used = max(1, workers)
 
         boundaries = _boundaries_by_level(network, grid, fanout, levels)
@@ -542,6 +546,180 @@ class MultiLevelOverlay:
         overlay._divisors = [fanout**k for k in range(levels)]
         overlay._dims = [_level_dims(nx, ny, fanout, k) for k in range(levels)]
         return overlay
+
+    # ------------------------------------------------------------------
+    def refresh_delta(
+        self,
+        mutations,
+        *,
+        workers: int = 1,
+        max_pops: int | None = None,
+        deadline: float | None = None,
+    ) -> int:
+        """Re-customize only the cells an edge-pattern mutation can reach.
+
+        ``mutations`` is any sequence of objects with ``source``/``target``
+        attributes (``AppliedMutation`` records from the live-update path).
+        Because the profile search of a cell skips every edge whose target
+        lies outside the cell, a mutated edge ``(u, v)`` influences a
+        level-``k`` cell's shortcut rows **iff** both endpoints share that
+        cell — and nested partitions make the set of touched cells per
+        level exactly ``{cell_k(u) : cell_k(u) == cell_k(v)}``, which also
+        covers the lift of every touched lower-level cell.  Touched cells
+        are recomputed bottom-up against the already-refreshed lower level
+        with the same per-level horizon arithmetic as :meth:`build`, then
+        their rows are spliced into fresh flat arrays (cells are contiguous
+        in sorted order by construction), so the result is byte-identical
+        to a from-scratch rebuild.  Returns the number of recomputed cells.
+
+        Topology must be unchanged — only speed patterns may differ from
+        the build-time network — so grids and boundary sets stay valid.
+        """
+        levels = len(self.levels)
+        if levels == 0:
+            return 0
+        started = time.monotonic()
+        deadline_at = None if deadline is None else started + deadline
+        touched: list[set[int]] = [set() for _ in range(levels)]
+        for m in mutations:
+            for k in range(levels):
+                cu = self.cell_at(m.source, k)
+                if cu == self.cell_at(m.target, k):
+                    touched[k].add(cu)
+        if not any(touched):
+            return 0
+        boundaries = _boundaries_by_level(
+            self._network, self._grid, self._fanout, levels
+        )
+        recomputed = 0
+        for level in range(levels):
+            if not touched[level]:
+                continue
+            level_started = time.monotonic()
+            tasks = [
+                (cell, tuple(sorted(boundaries[level].get(cell, ()))))
+                for cell in sorted(touched[level])
+            ]
+            tasks = [(cell, nodes) for cell, nodes in tasks if nodes]
+            if not tasks:
+                continue
+            level_horizon = TimeInterval(
+                self._horizon.start,
+                self._horizon.end + self._horizon_pad * (levels - 1 - level),
+            )
+            state = {
+                "overlay": self,
+                "level": level,
+                "horizon": level_horizon,
+                "max_pops": max_pops,
+                "deadline_at": deadline_at,
+            }
+            results = _run_level(tasks, state, workers)
+            fresh_rows: dict[int, list] = {}
+            searches = 0
+            expanded = 0
+            for (cell, _), outcome in zip(tasks, results):
+                kind = outcome[0]
+                if kind == "timeout":
+                    raise QueryTimeout(outcome[1], SearchStats(timed_out=True))
+                if kind == "budget":
+                    raise SearchBudgetExceeded(
+                        outcome[1], SearchStats(), what=outcome[2]
+                    )
+                _, rows, cell_searches, cell_expanded = outcome
+                fresh_rows[cell] = rows
+                searches += cell_searches
+                expanded += cell_expanded
+            # Swapping ``levels[level]`` in place is visible to every live
+            # _LevelBuildGraph / query graph holding this overlay, and the
+            # next iteration's level builds against the refreshed rows.
+            self.levels[level] = self._splice_level(
+                self.levels[level],
+                level,
+                touched[level],
+                fresh_rows,
+                searches,
+                expanded,
+                time.monotonic() - level_started,
+            )
+            if level < len(self.stats.levels):
+                self.stats.levels[level] = self.levels[level].stats
+            recomputed += len(tasks)
+        self.stats.build_seconds += time.monotonic() - started
+        return recomputed
+
+    def _splice_level(
+        self,
+        old: OverlayLevel,
+        level: int,
+        touched: set[int],
+        fresh_rows: dict[int, list],
+        searches: int,
+        expanded: int,
+        elapsed: float,
+    ) -> OverlayLevel:
+        """A new :class:`OverlayLevel` with touched cells' rows replaced.
+
+        Works for ``array`` and ``mmap``-backed stores alike: untouched
+        cells' rows are copied out of the old views, touched cells get the
+        freshly computed rows, offsets are rebuilt as the splice runs.
+        """
+        cell_of = lambda node: self.cell_at(node, level)  # noqa: E731
+        old_spans: dict[int, tuple[int, int]] = {}
+        current: int | None = None
+        start = 0
+        for i in range(len(old.src)):
+            cell = cell_of(old.src[i])
+            if cell != current:
+                if current is not None:
+                    old_spans[current] = (start, i)
+                if cell in old_spans:
+                    raise QueryError(
+                        f"overlay level {level}: rows of cell {cell} are not "
+                        "contiguous; cannot splice a delta refresh"
+                    )
+                current, start = cell, i
+        if current is not None:
+            old_spans[current] = (start, len(old.src))
+
+        src = array(NODE_TYPECODE)
+        dst = array(NODE_TYPECODE)
+        off = array(OFFSET_TYPECODE, [0])
+        xs = array(VALUE_TYPECODE)
+        ys = array(VALUE_TYPECODE)
+        for cell in sorted(set(old_spans) | set(fresh_rows)):
+            if cell in touched:
+                for s, t, row_xs, row_ys in fresh_rows.get(cell, ()):
+                    src.append(s)
+                    dst.append(t)
+                    xs.extend(row_xs)
+                    ys.extend(row_ys)
+                    off.append(len(xs))
+            else:
+                lo, hi = old_spans[cell]
+                src.extend(old.src[lo:hi])
+                dst.extend(old.dst[lo:hi])
+                for row in range(lo, hi):
+                    a, b = old.off[row], old.off[row + 1]
+                    xs.extend(old.xs[a:b])
+                    ys.extend(old.ys[a:b])
+                    off.append(len(xs))
+
+        stats = LevelStats(
+            level=level,
+            nx=old.nx,
+            ny=old.ny,
+            cells=old.stats.cells,
+            boundary_nodes=old.stats.boundary_nodes,
+            shortcuts=len(src),
+            breakpoints=len(xs),
+            profile_searches=old.stats.profile_searches + searches,
+            expanded_paths=old.stats.expanded_paths + expanded,
+            build_seconds=old.stats.build_seconds + elapsed,
+        )
+        return OverlayLevel(
+            level, old.nx, old.ny, src, dst, off, xs, ys, stats
+        )
 
     # ------------------------------------------------------------------
     def fingerprint_grid(self) -> tuple[int, int]:

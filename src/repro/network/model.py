@@ -172,6 +172,32 @@ class CapeCodNetwork:
     def has_edge(self, source: int, target: int) -> bool:
         return any(e.target == target for e in self._out.get(source, ()))
 
+    def update_edge_pattern(
+        self, source: int, target: int, pattern: CapeCodPattern
+    ) -> Edge:
+        """Replace the speed pattern of an existing edge (§2.2 update op).
+
+        Topology (endpoints, distance, road class) is untouched, so grid
+        partitions and boundary-node sets stay valid; only the travel-time
+        functions change.  Raises :class:`EdgeNotFoundError` when the edge
+        is absent; validation happens before any mutation.
+        """
+        if source not in self._nodes:
+            raise NodeNotFoundError(source)
+        if target not in self._nodes:
+            raise NodeNotFoundError(target)
+        old = self.find_edge(source, target)
+        new = Edge(source, target, old.distance, pattern, old.road_class)
+        self._out[source] = [
+            new if e.target == target else e for e in self._out[source]
+        ]
+        self._in[target] = [
+            new if e.source == source else e for e in self._in[target]
+        ]
+        self._max_speed = None
+        self._min_speed = None
+        return new
+
     def max_speed(self) -> float:
         """Fastest speed anywhere, ever — ``v_max`` of the naive estimator."""
         if self._max_speed is None:

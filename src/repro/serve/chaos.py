@@ -46,6 +46,9 @@ class ChaosReport:
     violations: list[str] = field(default_factory=list)
     fault_events: int = 0
     wall_seconds: float = 0.0
+    # Mutation-chaos runs only (defaults keep plain runs unchanged):
+    mutations_applied: int = 0  # edge mutations applied during the replay
+    versions: int = 0  # network versions the replay advanced through
 
     def passed(self) -> bool:
         return not self.violations
@@ -53,7 +56,13 @@ class ChaosReport:
     def summary_lines(self) -> list[str]:
         lines = [
             f"chaos: {self.requests} requests in {self.wall_seconds:.2f}s "
-            f"({self.fault_events} faults injected)",
+            f"({self.fault_events} faults injected)"
+            + (
+                f", {self.mutations_applied} mutations across "
+                f"{self.versions} versions"
+                if self.versions
+                else ""
+            ),
             f"  ok={self.ok} (degraded={self.degraded}, stale={self.stale})",
             f"  typed errors: "
             + (
@@ -81,6 +90,8 @@ class ChaosReport:
             "violations": list(self.violations),
             "fault_events": self.fault_events,
             "wall_seconds": self.wall_seconds,
+            "mutations_applied": self.mutations_applied,
+            "versions": self.versions,
             "passed": self.passed(),
         }
 
@@ -351,4 +362,234 @@ def run_shard_chaos(
     # (collected from the uninstall_faults replies; a restarted worker's
     # count starts over, so this is a lower bound under restarts).
     report.fault_events = 1 + fired
+    return report
+
+
+def _record_version_baselines(
+    network,
+    trace,
+    queries: Sequence[QuerySpec],
+    deadline: float | None,
+) -> list[list[str | None]]:
+    """Fault-free reference answers at every network version the trace
+    produces: ``baselines[k]`` holds the canonical answer to each query
+    against the network with exactly the first ``k`` trace batches
+    applied.  A throwaway single-process service answers them — any
+    admissible estimator is exact, so the live service's (delta-refreshed)
+    tables need not be reproduced here."""
+    import copy as _copy
+
+    from .service import ServiceConfig
+    from .updates import apply_batch
+
+    ref_net = _copy.deepcopy(network)
+    baselines: list[list[str | None]] = []
+    for k in range(len(trace) + 1):
+        ref = AllFPService(ref_net, config=ServiceConfig(workers=2))
+        try:
+            row: list[str | None] = []
+            for spec in queries:
+                request = QueryRequest(
+                    spec.source, spec.target, spec.interval, "allfp", deadline
+                )
+                try:
+                    row.append(_canonical(ref.query(request).result))
+                except ReproError:
+                    row.append(None)
+        finally:
+            ref.close()
+        baselines.append(row)
+        if k < len(trace):
+            apply_batch(ref_net, trace[k].batch)
+    return baselines
+
+
+def run_mutation_chaos(
+    service,
+    queries: Sequence[QuerySpec],
+    trace,
+    plan: reliability.FaultPlan | None = None,
+    clients: int = 4,
+    deadline: float | None = None,
+    speed: float = 1.0,
+    join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+) -> ChaosReport:
+    """The chaos invariant *under live mutation*: replay ``queries``
+    concurrently with an incident ``trace`` (a sequence of
+    :class:`~repro.serve.updates.TraceEvent`), optionally with a fault
+    ``plan`` installed, and hold every answer to the **versioned**
+    byte-match contract:
+
+        a non-stale answer claiming network version ``v`` must be
+        byte-identical to a fault-free re-execution against the network
+        with exactly the first ``v`` update batches applied.
+
+    Stale-cache fallbacks (``stale=True`` / ``version == -1``) are exempt
+    — they advertise their staleness, which is the contract's other half.
+    Degraded-but-fresh answers are **not** exempt: the fallback bound is
+    admissible, so they must still match the baseline for their version.
+
+    Client threads loop over the workload until the whole trace has been
+    applied, then complete one final full pass, so every version actually
+    serves queries.  ``speed`` compresses trace offsets (``speed=10``
+    fires a ``t=5s`` event at 0.5s).  ``service`` may be a single
+    :class:`AllFPService` or a sharded tier — anything with
+    ``apply_updates``/``net_version``; the plan is broadcast via
+    ``install_faults`` when the service supports it, else installed
+    in-process.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed:g}")
+    trace = list(trace)
+    base_version = getattr(service, "net_version", 0)
+    network = getattr(service, "_network")
+    baselines = _record_version_baselines(network, trace, queries, deadline)
+
+    report = ChaosReport()
+    lock = threading.Lock()
+    trace_done = threading.Event()
+
+    def applier() -> None:
+        t0 = time.monotonic()
+        try:
+            for event in trace:
+                delay = event.at / speed - (time.monotonic() - t0)
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    service.apply_updates(event.batch)
+                except ReproError as exc:
+                    name = f"apply:{type(exc).__name__}"
+                    with lock:
+                        report.typed_errors[name] = (
+                            report.typed_errors.get(name, 0) + 1
+                        )
+                else:
+                    with lock:
+                        report.versions += 1
+                        report.mutations_applied += len(event.batch)
+        finally:
+            trace_done.set()
+
+    def classify(i: int, spec: QuerySpec, response) -> None:
+        answer = _canonical(response.result)
+        version = getattr(response, "version", -1)
+        with lock:
+            report.requests += 1
+            if response.stale or version < 0:
+                # Advertised-stale fallback: exempt from the byte-match
+                # contract, but it must carry its flags.
+                if not response.stale:
+                    report.violations.append(
+                        f"query {i} ({spec.source}->{spec.target}): "
+                        f"unversioned answer without the stale flag"
+                    )
+                    return
+                report.ok += 1
+                report.degraded += 1 if response.degraded else 0
+                report.stale += 1
+                return
+            idx = version - base_version
+            if not 0 <= idx < len(baselines):
+                report.violations.append(
+                    f"query {i} ({spec.source}->{spec.target}): claims "
+                    f"unknown network version {version} "
+                    f"(base {base_version}, trace {len(trace)} batches)"
+                )
+                return
+            if baselines[idx][i] is not None and answer != baselines[idx][i]:
+                report.violations.append(
+                    f"query {i} ({spec.source}->{spec.target}): answer at "
+                    f"version {version} differs from fault-free "
+                    f"re-execution at that version "
+                    f"(degraded={response.degraded})"
+                )
+                return
+            report.ok += 1
+            if response.degraded:
+                report.degraded += 1
+
+    def worker(offset: int) -> None:
+        final_pass = False
+        while True:
+            if trace_done.is_set():
+                final_pass = True
+            for i in range(offset, len(queries), clients):
+                spec = queries[i]
+                request = QueryRequest(
+                    spec.source, spec.target, spec.interval, "allfp", deadline
+                )
+                try:
+                    response = service.query(request)
+                except ReproError as exc:
+                    name = type(exc).__name__
+                    with lock:
+                        report.requests += 1
+                        report.typed_errors[name] = (
+                            report.typed_errors.get(name, 0) + 1
+                        )
+                except BaseException as exc:
+                    with lock:
+                        report.requests += 1
+                        report.violations.append(
+                            f"query {i} ({spec.source}->{spec.target}): "
+                            f"untyped {type(exc).__name__}: {exc}"
+                        )
+                else:
+                    classify(i, spec, response)
+            if final_pass:
+                return
+
+    # Drop cached results so the replay actually recomputes.
+    service.invalidate()
+
+    injector = None
+    installed_remote = False
+    if plan is not None:
+        install = getattr(service, "install_faults", None)
+        if callable(install):
+            install(plan)
+            installed_remote = True
+        else:
+            injector = reliability.install(plan)
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(i,), name=f"mutation-chaos-client-{i}",
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    applier_thread = threading.Thread(
+        target=applier, name="mutation-chaos-applier", daemon=True
+    )
+    started = time.monotonic()
+    try:
+        applier_thread.start()
+        for t in threads:
+            t.start()
+        deadline_at = time.monotonic() + join_timeout
+        for t in [applier_thread, *threads]:
+            t.join(max(0.0, deadline_at - time.monotonic()))
+        for t in [applier_thread, *threads]:
+            if t.is_alive():
+                report.violations.append(
+                    f"hang: {t.name} still running after {join_timeout:.0f}s"
+                )
+    finally:
+        fired = 0
+        if installed_remote:
+            replies = service.uninstall_faults() or {}
+            fired = sum(
+                reply.get("fired", 0)
+                for reply in replies.values()
+                if reply is not None
+            )
+        elif injector is not None:
+            reliability.uninstall()
+            fired = injector.fired
+    report.wall_seconds = time.monotonic() - started
+    report.fault_events = fired
     return report

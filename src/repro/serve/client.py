@@ -188,6 +188,7 @@ class HTTPClient:
         interval: TimeInterval,
         mode: str = "allfp",
         deadline: float | None = None,
+        max_staleness: float | None = None,
     ) -> tuple[int, dict]:
         body: dict = {
             "source": source,
@@ -197,6 +198,8 @@ class HTTPClient:
         }
         if deadline is not None:
             body["deadline"] = deadline
+        if max_staleness is not None:
+            body["max_staleness"] = max_staleness
         return self.post(f"/v1/{mode}", body)
 
     def profile(
@@ -268,6 +271,16 @@ class HTTPClient:
         if deadline is not None:
             body["deadline"] = deadline
         return self.post("/v1/batch", body)
+
+    def updates(self, batch) -> tuple[int, dict]:
+        """POST a live-update batch to ``/v1/updates``.
+
+        Accepts a :class:`~repro.serve.updates.MutationBatch` (or anything
+        with ``to_wire()``) or an already-wire ``{"mutations": [...]}``
+        dict; returns ``(status, decoded_body)`` like :meth:`post`.
+        """
+        wire = batch.to_wire() if hasattr(batch, "to_wire") else batch
+        return self.post("/v1/updates", wire)
 
 
 def percentile(sorted_values: Sequence[float], p: float) -> float:

@@ -35,15 +35,36 @@ Endpoints
          "start": 420.0, "end": 540.0}
         {"source": 0, "targets": [7, 8, 9], "start": 420.0, "end": 540.0}
 
+``POST /v1/updates``
+    The live-traffic mutation feed: a batch of edge-pattern mutations
+    applied atomically at one network version (see
+    :mod:`repro.serve.updates` for the wire format)::
+
+        {"mutations": [{"source": 0, "target": 1,
+                        "pattern": {"workday": [[0, 0.5], [420, 0.1]],
+                                    "non-workday": [[0, 0.5]]}}]}
+
+    200 response: ``{"version": <new network version>, "applied": N,
+    "staleness_seconds": float}``.  Unknown edges → 404, malformed
+    patterns → 400, calendar-coverage gaps → 404; a failed batch applies
+    nothing.
+
 ``GET /healthz``
-    ``{"status": "ok", "version": <stamp>, "nodes": N}`` — cheap liveness.
+    ``{"status": "ok", "version": <stamp>, "network_version": <applied>,
+    "staleness_seconds": float, "pending_updates": N, "nodes": N}`` —
+    cheap liveness plus the bounded-staleness triple.
 
 ``GET /metrics``
     Prometheus text exposition from the service's metrics registry.
 
+Query bodies may carry ``max_staleness`` (seconds): when the service is
+further behind the accepted update stream than that, the query is refused
+with 503 + ``Retry-After`` instead of answered against old data.
+
 Error mapping: malformed input → 400, unknown node → 404, no path → 404,
-admission rejection → 503 (with ``Retry-After``), deadline → 504.  Every
-error body is ``{"error": <class>, "message": <str>}``.
+admission rejection → 503 (with ``Retry-After``), staleness bound
+exceeded → 503 (with ``Retry-After``), deadline → 504.  Every error body
+is ``{"error": <class>, "message": <str>}``.
 
 Built on :class:`http.server.ThreadingHTTPServer`: one thread per
 connection, so slow queries never block ``/healthz`` or ``/metrics`` —
@@ -65,10 +86,12 @@ from ..exceptions import (
     ReproError,
     ServiceOverloaded,
     ShardUnavailable,
+    StalenessExceeded,
 )
 from .. import reliability
 from ..timeutil import TimeInterval, parse_clock
 from .service import AllFPService, QueryRequest
+from .updates import MutationBatch
 
 #: Maximum accepted request body, bytes — queries are tiny.
 MAX_BODY_BYTES = 64 * 1024
@@ -204,6 +227,17 @@ def parse_request(body: dict, mode: str) -> QueryRequest:
             raise BadRequest(f"'deadline' must be a number: {exc}") from exc
         if deadline <= 0:
             raise BadRequest("'deadline' must be positive")
+    max_staleness = body.get("max_staleness")
+    if max_staleness is not None:
+        if isinstance(max_staleness, bool) or not isinstance(
+            max_staleness, (int, float)
+        ):
+            raise BadRequest(
+                f"'max_staleness' must be seconds >= 0, got {max_staleness!r}"
+            )
+        max_staleness = float(max_staleness)
+        if max_staleness < 0:
+            raise BadRequest("'max_staleness' must be >= 0")
     try:
         return QueryRequest(
             source=source,
@@ -215,6 +249,7 @@ def parse_request(body: dict, mode: str) -> QueryRequest:
             candidates=candidates,
             k=k,
             pairs=pairs,
+            max_staleness=max_staleness,
         )
     except QueryError as exc:
         raise BadRequest(str(exc)) from exc
@@ -264,6 +299,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "status": "degraded" if self.service.degraded else "ok",
                 "degraded": self.service.degraded,
                 "version": self.service.version,
+                "network_version": getattr(self.service, "net_version", 0),
+                "staleness_seconds": self.service.staleness_seconds()
+                if callable(getattr(self.service, "staleness_seconds", None))
+                else 0.0,
+                "pending_updates": getattr(
+                    self.service, "pending_updates", 0
+                ),
                 "nodes": network.node_count,
             }
             # The shard tier aggregates per-worker health; single-process
@@ -291,7 +333,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/batch": "batch",
         }
         mode = routes.get(self.path)
-        if mode is None:
+        if mode is None and self.path != "/v1/updates":
             self._send_json(404, {"error": "NotFound", "message": self.path})
             return
         try:
@@ -306,6 +348,18 @@ class _Handler(BaseHTTPRequestHandler):
                 raise BadRequest(f"invalid JSON body: {exc}") from exc
             if not isinstance(body, dict):
                 raise BadRequest("JSON body must be an object")
+            if mode is None:
+                batch = MutationBatch.from_wire(body)
+                version = self.service.apply_updates(batch)
+                self._send_json(
+                    200,
+                    {
+                        "version": version,
+                        "applied": len(batch),
+                        "staleness_seconds": self.service.staleness_seconds(),
+                    },
+                )
+                return
             request = parse_request(body, mode)
             response = self.service.query(request)
         except BadRequest as exc:
@@ -314,6 +368,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(
                 503, exc, {"Retry-After": f"{exc.retry_after:.3f}"}
             )
+        except StalenessExceeded as exc:
+            # The service is catching up on the mutation stream; the hint
+            # is how far over the caller's bound it currently runs.
+            retry = max(exc.staleness - exc.max_staleness, 0.05)
+            self._send_error_json(503, exc, {"Retry-After": f"{retry:.3f}"})
         except ShardUnavailable as exc:
             # Every ring candidate was down or breaker-open: the tier is
             # temporarily unhealthy, not the request malformed.
@@ -335,6 +394,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "elapsed_ms": response.elapsed_seconds * 1e3,
                 "degraded": response.degraded,
                 "stale": response.stale,
+                "version": getattr(response, "version", -1),
             }
             if getattr(response, "degraded_shard", None) is not None:
                 body["degraded_shard"] = response.degraded_shard

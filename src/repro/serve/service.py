@@ -50,6 +50,7 @@ from ..exceptions import (
     ReproError,
     ServiceClosed,
     ServiceOverloaded,
+    StalenessExceeded,
     WorkerCrashed,
 )
 from .. import reliability
@@ -59,6 +60,7 @@ from ..timeutil import TimeInterval
 from .admission import AdmissionController, Deadline
 from .batching import ResultCache, SingleFlight
 from .metrics import MetricsRegistry
+from .updates import MutationBatch, ReadWriteLock, apply_batch, validate_batch
 
 MODES = ("allfp", "singlefp", "profile", "knn", "batch")
 
@@ -82,6 +84,14 @@ class QueryRequest:
     positionally), so the cache key is order-sensitive — two batches with
     the same pairs in a different order are different requests.  ``source``
     is conventionally the first pair's source for a batch request.
+
+    ``max_staleness`` (seconds, optional) opts the caller into the bounded
+    staleness contract: when the service has accepted live updates it has
+    not yet finished applying for longer than this, the request is refused
+    with a typed :class:`~repro.exceptions.StalenessExceeded` instead of
+    being answered against the old network version.  Like ``deadline`` it
+    is not part of the coalescing/cache key — it changes *whether* the
+    question is answered, never the answer.
     """
 
     source: int
@@ -93,6 +103,7 @@ class QueryRequest:
     candidates: tuple[int, ...] | None = None
     k: int | None = None
     pairs: tuple[tuple[int, int], ...] | None = None
+    max_staleness: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -149,6 +160,13 @@ class QueryResponse:
     so the answer itself remains exact) or ``stale`` is set and the result
     was served from the version-stamped cache after a deadline tripped
     mid-recompute (possibly predating the latest network update).
+
+    ``version`` is the network version this answer was computed against —
+    the contract the mutation-chaos harness holds the service to: a
+    non-stale answer claiming version ``v`` must byte-match a fault-free
+    re-execution against the network with exactly the first ``v`` update
+    batches applied.  ``-1`` means unversioned (stale-cache fallbacks,
+    pre-update wire peers).
     """
 
     result: AllFPResult | SingleFPResult | ProfileResult | KnnResult | BatchResult
@@ -160,6 +178,7 @@ class QueryResponse:
     #: set by the shard router when the ring-preferred shard could not
     #: answer and a successor served the (still exact) result instead
     degraded_shard: int | None = None
+    version: int = -1
 
 
 @dataclass(frozen=True)
@@ -221,6 +240,10 @@ class _SharedEdgeFunctionCache(EdgeFunctionCache):
     def arrival(self, edge, lo, hi):
         with self._shared_lock:
             return super().arrival(edge, lo, hi)
+
+    def clear(self) -> int:
+        with self._shared_lock:
+            return super().clear()
 
     def snapshot(self) -> dict[str, int]:
         with self._shared_lock:
@@ -321,6 +344,20 @@ class AllFPService:
         self._fallback_lock = threading.Lock()
         self.metrics = MetricsRegistry(const_labels=self._metric_labels())
         self._version = 0
+        # Network version: count of applied live-update batches.  Distinct
+        # from ``_version`` (the cache-generation stamp, which also bumps on
+        # plain invalidate()); this one is the version answers *claim*.
+        self._net_version = 0
+        # Queries hold the read side while computing so every answer is
+        # produced against exactly one network version; updates hold the
+        # write side.  Writer-preferring: a steady query stream cannot
+        # starve the mutation feed.
+        self._update_rw = ReadWriteLock()
+        self._pending_lock = threading.Lock()
+        self._pending_updates: list[float] = []
+        self._update_batches_applied = 0
+        self._update_mutations_applied = 0
+        self._max_staleness_observed = 0.0
         self._closed = False
         self._engine_generation = 0
         self._local = threading.local()
@@ -354,6 +391,22 @@ class AllFPService:
             lambda: 1.0 if self.degraded else 0.0,
             help="1 when the service is serving degraded answers "
             "(estimator breaker open or boot-time fallback)",
+        )
+        self.metrics.set_gauge(
+            "network_applied_version",
+            lambda: float(self._net_version),
+            help="Count of live-update batches applied to this service",
+        )
+        self.metrics.set_gauge(
+            "update_staleness_seconds",
+            self.staleness_seconds,
+            help="Age of the oldest accepted-but-unapplied update batch "
+            "(0 when nothing is pending)",
+        )
+        self.metrics.set_gauge(
+            "updates_pending",
+            lambda: float(len(self._pending_updates)),
+            help="Update batches accepted and not yet fully applied",
         )
         self.metrics.set_gauge(
             "estimator_breaker_open",
@@ -417,16 +470,41 @@ class AllFPService:
         return self._version
 
     @property
+    def net_version(self) -> int:
+        """Applied network version: how many update batches are live."""
+        return self._net_version
+
+    @property
     def degraded(self) -> bool:
         """True while the service as a whole is in a degraded mode."""
         return self._boot_degraded or self._breaker.state != "closed"
+
+    @property
+    def pending_updates(self) -> int:
+        """Update batches accepted and not yet fully applied."""
+        with self._pending_lock:
+            return len(self._pending_updates)
+
+    def staleness_seconds(self) -> float:
+        """Age of the oldest accepted-but-unapplied update batch (0 if none).
+
+        This is the number ``max_staleness`` is checked against and the one
+        ``/metrics`` exports: how far behind the accepted mutation stream
+        the answers currently being served may be.
+        """
+        with self._pending_lock:
+            if not self._pending_updates:
+                return 0.0
+            return max(0.0, time.monotonic() - self._pending_updates[0])
 
     def invalidate(self, refresh_estimator: bool = False) -> int:
         """Bump the version stamp and drop every cached result.
 
         Call after mutating the network or its speed patterns (e.g. a live
-        traffic update); in-flight queries finish against the old data,
-        new queries miss the cache and recompute.
+        traffic update); the write side of the update lock is held, so
+        in-flight queries finish against the old data first and every query
+        admitted afterwards misses the cache and recomputes — no answer is
+        produced against a half-refreshed estimator.
 
         With ``refresh_estimator=True`` an estimator exposing ``refresh()``
         (the boundary estimator) recomputes its tables against the updated
@@ -434,37 +512,132 @@ class AllFPService:
         take effect — a snapshot loaded for the old network version is
         considered invalid from here on.
         """
-        self._version += 1
-        dropped = self._result_cache.clear()
-        self.metrics.inc(
-            "invalidations_total",
-            help="Version bumps (network/pattern updates)",
-        )
-        if refresh_estimator and self._estimator is not None:
-            refresh = getattr(self._estimator, "refresh", None)
-            if callable(refresh):
-                try:
-                    refresh()
-                except ReproError:
-                    # Keep serving: the breaker records the failure and
-                    # workers fall back to the naive bound until a later
-                    # refresh or trial clone succeeds.
-                    self._breaker.record_failure()
-                    self.metrics.inc(
-                        "estimator_refresh_failures_total",
-                        help="Estimator refreshes that failed "
-                        "(service continues on the old/fallback bound)",
-                    )
-                else:
-                    self._breaker.record_success()
-                    self._boot_degraded = False
-                    self.metrics.inc(
-                        "estimator_refreshes_total",
-                        help="Estimator precompute refreshes after invalidation",
-                    )
-            # Rebuild per-worker engines lazily so clones see the new tables.
+        self._update_rw.acquire_write()
+        try:
+            self._version += 1
+            dropped = self._result_cache.clear()
+            self._edge_cache.clear()
+            self.metrics.inc(
+                "invalidations_total",
+                help="Version bumps (network/pattern updates)",
+            )
+            if refresh_estimator and self._estimator is not None:
+                refresh = getattr(self._estimator, "refresh", None)
+                if callable(refresh):
+                    try:
+                        refresh()
+                    except ReproError:
+                        # Keep serving: the breaker records the failure and
+                        # workers fall back to the naive bound until a later
+                        # refresh or trial clone succeeds.
+                        self._breaker.record_failure()
+                        self.metrics.inc(
+                            "estimator_refresh_failures_total",
+                            help="Estimator refreshes that failed "
+                            "(service continues on the old/fallback bound)",
+                        )
+                    else:
+                        self._breaker.record_success()
+                        self._boot_degraded = False
+                        self.metrics.inc(
+                            "estimator_refreshes_total",
+                            help="Estimator precompute refreshes after invalidation",
+                        )
+                # Rebuild per-worker engines lazily so clones see the new
+                # tables.
+                self._engine_generation += 1
+            return dropped
+        finally:
+            self._update_rw.release_write()
+
+    def apply_updates(
+        self,
+        batch: MutationBatch,
+        version: int | None = None,
+        workers: int | None = None,
+    ) -> int:
+        """Apply one live-update batch and delta re-customize; returns the
+        new network version.
+
+        The batch is validated up front (typed errors, nothing applied on
+        failure), counted as *pending* while it waits for in-flight queries
+        to drain, then applied under the write side of the update lock:
+        edge patterns mutate, the boundary estimator and overlay refresh
+        only the cells the mutated edges can influence
+        (:func:`~repro.estimators.precompute.refresh_tables_delta`,
+        :meth:`~repro.hierarchy.overlay.MultiLevelOverlay.refresh_delta`),
+        and the edge-function and result caches drop so no pre-update
+        function survives.  ``version`` lets the shard tier impose its
+        monotonic version instead of the local counter.
+        """
+        if self._closed:
+            raise ServiceClosed("service is shut down")
+        validate_batch(self._network, batch)
+        accepted_at = time.monotonic()
+        with self._pending_lock:
+            self._pending_updates.append(accepted_at)
+        self._update_rw.acquire_write()
+        try:
+            applied = apply_batch(self._network, batch)
+            estimator = self._estimator
+            if estimator is not None:
+                delta = getattr(estimator, "refresh_delta", None)
+                refresh = delta if callable(delta) else getattr(
+                    estimator, "refresh", None
+                )
+                if callable(refresh):
+                    try:
+                        if refresh is delta:
+                            refresh(applied, workers=workers)
+                        else:
+                            refresh()
+                    except ReproError:
+                        self._breaker.record_failure()
+                        self.metrics.inc(
+                            "estimator_refresh_failures_total",
+                            help="Estimator refreshes that failed "
+                            "(service continues on the old/fallback bound)",
+                        )
+                    else:
+                        self._breaker.record_success()
+            if self._overlay is not None:
+                self._overlay.refresh_delta(
+                    applied, workers=workers if workers is not None else 1
+                )
+            # The naive fallback memoises v_max; rebuild it on next need.
+            with self._fallback_lock:
+                self._fallback_estimator = None
+            self._net_version = (
+                version if version is not None else self._net_version + 1
+            )
+            self._version += 1
+            self._result_cache.clear()
+            self._edge_cache.clear()
             self._engine_generation += 1
-        return dropped
+            self._update_batches_applied += 1
+            self._update_mutations_applied += len(batch)
+            self.metrics.inc(
+                "updates_applied_total",
+                help="Live-update batches applied",
+            )
+            self.metrics.inc(
+                "update_mutations_total",
+                len(batch),
+                help="Edge-pattern mutations applied across all batches",
+            )
+            return self._net_version
+        finally:
+            self._update_rw.release_write()
+            lag = time.monotonic() - accepted_at
+            with self._pending_lock:
+                self._pending_updates.remove(accepted_at)
+                if lag > self._max_staleness_observed:
+                    self._max_staleness_observed = lag
+            self.metrics.observe(
+                "update_apply_seconds",
+                lag,
+                help="Accept-to-applied latency per update batch",
+            )
 
     # ------------------------------------------------------------------
     def all_fastest_paths(
@@ -580,13 +753,31 @@ class AllFPService:
         if self._closed:
             self._finish(request, started, "closed")
             raise ServiceClosed("service is shut down")
+        if request.max_staleness is not None:
+            staleness = self.staleness_seconds()
+            if staleness > request.max_staleness:
+                self.metrics.inc(
+                    "staleness_rejections_total",
+                    help="Requests refused because the service was more "
+                    "stale than their max_staleness allowed",
+                )
+                self._finish(request, started, "stale_rejected")
+                raise StalenessExceeded(staleness, request.max_staleness)
         try:
             self._admission.try_acquire()
         except ServiceOverloaded:
             self._finish(request, started, "rejected")
             raise
         try:
-            response = self._admitted(request, started)
+            # The read side pins the network version for the whole
+            # computation: updates wait for in-flight queries, so the
+            # version captured here is the version the answer is made at.
+            self._update_rw.acquire_read()
+            try:
+                version = self._net_version
+                response = self._admitted(request, started)
+            finally:
+                self._update_rw.release_read()
         except QueryTimeout:
             self._finish(request, started, "timeout")
             raise
@@ -613,6 +804,9 @@ class AllFPService:
             elapsed_seconds=time.monotonic() - started,
             degraded=degraded,
             stale=response.stale,
+            # A stale-cache fallback may predate any version; leave it
+            # unversioned so nothing holds it to the byte-match contract.
+            version=-1 if response.stale else version,
         )
 
     # ------------------------------------------------------------------
@@ -903,6 +1097,14 @@ class AllFPService:
         return {
             "version": self._version,
             "degraded": self.degraded,
+            "updates": {
+                "applied_version": self._net_version,
+                "batches_applied": self._update_batches_applied,
+                "mutations_applied": self._update_mutations_applied,
+                "pending": len(self._pending_updates),
+                "staleness_seconds": self.staleness_seconds(),
+                "max_staleness_seconds": self._max_staleness_observed,
+            },
             "overlay_levels": (
                 self._overlay.level_count if self._overlay is not None else 0
             ),

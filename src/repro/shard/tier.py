@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from dataclasses import dataclass, field
 
 from .. import reliability
 from ..exceptions import ReproError, ServiceClosed, ShardUnavailable
 from ..serve.metrics import MetricsRegistry
 from ..serve.service import QueryResponse, ServiceConfig
+from ..serve.updates import MutationBatch, apply_batch, validate_batch
 from .ring import DEFAULT_REPLICAS, HashRing, routing_key
 from .worker import (
     WorkerBoot,
@@ -180,6 +182,18 @@ class ShardedService:
         self._closed = False
         self._close_lock = threading.Lock()
         self._version = 1
+        # Live-update state: the applied network version, the ordered log
+        # of broadcast batches (replayed into restarted workers so a fresh
+        # fork catches up before taking queries), and pending accounting
+        # for the bounded-staleness surface.
+        self._net_version = 0
+        self._update_lock = threading.Lock()
+        self._mutation_log: list[dict] = []
+        self._pending_lock = threading.Lock()
+        self._pending_updates: list[float] = []
+        self._update_batches_applied = 0
+        self._update_mutations_applied = 0
+        self._max_staleness_observed = 0.0
         self._ring = HashRing(range(shards), replicas)
         self.metrics = MetricsRegistry()
         self._shared = None  # SharedTables when the shm transport is used
@@ -221,6 +235,22 @@ class ShardedService:
             lambda: float(
                 sum(1 for h in self._handles.values() if h.alive)
             ),
+        )
+        self.metrics.set_gauge(
+            "network_applied_version",
+            lambda: float(self._net_version),
+            help="Live-update batches broadcast by the tier",
+        )
+        self.metrics.set_gauge(
+            "update_staleness_seconds",
+            self.staleness_seconds,
+            help="Age of the oldest accepted-but-unbroadcast update batch",
+        )
+        self.metrics.set_gauge(
+            "updates_pending",
+            lambda: float(len(self._pending_updates)),
+            help="Update batches accepted and not yet applied on every "
+            "live shard",
         )
 
     # ------------------------------------------------------------------
@@ -333,6 +363,24 @@ class ShardedService:
             daemon=True,
         )
         handle.receiver.start()
+        # A restarted worker forked (or re-opened) a network that may
+        # predate some broadcast batches; replay the ordered mutation log
+        # before it serves queries at a version it never applied.  Holding
+        # the update lock keeps a concurrent apply_updates from
+        # interleaving mid-replay.  Replay is idempotent (last pattern
+        # wins), so a fork that already inherited later patterns converges
+        # on the same state and the same version.
+        with self._update_lock:
+            for wire in self._mutation_log:
+                try:
+                    self._control(
+                        handle, "apply_updates", wire, timeout=120.0
+                    )
+                except (ShardUnavailable, ReproError):
+                    # It died again (the receive loop schedules another
+                    # restart) or diverged; either way shard_health shows
+                    # the applied-version gap.
+                    break
 
     # ------------------------------------------------------------------
     # receive / restart
@@ -460,6 +508,7 @@ class ShardedService:
                 degraded=payload["degraded"] or failed_over,
                 stale=payload["stale"],
                 degraded_shard=order[0] if failed_over else None,
+                version=payload.get("version", -1),
             )
         raise ShardUnavailable(order[0], last_reason)
 
@@ -520,6 +569,86 @@ class ShardedService:
     @property
     def version(self) -> int:
         return self._version
+
+    @property
+    def net_version(self) -> int:
+        """Applied network version: update batches broadcast by the tier."""
+        return self._net_version
+
+    @property
+    def pending_updates(self) -> int:
+        """Update batches accepted and not yet applied on every live shard."""
+        with self._pending_lock:
+            return len(self._pending_updates)
+
+    def staleness_seconds(self) -> float:
+        """Age of the oldest accepted-but-unapplied update batch (0 if none)."""
+        with self._pending_lock:
+            if not self._pending_updates:
+                return 0.0
+            return max(0.0, time.monotonic() - self._pending_updates[0])
+
+    def apply_updates(self, batch: MutationBatch, workers=None) -> int:
+        """Broadcast one live-update batch to every shard; returns the new
+        tier-wide network version.
+
+        The batch is validated once against the router's network copy
+        (typed errors, nothing broadcast on failure), stamped with the next
+        monotonic version, applied to the router copy (so restart forks
+        inherit it and later batches validate against current patterns),
+        appended to the replay log, then sent to each live worker, which
+        delta re-customizes under its own update lock.  A shard that is
+        down catches up from the log when it restarts; a shard whose apply
+        *fails* is killed so the restart-and-replay path resynchronises it
+        rather than leaving it silently serving a diverged network.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        validate_batch(self._network, batch)
+        accepted_at = time.monotonic()
+        with self._pending_lock:
+            self._pending_updates.append(accepted_at)
+        try:
+            with self._update_lock:
+                new_version = self._net_version + 1
+                wire = {"batch": batch.to_wire(), "version": new_version}
+                apply_batch(self._network, batch)
+                self._mutation_log.append(wire)
+                self._net_version = new_version
+                for sid, handle in self._handles.items():
+                    if not handle.alive:
+                        continue
+                    try:
+                        self._control(
+                            handle, "apply_updates", wire, timeout=120.0
+                        )
+                    except ShardUnavailable:
+                        continue  # restart replay catches it up
+                    except ReproError:
+                        self.metrics.inc(
+                            "shard_update_failures_total",
+                            labels={"shard_id": str(sid)},
+                        )
+                        self.kill_shard(sid)
+                self._version += 1
+                self._update_batches_applied += 1
+                self._update_mutations_applied += len(batch)
+                self.metrics.inc(
+                    "updates_applied_total",
+                    help="Live-update batches broadcast by the tier",
+                )
+                self.metrics.inc(
+                    "update_mutations_total",
+                    len(batch),
+                    help="Edge-pattern mutations broadcast across batches",
+                )
+                return new_version
+        finally:
+            lag = time.monotonic() - accepted_at
+            with self._pending_lock:
+                self._pending_updates.remove(accepted_at)
+                if lag > self._max_staleness_observed:
+                    self._max_staleness_observed = lag
 
     @property
     def degraded(self) -> bool:
@@ -586,6 +715,14 @@ class ShardedService:
             "alive": sum(1 for h in self._handles.values() if h.alive),
             "restarts": {
                 sid: h.restarts for sid, h in self._handles.items()
+            },
+            "updates": {
+                "applied_version": self._net_version,
+                "batches_applied": self._update_batches_applied,
+                "mutations_applied": self._update_mutations_applied,
+                "pending": self.pending_updates,
+                "staleness_seconds": self.staleness_seconds(),
+                "max_staleness_seconds": self._max_staleness_observed,
             },
             "per_shard": shard_stats,
         }

@@ -52,6 +52,7 @@ from ..exceptions import (
     ReproError,
     ServiceError,
     ServiceOverloaded,
+    StalenessExceeded,
     WorkerCrashed,
 )
 from ..timeutil import TimeInterval
@@ -222,6 +223,7 @@ def request_to_wire(request) -> dict:
         "candidates": request.candidates,
         "k": request.k,
         "pairs": request.pairs,
+        "max_staleness": request.max_staleness,
     }
 
 
@@ -238,6 +240,7 @@ def request_from_wire(doc: dict):
         candidates=doc["candidates"],
         k=doc["k"],
         pairs=doc["pairs"],
+        max_staleness=doc.get("max_staleness"),
     )
 
 
@@ -249,6 +252,7 @@ def response_to_wire(response) -> dict:
         "elapsed_seconds": response.elapsed_seconds,
         "degraded": response.degraded,
         "stale": response.stale,
+        "version": response.version,
     }
 
 
@@ -272,6 +276,9 @@ def describe_error(exc: BaseException) -> dict:
         attrs["pending"] = exc.pending
         attrs["max_pending"] = exc.max_pending
         attrs["retry_after"] = exc.retry_after
+    elif isinstance(exc, StalenessExceeded):
+        attrs["staleness"] = exc.staleness
+        attrs["max_staleness"] = exc.max_staleness
     elif isinstance(exc, WorkerCrashed):
         attrs["attempts"] = exc.attempts
     return {
@@ -313,6 +320,10 @@ def rebuild_error(desc: dict) -> ReproError:
             attrs.get("pending", 0),
             attrs.get("max_pending", 0),
             attrs.get("retry_after", 0.05),
+        )
+    if name == "StalenessExceeded":
+        return StalenessExceeded(
+            attrs.get("staleness", 0.0), attrs.get("max_staleness", 0.0)
         )
     if name == "WorkerCrashed":
         return WorkerCrashed(attrs.get("attempts", 1), message)
@@ -432,11 +443,24 @@ def run_worker(boot: WorkerBoot, conn) -> None:
                     "status": "degraded" if service.degraded else "ok",
                     "degraded": service.degraded,
                     "version": service.version,
+                    "applied_version": service.net_version,
+                    "staleness_seconds": service.staleness_seconds(),
+                    "pending_updates": service.pending_updates,
                 })
             elif op == "metrics":
                 reply("ok", req_id, {"text": service.render_metrics()})
             elif op == "stats":
                 reply("ok", req_id, service.stats())
+            elif op == "apply_updates":
+                from ..serve.updates import MutationBatch
+
+                batch = MutationBatch.from_wire(arg["batch"])
+                version = service.apply_updates(
+                    batch, version=arg.get("version")
+                )
+                reply("ok", req_id, {
+                    "version": version, "applied": len(batch),
+                })
             elif op == "invalidate":
                 dropped = service.invalidate(refresh_estimator=bool(arg))
                 reply("ok", req_id, {

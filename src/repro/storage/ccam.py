@@ -339,6 +339,26 @@ class CCAMStore:
                 "store opened read-only; open with writable=True to update"
             )
 
+    def _validate_pattern(self, pattern: CapeCodPattern) -> None:
+        """Reject malformed patterns *before* any page or intern mutation.
+
+        A bad pattern must surface as one typed :class:`NetworkError` —
+        never a half-written record or a poisoned pattern table.
+        """
+        if not isinstance(pattern, CapeCodPattern):
+            raise NetworkError(
+                f"expected a CapeCodPattern, got {type(pattern).__name__}"
+            )
+        if not pattern.covers(self._calendar.categories):
+            raise NetworkError(
+                f"pattern categories {pattern.categories} do not cover the "
+                f"store calendar {tuple(self._calendar.categories.names)}"
+            )
+        if pattern.min_speed() <= 0:
+            raise NetworkError(
+                f"pattern has non-positive speed {pattern.min_speed():g} mpm"
+            )
+
     def _pattern_id(self, pattern: CapeCodPattern) -> int:
         idx = self._pattern_ids.get(pattern)
         if idx is None:
@@ -422,21 +442,20 @@ class CCAMStore:
     ) -> None:
         """Replace one edge's speed pattern (a traffic-knowledge refresh)."""
         self._require_writable()
+        self._validate_pattern(pattern)
         record = self.find_node(source)
-        pattern_idx = self._pattern_id(pattern)
-        new_refs = []
-        found = False
-        for ref in record.neighbors:
-            if ref.target == target:
-                new_refs.append(
-                    NeighborRef(ref.target, ref.distance, pattern_idx, ref.class_id)
-                )
-                found = True
-            else:
-                new_refs.append(ref)
-        if not found:
+        if not any(ref.target == target for ref in record.neighbors):
             raise EdgeNotFoundError(source, target)
-        self._mutate_record(source, tuple(new_refs))
+        # Only now intern the pattern: a rejected update leaves the
+        # pattern table exactly as it was.
+        pattern_idx = self._pattern_id(pattern)
+        new_refs = tuple(
+            NeighborRef(ref.target, ref.distance, pattern_idx, ref.class_id)
+            if ref.target == target
+            else ref
+            for ref in record.neighbors
+        )
+        self._mutate_record(source, new_refs)
 
     def insert_edge(
         self,
@@ -448,6 +467,7 @@ class CCAMStore:
     ) -> None:
         """Add a directed edge between existing nodes."""
         self._require_writable()
+        self._validate_pattern(pattern)
         self._locator(target)  # target must exist
         record = self.find_node(source)
         if any(ref.target == target for ref in record.neighbors):
@@ -486,6 +506,7 @@ class CCAMStore:
             raise NetworkError(f"node {node_id} already exists")
         refs = []
         for target, distance, pattern, road_class in edges:
+            self._validate_pattern(pattern)
             self._locator(target)
             class_id = (
                 NO_CLASS if road_class is None else _ROAD_CLASSES.index(road_class)

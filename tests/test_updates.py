@@ -1,0 +1,552 @@
+"""Live-update stream: wire formats, delta re-customization, bounded staleness.
+
+Covers the update pipeline end to end — mutation/batch/trace parsing and
+its typed failures, the admissibility-preserving estimator delta refresh,
+the overlay shortcut splice, the service-level versioned apply (caches
+invalidated, answers byte-identical to a from-scratch service on the
+mutated network), the ``max_staleness`` contract, the
+``invalidate(refresh_estimator=True)``-racing-queries invariant, and the
+mutation-chaos harness itself.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+
+import pytest
+
+from repro.core.engine import IntAllFastestPaths
+from repro.estimators.boundary import BoundaryNodeEstimator
+from repro.estimators.naive import NaiveEstimator
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NetworkError,
+    QueryError,
+    StalenessExceeded,
+)
+from repro.hierarchy import MultiLevelOverlay
+from repro.network.generator import MetroConfig, make_metro_network
+from repro.serve.chaos import _canonical, default_fault_plan, run_mutation_chaos
+from repro.serve.service import AllFPService, QueryRequest, ServiceConfig
+from repro.serve.updates import (
+    EdgeMutation,
+    MAX_MUTATIONS_PER_BATCH,
+    MutationBatch,
+    TraceEvent,
+    apply_batch,
+    dump_trace,
+    load_trace,
+    slowdown_pattern,
+    validate_batch,
+)
+from repro.timeutil import TimeInterval
+from repro.workloads.queries import QuerySpec
+
+INTERVAL = TimeInterval(480.0, 540.0)
+
+
+@pytest.fixture
+def network():
+    """A fresh (mutable) network per test — these tests update edges."""
+    return make_metro_network(MetroConfig(width=8, height=8, seed=23))
+
+
+def mutation_for(network, index: int = 0, factor: float = 0.25) -> EdgeMutation:
+    edge = list(network.edges())[index]
+    return EdgeMutation(
+        edge.source, edge.target, slowdown_pattern(edge.pattern, factor)
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire formats
+# ----------------------------------------------------------------------
+class TestWire:
+    def test_mutation_round_trip(self, network):
+        mutation = mutation_for(network)
+        clone = EdgeMutation.from_wire(mutation.to_wire())
+        assert clone.source == mutation.source
+        assert clone.target == mutation.target
+        assert clone.pattern == mutation.pattern
+
+    def test_batch_round_trip(self, network):
+        batch = MutationBatch(
+            (mutation_for(network, 0), mutation_for(network, 3, 0.5))
+        )
+        clone = MutationBatch.from_wire(batch.to_wire())
+        assert len(clone) == 2
+        assert clone.to_wire() == batch.to_wire()
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not an object",
+            {},
+            {"mutations": []},
+            {"mutations": "nope"},
+        ],
+    )
+    def test_malformed_batch(self, doc):
+        with pytest.raises(QueryError):
+            MutationBatch.from_wire(doc)
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            [],
+            {"source": True, "target": 1, "pattern": {}},
+            {"source": 0, "target": "x", "pattern": {}},
+            {"source": 0, "target": 1},
+        ],
+    )
+    def test_malformed_mutation(self, doc):
+        with pytest.raises(QueryError):
+            EdgeMutation.from_wire(doc)
+
+    def test_batch_size_limit(self, network):
+        wire = mutation_for(network).to_wire()
+        doc = {"mutations": [wire] * (MAX_MUTATIONS_PER_BATCH + 1)}
+        with pytest.raises(QueryError, match="exceeds the limit"):
+            MutationBatch.from_wire(doc)
+
+
+# ----------------------------------------------------------------------
+# Validation and application
+# ----------------------------------------------------------------------
+class TestValidateApply:
+    def test_unknown_edge_is_typed_and_atomic(self, network):
+        good = mutation_for(network)
+        bad = EdgeMutation(good.source, good.source + 999999, good.pattern)
+        before = {
+            (e.source, e.target): e.pattern for e in network.edges()
+        }
+        with pytest.raises(EdgeNotFoundError):
+            apply_batch(network, MutationBatch((good, bad)))
+        after = {(e.source, e.target): e.pattern for e in network.edges()}
+        assert after == before  # all-or-nothing: the good one did not land
+
+    def test_calendar_gap_is_typed(self, network):
+        edge = list(network.edges())[0]
+        partial = slowdown_pattern(edge.pattern, 0.5)
+        only_first = type(partial)(
+            {partial.categories[0]: partial.daily(partial.categories[0])}
+        )
+        if set(network.calendar.categories.names) <= {partial.categories[0]}:
+            pytest.skip("single-category calendar cannot have a gap")
+        with pytest.raises(NetworkError, match="do not cover"):
+            validate_batch(
+                network,
+                MutationBatch(
+                    (EdgeMutation(edge.source, edge.target, only_first),)
+                ),
+            )
+
+    def test_apply_records_old_and_new(self, network):
+        mutation = mutation_for(network, 0, 0.25)
+        old_pattern = network.find_edge(mutation.source, mutation.target).pattern
+        applied = apply_batch(network, MutationBatch((mutation,)))
+        assert len(applied) == 1
+        record = applied[0]
+        assert record.old_pattern == old_pattern
+        assert record.new_pattern == mutation.pattern
+        assert (
+            network.find_edge(mutation.source, mutation.target).pattern
+            == mutation.pattern
+        )
+
+
+# ----------------------------------------------------------------------
+# Incident traces
+# ----------------------------------------------------------------------
+class TestTrace:
+    def test_round_trip_sorted(self, network, tmp_path):
+        events = [
+            TraceEvent(5.0, MutationBatch((mutation_for(network, 1),))),
+            TraceEvent(1.0, MutationBatch((mutation_for(network, 0),))),
+        ]
+        path = tmp_path / "trace.jsonl"
+        dump_trace(events, path)
+        loaded = load_trace(path)
+        assert [e.at for e in loaded] == [1.0, 5.0]
+        assert loaded[1].batch.to_wire() == events[0].batch.to_wire()
+
+    def test_comments_and_blanks_skipped(self, network, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        wire = MutationBatch((mutation_for(network),)).to_wire()
+        import json
+
+        path.write_text(
+            "# incident replay\n\n"
+            + json.dumps({"at": 0.5, **wire})
+            + "\n",
+            encoding="utf-8",
+        )
+        assert len(load_trace(path)) == 1
+
+    def test_bad_line_names_its_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"at": 1.0}\n', encoding="utf-8")
+        with pytest.raises(QueryError, match="trace.jsonl:1"):
+            load_trace(path)
+
+    def test_negative_offset_rejected(self, network, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        wire = MutationBatch((mutation_for(network),)).to_wire()
+        path.write_text(json.dumps({"at": -1, **wire}), encoding="utf-8")
+        with pytest.raises(QueryError, match="seconds >= 0"):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(QueryError, match="no events"):
+            load_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Delta re-customization stays exact
+# ----------------------------------------------------------------------
+def _answers(network, estimator, pairs):
+    engine = IntAllFastestPaths(network, estimator)
+    return [
+        _canonical(engine.all_fastest_paths(s, t, INTERVAL)) for s, t in pairs
+    ]
+
+
+class TestEstimatorDelta:
+    def test_delta_refresh_keeps_queries_exact(self, network):
+        estimator = BoundaryNodeEstimator(network, 4, 4)
+        estimator.precompute()
+        mutation = mutation_for(network, 0, 0.2)
+        applied = apply_batch(network, MutationBatch((mutation,)))
+        estimator.refresh_delta(applied)
+
+        pairs = [
+            (mutation.source, mutation.target),
+            (0, network.node_count - 1),
+            (3, network.node_count - 5),
+        ]
+        exact = _answers(network, NaiveEstimator(network), pairs)
+        assert _answers(network, estimator, pairs) == exact
+
+    def test_speedup_keeps_bound_admissible(self, network):
+        # Raising a speed raises v_max: the naive component must follow,
+        # or the Euclidean bound turns inadmissible and A* goes wrong.
+        estimator = BoundaryNodeEstimator(network, 4, 4)
+        estimator.precompute()
+        mutation = mutation_for(network, 0, 4.0)
+        applied = apply_batch(network, MutationBatch((mutation,)))
+        estimator.refresh_delta(applied)
+        pairs = [(mutation.source, mutation.target), (0, network.node_count - 1)]
+        exact = _answers(network, NaiveEstimator(network), pairs)
+        assert _answers(network, estimator, pairs) == exact
+
+
+class TestOverlayDelta:
+    def test_splice_matches_full_rebuild(self):
+        network = make_metro_network(MetroConfig(width=10, height=10, seed=23))
+        horizon = TimeInterval(0.0, 48 * 60.0)
+        overlay = MultiLevelOverlay.build(
+            network, levels=2, nx=4, horizon=horizon
+        )
+        # An intra-cell edge at level 0 (same cell for both endpoints).
+        mutation = next(
+            m
+            for m in (
+                mutation_for(network, i, 0.2)
+                for i in range(len(list(network.edges())))
+            )
+            if overlay.cell_at(m.source, 0) == overlay.cell_at(m.target, 0)
+        )
+        applied = apply_batch(network, MutationBatch((mutation,)))
+        recomputed = overlay.refresh_delta(applied)
+        assert recomputed >= 1
+
+        rebuilt = MultiLevelOverlay.build(
+            network, levels=2, nx=4, horizon=horizon
+        )
+        for level, fresh in zip(overlay.levels, rebuilt.levels):
+            assert bytes(level.src) == bytes(fresh.src)
+            assert bytes(level.dst) == bytes(fresh.dst)
+            assert bytes(level.off) == bytes(fresh.off)
+            assert bytes(level.xs) == bytes(fresh.xs)
+            assert bytes(level.ys) == bytes(fresh.ys)
+
+    def test_cross_cell_edge_needs_no_recompute(self):
+        network = make_metro_network(MetroConfig(width=10, height=10, seed=23))
+        overlay = MultiLevelOverlay.build(
+            network, levels=1, nx=4, horizon=TimeInterval(0.0, 48 * 60.0)
+        )
+        mutation = next(
+            m
+            for m in (
+                mutation_for(network, i, 0.2)
+                for i in range(len(list(network.edges())))
+            )
+            if overlay.cell_at(m.source, 0) != overlay.cell_at(m.target, 0)
+        )
+        before = bytes(overlay.levels[0].xs)
+        applied = apply_batch(network, MutationBatch((mutation,)))
+        assert overlay.refresh_delta(applied) == 0
+        assert bytes(overlay.levels[0].xs) == before
+
+
+# ----------------------------------------------------------------------
+# Service-level live updates
+# ----------------------------------------------------------------------
+def _request(source, target, **kw):
+    return QueryRequest(source, target, INTERVAL, "allfp", **kw)
+
+
+class TestServiceUpdates:
+    def test_versioned_apply_matches_fresh_service(self, network):
+        reference_net = copy.deepcopy(network)
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            mutation = mutation_for(network, 0, 0.2)
+            pairs = [
+                (mutation.source, mutation.target),
+                (0, network.node_count - 1),
+            ]
+            before = service.query(_request(*pairs[0]))
+            assert before.version == 0
+
+            version = service.apply_updates(MutationBatch((mutation,)))
+            assert version == 1
+            assert service.net_version == 1
+
+            apply_batch(reference_net, MutationBatch((mutation,)))
+            reference = AllFPService(
+                reference_net, config=ServiceConfig(workers=2)
+            )
+            try:
+                for source, target in pairs:
+                    live = service.query(_request(source, target))
+                    assert live.version == 1
+                    fresh = reference.query(_request(source, target))
+                    assert _canonical(live.result) == _canonical(fresh.result)
+            finally:
+                reference.close()
+        finally:
+            service.close()
+
+    def test_caches_invalidated_by_update(self, network):
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            mutation = mutation_for(network, 0, 0.05)
+            request = _request(mutation.source, mutation.target)
+            before = service.query(request).result.best()[1]
+            service.query(request)  # definitely cached now
+            service.apply_updates(MutationBatch((mutation,)))
+            after = service.query(request).result.best()[1]
+            # 20x slowdown on the direct edge must show up: a cached
+            # result or a poisoned edge-function memo would hide it.
+            assert after > before
+        finally:
+            service.close()
+
+    def test_rejected_batch_leaves_version_alone(self, network):
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            good = mutation_for(network)
+            bad = EdgeMutation(good.source, good.source + 999999, good.pattern)
+            with pytest.raises(EdgeNotFoundError):
+                service.apply_updates(MutationBatch((good, bad)))
+            assert service.net_version == 0
+            assert service.pending_updates == 0
+            assert service.query(_request(0, 5)).version == 0
+        finally:
+            service.close()
+
+    def test_max_staleness_rejection_is_typed(self, network):
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            # Simulate a long-pending batch without racing a real apply.
+            import time as _time
+
+            with service._pending_lock:
+                service._pending_updates.append(_time.monotonic() - 5.0)
+            with pytest.raises(StalenessExceeded) as excinfo:
+                service.query(_request(0, 5, max_staleness=1.0))
+            assert excinfo.value.staleness >= 5.0
+            assert excinfo.value.max_staleness == 1.0
+            with service._pending_lock:
+                service._pending_updates.clear()
+            # Bounded-staleness queries pass when the backlog is clear.
+            assert service.query(_request(0, 5, max_staleness=1.0)).version == 0
+        finally:
+            service.close()
+
+    def test_stats_and_metrics_expose_staleness(self, network):
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            service.apply_updates(MutationBatch((mutation_for(network),)))
+            updates = service.stats()["updates"]
+            assert updates["applied_version"] == 1
+            assert updates["batches_applied"] == 1
+            assert updates["mutations_applied"] == 1
+            assert updates["pending"] == 0
+            assert updates["staleness_seconds"] == 0.0
+            assert updates["max_staleness_seconds"] > 0.0
+            text = service.metrics.render()
+            for gauge in (
+                "network_applied_version",
+                "update_staleness_seconds",
+                "updates_pending",
+            ):
+                assert gauge in text
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# The race satellite: invalidate(refresh_estimator=True) vs. in-flight
+# queries — no stale-version answer may escape unflagged.
+# ----------------------------------------------------------------------
+class TestInvalidateRace:
+    def test_no_unflagged_stale_answer_escapes(self, network):
+        estimator = BoundaryNodeEstimator(network, 4, 4)
+        estimator.precompute()
+        service = AllFPService(
+            network, estimator, config=ServiceConfig(workers=2)
+        )
+        mutation = mutation_for(network, 0, 0.2)
+
+        baseline_nets = [copy.deepcopy(network)]
+        mutated = copy.deepcopy(network)
+        apply_batch(mutated, MutationBatch((mutation,)))
+        baseline_nets.append(mutated)
+        pairs = [(mutation.source, mutation.target), (0, network.node_count - 1)]
+        baselines = []
+        for net in baseline_nets:
+            ref = AllFPService(net, config=ServiceConfig(workers=2))
+            try:
+                baselines.append(
+                    [_canonical(ref.query(_request(*p)).result) for p in pairs]
+                )
+            finally:
+                ref.close()
+
+        responses = []
+        failures = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                for pair in pairs:
+                    try:
+                        responses.append(service.query(_request(*pair)))
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append(exc)
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        try:
+            for t in threads:
+                t.start()
+            service.invalidate(refresh_estimator=True)
+            service.apply_updates(MutationBatch((mutation,)))
+            service.invalidate(refresh_estimator=True)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=60.0)
+            service.close()
+
+        assert not failures, failures
+        assert responses
+        by_pair = {pair: i for i, pair in enumerate(pairs)}
+        for response in responses:
+            pair = (response.result.source, response.result.target)
+            if response.version < 0:
+                # Unversioned answers are only legal when flagged stale.
+                assert response.stale
+                continue
+            assert response.version in (0, 1)
+            expected = baselines[response.version][by_pair[pair]]
+            assert _canonical(response.result) == expected
+
+
+# ----------------------------------------------------------------------
+# Chaos under mutation
+# ----------------------------------------------------------------------
+def _chaos_fixture(seed: int):
+    network = make_metro_network(MetroConfig(width=8, height=8, seed=seed))
+    edges = list(network.edges())
+    trace = [
+        TraceEvent(
+            0.05,
+            MutationBatch(
+                (
+                    EdgeMutation(
+                        edges[0].source,
+                        edges[0].target,
+                        slowdown_pattern(edges[0].pattern, 0.25),
+                    ),
+                )
+            ),
+        ),
+        TraceEvent(
+            0.15,
+            MutationBatch(
+                (
+                    EdgeMutation(
+                        edges[4].source,
+                        edges[4].target,
+                        slowdown_pattern(edges[4].pattern, 0.5),
+                    ),
+                    EdgeMutation(
+                        edges[0].source,
+                        edges[0].target,
+                        slowdown_pattern(edges[0].pattern, 2.0),
+                    ),
+                )
+            ),
+        ),
+    ]
+    queries = [
+        QuerySpec(edges[0].source, edges[0].target, INTERVAL, 0.0),
+        QuerySpec(0, network.node_count - 1, INTERVAL, 0.0),
+    ]
+    return network, trace, queries
+
+
+class TestMutationChaos:
+    def test_invariant_holds_without_faults(self):
+        network, trace, queries = _chaos_fixture(23)
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            report = run_mutation_chaos(service, queries, trace, clients=2)
+        finally:
+            service.close()
+        assert report.passed(), report.violations
+        assert report.versions == len(trace)
+        assert report.mutations_applied == 3
+        assert report.requests > 0
+
+    def test_invariant_holds_under_faults(self):
+        network, trace, queries = _chaos_fixture(31)
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            report = run_mutation_chaos(
+                service, queries, trace, plan=default_fault_plan(7), clients=2
+            )
+        finally:
+            service.close()
+        assert report.passed(), report.violations
+        assert report.versions == len(trace)
+
+    def test_report_dict_carries_mutation_fields(self):
+        network, trace, queries = _chaos_fixture(5)
+        service = AllFPService(network, config=ServiceConfig(workers=2))
+        try:
+            report = run_mutation_chaos(service, queries, trace, clients=1)
+        finally:
+            service.close()
+        doc = report.as_dict()
+        assert doc["mutations_applied"] == 3
+        assert doc["versions"] == 2
+        assert doc["passed"] is True
